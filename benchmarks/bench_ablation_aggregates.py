@@ -1,0 +1,79 @@
+"""Ablation B — choice of aggregate function F (Definition 3).
+
+The paper notes the choice of F "reflects the philosophy of how to combine
+partial scores" and affects which tuples rank highest.  This benchmark runs
+IMDB-1 under F_S, F_max and F_min, reporting both timing (the cost of F is
+a per-combination constant) and how much the top-10 answer changes.
+
+Run standalone:  python benchmarks/bench_ablation_aggregates.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import bench_repeats, format_table, measure
+from repro.core.aggregates import F_MAX, F_MIN, F_S
+from repro.pexec.engine import ExecutionEngine
+from repro.query.session import Session
+from repro.workloads import imdb_1
+
+AGGREGATES = {"F_S": F_S, "F_max": F_MAX, "F_min": F_MIN}
+
+
+def _session(db, aggregate) -> Session:
+    query = imdb_1(k=10, year=2000)
+    session = Session(db, aggregate=aggregate)
+    session.register_all(query.preferences)
+    return session
+
+
+@pytest.mark.parametrize("name", list(AGGREGATES))
+def test_aggregate_ablation(benchmark, imdb_db, name):
+    query = imdb_1(k=10, year=2000)
+    session = _session(imdb_db, AGGREGATES[name])
+    result = run_benchmark(benchmark, lambda: session.execute(query.sql, strategy="gbu"))
+    benchmark.extra_info["rows"] = result.stats.rows
+
+
+def report(db) -> str:
+    query = imdb_1(k=10, year=2000)
+    answers = {}
+    rows = []
+    for name, aggregate in AGGREGATES.items():
+        session = _session(db, aggregate)
+        m = measure(session, query.sql, "gbu", repeats=bench_repeats(), label=name)
+        result = session.execute(query.sql, strategy="gbu")
+        answers[name] = {row for row in result.presented().rows}
+        rows.append([name, m.wall_ms, m.rows])
+    overlap_rows = []
+    names = list(AGGREGATES)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            common = len(answers[a] & answers[b])
+            overlap_rows.append([f"{a} ∩ {b}", common, len(answers[a] | answers[b])])
+    return (
+        format_table(
+            ["aggregate", "gbu wall (ms)", "rows"],
+            rows,
+            title="Ablation B — aggregate function choice (IMDB-1, top-10)",
+        )
+        + "\n\n"
+        + format_table(
+            ["answer sets", "common tuples", "union size"],
+            overlap_rows,
+            title="How much the top-10 answer changes with F",
+        )
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_imdb
+
+    print(report(generate_imdb(scale=bench_scale(), seed=42)))
+
+
+if __name__ == "__main__":
+    main()

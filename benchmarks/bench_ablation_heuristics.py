@@ -1,0 +1,74 @@
+"""Ablation A — contribution of each optimizer heuristic (§VI-A rules 1–5).
+
+Runs IMDB-1 under GBU with each transformation rule disabled in turn (and
+with no rules at all).  Shows which rewrites carry the optimization benefit
+on this substrate — including the honest finding that projection pushdown
+(Rule 2), a disk-width optimization, *costs* time on an in-memory engine
+where narrower tuples must be copied.
+
+Run standalone:  python benchmarks/bench_ablation_heuristics.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import bench_repeats, format_table, measure
+from repro.optimizer import OptimizerConfig
+from repro.pexec.engine import ExecutionEngine
+from repro.query.session import Session
+from repro.workloads import imdb_1
+
+CONFIGS: dict[str, OptimizerConfig] = {
+    "all rules": OptimizerConfig(),
+    "no rule 1 (selections)": OptimizerConfig(push_selections=False),
+    "no rule 2 (projections)": OptimizerConfig(push_projections=False),
+    "no rules 3-4 (prefers)": OptimizerConfig(push_prefers=False),
+    "no rule 5 (ordering)": OptimizerConfig(reorder_prefers=False),
+    "no join-order match": OptimizerConfig(match_join_order=False),
+    "no rules at all": OptimizerConfig.none(),
+}
+
+
+def _session(db, config: OptimizerConfig) -> Session:
+    query = imdb_1(k=10, year=2000)
+    session = Session(db, strategy="gbu")
+    session.engine = ExecutionEngine(db, optimizer_config=config)
+    session.register_all(query.preferences)
+    return session
+
+
+@pytest.mark.parametrize("name", list(CONFIGS), ids=lambda n: n.replace(" ", "-"))
+def test_heuristic_ablation(benchmark, imdb_db, name):
+    query = imdb_1(k=10, year=2000)
+    session = _session(imdb_db, CONFIGS[name])
+    result = run_benchmark(benchmark, lambda: session.execute(query.sql, strategy="gbu"))
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report(db) -> str:
+    query = imdb_1(k=10, year=2000)
+    rows = []
+    for name, config in CONFIGS.items():
+        session = _session(db, config)
+        m = measure(session, query.sql, "gbu", repeats=bench_repeats(), label=name)
+        rows.append([name, m.wall_ms, m.total_io])
+    return format_table(
+        ["configuration", "gbu wall (ms)", "simulated I/O"],
+        rows,
+        title="Ablation A — optimizer heuristics (IMDB-1, GBU)",
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_imdb
+
+    print(report(generate_imdb(scale=bench_scale(), seed=42)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fig. 10 (reconstructed) — query time vs number of preferences |λ|.
+
+Varies the number of preferences (1..12) attached to a fixed 4-relation
+IMDB join.  Expected shape: the plug-in rewrite baseline grows linearly
+with a steep slope (one full query per preference); FtP, GBU and the shared
+plug-in grow slowly (one extra pass / one extra cheap selection each).
+
+Run standalone:  python benchmarks/bench_fig10_num_preferences.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import DEFAULT_STRATEGIES, bench_repeats, format_table
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+from repro.workloads import preference_pool
+
+LAMBDAS = (1, 2, 4, 8, 12)
+
+
+def build_plan(db, num_preferences: int):
+    pool = preference_pool(db, num_preferences, selectivity=0.03)
+    return (
+        scan("MOVIES")
+        .natural_join(scan("GENRES"), db.catalog)
+        .natural_join(scan("DIRECTORS"), db.catalog)
+        .natural_join(scan("RATINGS"), db.catalog)
+        .prefer_all(pool)
+        .top(10, by="score")
+        .build()
+    )
+
+
+@pytest.mark.parametrize("num", LAMBDAS)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_lambda_sweep(benchmark, imdb_db, num, strategy):
+    plan = build_plan(imdb_db, num)
+    engine = ExecutionEngine(imdb_db)
+    result = run_benchmark(benchmark, lambda: engine.run(plan, strategy))
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report(db) -> str:
+    from repro.bench import measure
+    from repro.query.session import Session
+
+    session = Session(db)
+    rows = []
+    for num in LAMBDAS:
+        plan = build_plan(db, num)
+        cells = [num]
+        for strategy in DEFAULT_STRATEGIES:
+            m = measure(session, plan, strategy, repeats=bench_repeats())
+            cells.append(m.wall_ms)
+        rows.append(cells)
+    return format_table(
+        ["|λ|"] + [f"{s} (ms)" for s in DEFAULT_STRATEGIES],
+        rows,
+        title="Fig. 10 — query time vs number of preferences",
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_imdb
+
+    print(report(generate_imdb(scale=bench_scale(), seed=42)))
+
+
+if __name__ == "__main__":
+    main()

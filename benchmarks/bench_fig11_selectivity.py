@@ -1,0 +1,78 @@
+"""Fig. 11 (reconstructed) — query time vs preference selectivity.
+
+Varies the selectivity of the conditional parts (0.01 .. 0.5) of two
+preferences over a fixed IMDB join.  Expected shape: the hybrid strategies'
+prefer-evaluation cost grows with selectivity (more score-relation entries
+to write and merge) while the plug-in baselines additionally re-materialize
+larger partial results.
+
+Run standalone:  python benchmarks/bench_fig11_selectivity.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import DEFAULT_STRATEGIES, bench_repeats, format_table, measure
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+from repro.workloads import equality_preference, range_preference
+
+SELECTIVITIES = (0.01, 0.05, 0.1, 0.25, 0.5)
+
+
+def build_plan(db, selectivity: float):
+    p_genre = equality_preference(
+        db, "GENRES", "genre", selectivity, score=0.8, confidence=0.9, name="p_genre"
+    )
+    p_year = range_preference(
+        db, "MOVIES", "year", selectivity, score=0.7, confidence=0.8, name="p_year"
+    )
+    return (
+        scan("MOVIES")
+        .prefer(p_year)
+        .natural_join(scan("GENRES").prefer(p_genre), db.catalog)
+        .natural_join(scan("DIRECTORS"), db.catalog)
+        .top(10, by="score")
+        .build()
+    )
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_selectivity_sweep(benchmark, imdb_db, selectivity, strategy):
+    plan = build_plan(imdb_db, selectivity)
+    engine = ExecutionEngine(imdb_db)
+    result = run_benchmark(benchmark, lambda: engine.run(plan, strategy))
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report(db) -> str:
+    from repro.query.session import Session
+
+    session = Session(db)
+    rows = []
+    for selectivity in SELECTIVITIES:
+        plan = build_plan(db, selectivity)
+        cells = [selectivity]
+        for strategy in DEFAULT_STRATEGIES:
+            m = measure(session, plan, strategy, repeats=bench_repeats())
+            cells.append(m.wall_ms)
+        rows.append(cells)
+    return format_table(
+        ["selectivity"] + [f"{s} (ms)" for s in DEFAULT_STRATEGIES],
+        rows,
+        title="Fig. 11 — query time vs preference selectivity",
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_imdb
+
+    print(report(generate_imdb(scale=bench_scale(), seed=42)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Fig. 12 (reconstructed) — query time vs number of joined relations |R|.
+
+Grows the IMDB join chain from 2 to 5 relations, with two fixed preferences
+attached.  Expected shape: all strategies grow with the join size; the
+plug-in rewrite baseline pays the full join once per preference, so its gap
+widens as |R| grows.
+
+Run standalone:  python benchmarks/bench_fig12_num_relations.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import DEFAULT_STRATEGIES, bench_repeats, format_table, measure
+from repro.core.preference import Preference
+from repro.engine.expressions import cmp, eq
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+
+CHAIN = ("MOVIES", "GENRES", "DIRECTORS", "RATINGS", "CAST")
+SIZES = (2, 3, 4, 5)
+
+
+def build_plan(db, num_relations: int):
+    preferences = [
+        Preference("pg", "GENRES", eq("genre", "Comedy"), 0.8, 0.9),
+        Preference("pm", "MOVIES", cmp("year", ">=", 2000), 0.7, 0.8),
+    ]
+    builder = scan(CHAIN[0]).prefer(preferences[1])
+    for name in CHAIN[1:num_relations]:
+        other = scan(name)
+        if name == "GENRES":
+            other = other.prefer(preferences[0])
+        builder = builder.natural_join(other, db.catalog)
+    return builder.top(10, by="score").build()
+
+
+@pytest.mark.parametrize("num", SIZES)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_relations_sweep(benchmark, imdb_db, num, strategy):
+    plan = build_plan(imdb_db, num)
+    engine = ExecutionEngine(imdb_db)
+    result = run_benchmark(benchmark, lambda: engine.run(plan, strategy))
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report(db) -> str:
+    from repro.query.session import Session
+
+    session = Session(db)
+    rows = []
+    for num in SIZES:
+        plan = build_plan(db, num)
+        cells = [num]
+        for strategy in DEFAULT_STRATEGIES:
+            m = measure(session, plan, strategy, repeats=bench_repeats())
+            cells.append(m.wall_ms)
+        rows.append(cells)
+    return format_table(
+        ["|R|"] + [f"{s} (ms)" for s in DEFAULT_STRATEGIES],
+        rows,
+        title="Fig. 12 — query time vs number of joined relations",
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_imdb
+
+    print(report(generate_imdb(scale=bench_scale(), seed=42)))
+
+
+if __name__ == "__main__":
+    main()

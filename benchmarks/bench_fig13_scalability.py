@@ -1,0 +1,67 @@
+"""Fig. 13 (reconstructed) — scalability with database size.
+
+Runs IMDB-1 on databases generated at increasing scale factors.  Expected
+shape: near-linear growth for every strategy, with plugin-rma on the
+steepest slope (it repeats the whole query per preference).
+
+Run standalone:  python benchmarks/bench_fig13_scalability.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import DEFAULT_STRATEGIES, bench_repeats, bench_scale, format_table, measure
+from repro.workloads import generate_imdb, imdb_1
+
+#: Multipliers applied to the base benchmark scale.
+FACTORS = (1, 2, 4, 8)
+
+_DB_CACHE: dict[float, object] = {}
+
+
+def database_at(factor: int):
+    scale = bench_scale() * factor
+    if scale not in _DB_CACHE:
+        _DB_CACHE[scale] = generate_imdb(scale=scale, seed=42)
+    return _DB_CACHE[scale]
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("strategy", ("ftp", "gbu", "plugin-rma"))
+def test_scalability(benchmark, factor, strategy):
+    db = database_at(factor)
+    query = imdb_1(k=10, year=2000)
+    session = query.session(db)
+    result = run_benchmark(
+        benchmark, lambda: session.execute(query.sql, strategy=strategy)
+    )
+    benchmark.extra_info["movies"] = len(db.table("MOVIES"))
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report() -> str:
+    rows = []
+    query = imdb_1(k=10, year=2000)
+    for factor in FACTORS:
+        db = database_at(factor)
+        session = query.session(db)
+        cells = [f"×{factor} ({len(db.table('MOVIES'))} movies)"]
+        for strategy in DEFAULT_STRATEGIES:
+            m = measure(session, query.sql, strategy, repeats=bench_repeats())
+            cells.append(m.wall_ms)
+        rows.append(cells)
+    return format_table(
+        ["database size"] + [f"{s} (ms)" for s in DEFAULT_STRATEGIES],
+        rows,
+        title="Fig. 13 — scalability with database size (IMDB-1)",
+    )
+
+
+def main() -> None:
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fig. 9 (reconstructed) — total query time per workload query and strategy.
+
+The headline comparison of §VII: the hybrid strategies (FtP, GBU) against
+the two plug-in implementations, on all six workload queries.  Expected
+shape: plugin-rma is the slowest by a clear factor (one full query per
+preference); FtP/GBU and plugin-shared are close, with the hybrids ahead.
+
+Run standalone:  python benchmarks/bench_fig9_strategies.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import DEFAULT_STRATEGIES, bench_repeats, compare_strategies, matrix_table
+from repro.workloads import all_queries
+
+QUERIES = all_queries()
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.name)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_strategy(benchmark, databases, query, strategy):
+    session = query.session(databases[query.dataset])
+    result = run_benchmark(
+        benchmark, lambda: session.execute(query.sql, strategy=strategy)
+    )
+    benchmark.extra_info["rows"] = result.stats.rows
+    benchmark.extra_info["total_io"] = result.stats.cost.get("total_io", 0)
+
+
+def report(databases) -> str:
+    measurements = []
+    for query in QUERIES:
+        measurements.extend(
+            compare_strategies(
+                databases[query.dataset], query, repeats=bench_repeats()
+            )
+        )
+    wall = matrix_table(
+        measurements,
+        metric="wall_ms",
+        title="Fig. 9 — total query processing time (median, ms)",
+    )
+    io = matrix_table(
+        measurements,
+        metric="total_io",
+        title="Fig. 9 (companion) — simulated page I/O",
+    )
+    return wall + "\n\n" + io
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_dblp, generate_imdb
+
+    databases = {
+        "imdb": generate_imdb(scale=bench_scale(), seed=42),
+        "dblp": generate_dblp(scale=bench_scale(), seed=42),
+    }
+    print(report(databases))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Table I — sizes of basic tables (IMDB and DBLP).
+
+The paper reports the row counts of its two data sets; our generators
+reproduce the same table-size *ratios* at a configurable scale.  The
+benchmark measures generation cost; ``main()`` prints the scaled counts next
+to the paper's numbers.
+
+Run standalone:  python benchmarks/bench_table1_datasets.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, format_table
+from repro.workloads import generate_dblp, generate_imdb
+from repro.workloads.dblp import TABLE1_SIZES as DBLP_SIZES
+from repro.workloads.imdb import TABLE1_SIZES as IMDB_SIZES
+
+
+def test_generate_imdb(benchmark):
+    db = benchmark.pedantic(
+        lambda: generate_imdb(scale=bench_scale(), seed=1),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(db.table("MOVIES")) > 0
+    benchmark.extra_info["movies"] = len(db.table("MOVIES"))
+
+
+def test_generate_dblp(benchmark):
+    db = benchmark.pedantic(
+        lambda: generate_dblp(scale=bench_scale(), seed=1),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(db.table("PUBLICATIONS")) > 0
+    benchmark.extra_info["publications"] = len(db.table("PUBLICATIONS"))
+
+
+def report(scale: float | None = None) -> str:
+    scale = scale if scale is not None else bench_scale()
+    imdb = generate_imdb(scale=scale, seed=1, build_indexes=False, analyze=False)
+    dblp = generate_dblp(scale=scale, seed=1, build_indexes=False, analyze=False)
+    rows = []
+    for table, full in sorted(IMDB_SIZES.items()):
+        rows.append(["IMDB", table, full, len(imdb.table(table))])
+    for table, full in sorted(DBLP_SIZES.items()):
+        rows.append(["DBLP", table, full, len(dblp.table(table))])
+    return format_table(
+        ["dataset", "table", "paper (scale 1.0)", f"generated (scale {scale:g})"],
+        rows,
+        title="Table I — sizes of basic tables",
+    )
+
+
+def main() -> None:
+    print(report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Table II — properties of the workload queries.
+
+The paper characterizes each of its six queries by result size N, number of
+joined relations |R|, number of preferences |λ| and the split P/NP of
+relations with vs without preferences.  ``main()`` prints the same table for
+our reconstructed workload; the benchmarks time each query once under GBU.
+
+Run standalone:  python benchmarks/bench_table2_workload.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_benchmark
+from repro.bench import format_table, table2_properties
+from repro.workloads import all_queries
+
+QUERIES = all_queries()
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=lambda q: q.name)
+def test_query_properties(benchmark, databases, query):
+    session = query.session(databases[query.dataset])
+    result = run_benchmark(benchmark, lambda: session.execute(query.sql, strategy="gbu"))
+    properties = table2_properties(databases[query.dataset], query)
+    benchmark.extra_info.update(properties)
+    assert result.stats.rows == properties["N"]
+
+
+def report(databases) -> str:
+    rows = []
+    for query in QUERIES:
+        p = table2_properties(databases[query.dataset], query)
+        rows.append([p["query"], p["N"], p["|R|"], p["|λ|"], p["P/NP"]])
+    return format_table(
+        ["query", "N", "|R|", "|λ|", "P/NP"],
+        rows,
+        title="Table II — workload query properties",
+    )
+
+
+def main() -> None:
+    from repro.bench import bench_scale
+    from repro.workloads import generate_dblp, generate_imdb
+
+    databases = {
+        "imdb": generate_imdb(scale=bench_scale(), seed=42),
+        "dblp": generate_dblp(scale=bench_scale(), seed=42),
+    }
+    print(report(databases))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Dataset scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (default 0.002 ≈ 1/500 of the paper's Table I sizes) and the
+number of timed repetitions by ``REPRO_BENCH_REPEATS``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale
+from repro.workloads import generate_dblp, generate_imdb
+
+
+@pytest.fixture(scope="session")
+def imdb_db():
+    return generate_imdb(scale=bench_scale(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def dblp_db():
+    return generate_dblp(scale=bench_scale(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def databases(imdb_db, dblp_db):
+    return {"imdb": imdb_db, "dblp": dblp_db}
+
+
+def run_benchmark(benchmark, fn):
+    """Bounded pedantic run: 1 warm-up, 3 timed rounds."""
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)

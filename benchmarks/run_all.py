@@ -1,0 +1,79 @@
+"""Regenerate every experiment report into ``results/``.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale 0.002] [--repeats 3]
+
+Each report is also printed as it completes.  This is the driver behind the
+tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import pathlib
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+REPORTS = [
+    "bench_table1_datasets",
+    "bench_table2_workload",
+    "bench_fig7_optimizer",
+    "bench_fig9_strategies",
+    "bench_fig10_num_preferences",
+    "bench_fig11_selectivity",
+    "bench_fig12_num_relations",
+    "bench_fig13_scalability",
+    "bench_fig14_bu_vs_gbu",
+    "bench_ablation_heuristics",
+    "bench_ablation_aggregates",
+    "bench_ablation_access_paths",
+    "bench_extension_outer_membership",
+]
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, HERE / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float)
+    parser.add_argument("--repeats", type=int)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.repeats is not None:
+        os.environ["REPRO_BENCH_REPEATS"] = str(args.repeats)
+
+    sys.path.insert(0, str(HERE))  # reports import the shared conftest helpers
+    os.makedirs(args.out, exist_ok=True)
+    from contextlib import redirect_stdout
+    import io
+
+    for name in REPORTS:
+        started = time.perf_counter()
+        module = load(name)
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        text = buffer.getvalue()
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        elapsed = time.perf_counter() - started
+        print(f"### {name}  ({elapsed:.1f}s → {path})")
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Preference-aware bibliography search over a synthetic DBLP database.
+
+A researcher's assistant: rank publications by preferred venues, recency and
+citation evidence — including a *membership* preference ("cited publications
+are preferred", the paper's p7 flavour) and a confidence threshold to keep
+only well-supported hits.
+
+Run:  python examples/dblp_search.py
+"""
+
+from repro import InList, Preference, col, recency_score
+from repro.engine.expressions import TRUE
+from repro.query import Session
+from repro.workloads import generate_dblp
+
+
+def main() -> None:
+    print("Generating a synthetic DBLP database (1/500 scale)...")
+    db = generate_dblp(scale=0.002, seed=21)
+    for name in db.catalog.table_names():
+        print(f"  {name:<13} {len(db.table(name)):>8} rows")
+    print()
+
+    session = Session(db)
+    session.register_all(
+        [
+            # Explicitly stated: favourite database venues (confidence 1).
+            Preference(
+                "fav_venues",
+                "CONFERENCES",
+                InList(col("name"), ["SIGMOD", "VLDB", "ICDE"]),
+                0.9,
+                1.0,
+            ),
+            # Learnt from reading history: recent papers preferred.
+            Preference(
+                "recent", "CONFERENCES", TRUE, recency_score("year", 2011), 0.7
+            ),
+            # Membership: publications with at least one citation.
+            Preference.membership(
+                ("PUBLICATIONS", "CITATIONS"), score=1.0, confidence=0.8, name="cited"
+            ),
+        ]
+    )
+
+    print("Top conference papers by venue + recency preferences:")
+    rows = session.rows(
+        """
+        SELECT title, CONFERENCES.name, year FROM PUBLICATIONS
+          NATURAL JOIN CONFERENCES
+        WHERE year >= 1995
+        PREFERRING fav_venues, recent
+        TOP 8 BY score
+        """
+    )
+    for title, venue, year, score, conf in rows:
+        print(f"  {title:<18} {venue:<8} {year}  score={score:.3f} conf={conf:.2f}")
+    print()
+
+    print("Cited conference papers (membership preference), most confident first:")
+    rows = session.rows(
+        """
+        SELECT title, CONFERENCES.name FROM PUBLICATIONS
+          NATURAL JOIN CONFERENCES
+          JOIN CITATIONS ON PUBLICATIONS.p_id = CITATIONS.p2_id
+        WHERE conf >= 1.5
+        PREFERRING fav_venues, cited
+        TOP 8 BY conf
+        """
+    )
+    for title, venue, score, conf in rows:
+        print(f"  {title:<18} {venue:<8} score={score:.3f} conf={conf:.2f}")
+    print()
+
+    # Inline preferences: no registration needed.
+    print("Journal articles with an inline venue preference:")
+    rows = session.rows(
+        """
+        SELECT title, JOURNALS.name, year FROM PUBLICATIONS
+          NATURAL JOIN JOURNALS
+        PREFERRING (JOURNALS.name = 'TKDE') SCORE 0.9 CONFIDENCE 0.8 ON JOURNALS,
+                   (year > 2000) SCORE year / 2011 CONFIDENCE 0.6 ON JOURNALS
+        TOP 5 BY score
+        """
+    )
+    for title, journal, year, score, conf in rows:
+        print(f"  {title:<18} {journal:<8} {year}  score={score:.3f} conf={conf:.2f}")
+
+
+if __name__ == "__main__":
+    main()

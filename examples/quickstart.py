@@ -1,0 +1,120 @@
+"""Quickstart: a preference-aware movie database in ~60 lines.
+
+Builds the paper's running example (the small movie database of Fig. 3),
+defines preferences along the three dimensions of the model — conditional
+part, scoring part, confidence — and runs a preferential top-k query both
+through the fluent plan builder and through the SQL dialect.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Database,
+    DataType,
+    ExecutionEngine,
+    Preference,
+    cmp,
+    eq,
+    explain,
+    recency_score,
+    scan,
+)
+from repro.query import Session
+
+
+def build_database() -> Database:
+    db = Database()
+    db.create_table(
+        "MOVIES",
+        [
+            ("m_id", DataType.INT),
+            ("title", DataType.TEXT),
+            ("year", DataType.INT),
+            ("duration", DataType.INT),
+            ("d_id", DataType.INT),
+        ],
+        primary_key=["m_id"],
+    )
+    db.create_table(
+        "DIRECTORS",
+        [("d_id", DataType.INT), ("director", DataType.TEXT)],
+        primary_key=["d_id"],
+    )
+    db.create_table(
+        "GENRES",
+        [("m_id", DataType.INT), ("genre", DataType.TEXT)],
+        primary_key=["m_id", "genre"],
+    )
+    db.insert_many(
+        "MOVIES",
+        [
+            (1, "Gran Torino", 2008, 116, 1),
+            (2, "Wall Street", 2010, 133, 3),
+            (3, "Million Dollar Baby", 2004, 132, 1),
+            (4, "Match Point", 2005, 124, 2),
+            (5, "Scoop", 2006, 96, 2),
+        ],
+    )
+    db.insert_many("DIRECTORS", [(1, "C. Eastwood"), (2, "W. Allen"), (3, "O. Stone")])
+    db.insert_many(
+        "GENRES",
+        [(1, "Drama"), (2, "Drama"), (3, "Drama"), (4, "Comedy"), (4, "Drama"), (5, "Comedy")],
+    )
+    db.analyze()  # collect optimizer statistics
+    return db
+
+
+def main() -> None:
+    db = build_database()
+
+    # Alice's preferences: (conditional part, scoring part, confidence).
+    loves_comedies = Preference("p1", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+    favourite_director = Preference("p2", "DIRECTORS", eq("d_id", 1), 0.9, 0.8)
+    likes_recent = Preference(
+        "p3", "MOVIES", cmp("year", ">=", 2000), recency_score("year", 2011), 0.7
+    )
+
+    # --- Plan-builder API ----------------------------------------------------
+    plan = (
+        scan("MOVIES")
+        .prefer(likes_recent)
+        .natural_join(scan("GENRES").prefer(loves_comedies), db.catalog)
+        .natural_join(scan("DIRECTORS").prefer(favourite_director), db.catalog)
+        .project(["title", "director", "genre"])
+        .top(3, by="score")
+        .build()
+    )
+
+    engine = ExecutionEngine(db)
+    result = engine.run(plan, strategy="gbu")
+
+    print("== Optimized extended query plan (GBU) ==")
+    print(explain(result.executed_plan))
+    print()
+    print("== Top 3 movies for Alice ==")
+    for row, score, conf in result.presented().triples():
+        print(f"  {row}  score={score:.3f}  conf={conf:.2f}")
+    print()
+    print("== Execution statistics ==")
+    print(" ", result.stats.summary())
+    print()
+
+    # --- SQL API ---------------------------------------------------------------
+    session = Session(db)
+    session.register_all([loves_comedies, favourite_director, likes_recent])
+    rows = session.rows(
+        """
+        SELECT title, director FROM MOVIES
+          NATURAL JOIN GENRES
+          NATURAL JOIN DIRECTORS
+        PREFERRING p1, p2, p3
+        TOP 3 BY score
+        """
+    )
+    print("== Same query through the SQL dialect ==")
+    for row in rows:
+        print(" ", row)
+
+
+if __name__ == "__main__":
+    main()

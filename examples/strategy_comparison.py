@@ -1,0 +1,47 @@
+"""Compare the execution strategies on one workload query (a mini Fig. 9).
+
+Runs IMDB-1 (the paper's Q1) under every strategy — the hybrid FtP and GBU,
+the plug-in baselines, BU and the reference interpreter — and prints wall
+time, simulated page I/O and result size, plus the optimized plan GBU ran.
+
+Run:  python examples/strategy_comparison.py [scale]
+"""
+
+import sys
+
+from repro import explain
+from repro.bench import format_table, measure
+from repro.pexec.engine import STRATEGIES
+from repro.workloads import generate_imdb, imdb_1
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.005
+    print(f"Generating a synthetic IMDB database (scale={scale})...")
+    db = generate_imdb(scale=scale, seed=7)
+
+    query = imdb_1(k=10, year=2000)
+    session = query.session(db)
+
+    rows = []
+    for strategy in STRATEGIES:
+        m = measure(session, query.sql, strategy, repeats=3, label=query.name)
+        rows.append([strategy, m.wall_ms, m.total_io, m.rows])
+
+    print()
+    print(
+        format_table(
+            ["strategy", "median wall (ms)", "simulated I/O (pages)", "rows"],
+            rows,
+            title=f"{query.name}: {query.description}",
+        )
+    )
+
+    print()
+    print("Optimized plan executed by GBU:")
+    result = session.execute(query.sql, strategy="gbu")
+    print(explain(result.executed_plan))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harness: measurement, strategy comparison and text reports."""
+
+from .harness import (
+    DEFAULT_STRATEGIES,
+    Measurement,
+    bench_repeats,
+    bench_scale,
+    compare_strategies,
+    matrix_table,
+    measure,
+    table2_properties,
+)
+from .reporting import format_table, write_report
+
+__all__ = [
+    "DEFAULT_STRATEGIES",
+    "Measurement",
+    "measure",
+    "compare_strategies",
+    "matrix_table",
+    "table2_properties",
+    "bench_scale",
+    "bench_repeats",
+    "format_table",
+    "write_report",
+]

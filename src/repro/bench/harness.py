@@ -1,0 +1,131 @@
+"""Experiment harness: timed strategy comparisons over workload queries.
+
+Measurement protocol mirrors §VII: each (query, strategy) cell is executed
+with a warm-up discarded run, then ``repeats`` timed runs; the median wall
+time is reported together with the simulated-I/O counters of one run (the
+cold-cache analogue: counters are reset before each run, and our engine has
+no buffer cache to warm).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..engine.database import Database
+from ..plan.nodes import PlanNode
+from ..query.session import Session
+from ..workloads.queries import WorkloadQuery
+from .reporting import format_table
+
+#: Default strategies compared in the headline experiments.
+DEFAULT_STRATEGIES = ("ftp", "gbu", "plugin-shared", "plugin-rma")
+
+
+def bench_scale(default: float = 0.002) -> float:
+    """Dataset scale for benchmarks, overridable via REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_repeats(default: int = 3) -> int:
+    """Timed repetitions per cell, overridable via REPRO_BENCH_REPEATS."""
+    return int(os.environ.get("REPRO_BENCH_REPEATS", default))
+
+
+@dataclass
+class Measurement:
+    """One (query, strategy) cell."""
+
+    query: str
+    strategy: str
+    wall_ms: float
+    total_io: int
+    rows: int
+    runs: list[float] = field(default_factory=list)
+
+
+def measure(
+    session: Session,
+    query: "str | PlanNode",
+    strategy: str,
+    repeats: int = 3,
+    label: str = "",
+) -> Measurement:
+    """Median-of-*repeats* timing of one query under one strategy."""
+    session.execute(query, strategy=strategy)  # warm-up (compilation, imports)
+    times: list[float] = []
+    last = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        last = session.execute(query, strategy=strategy)
+        times.append((time.perf_counter() - started) * 1e3)
+    assert last is not None
+    return Measurement(
+        query=label or (query if isinstance(query, str) else "plan"),
+        strategy=strategy,
+        wall_ms=statistics.median(times),
+        total_io=last.stats.cost.get("total_io", 0),
+        rows=last.stats.rows,
+        runs=times,
+    )
+
+
+def compare_strategies(
+    db: Database,
+    workload_query: WorkloadQuery,
+    strategies=DEFAULT_STRATEGIES,
+    repeats: int = 3,
+) -> list[Measurement]:
+    """All strategy cells for one workload query."""
+    session = workload_query.session(db)
+    return [
+        measure(session, workload_query.sql, strategy, repeats, label=workload_query.name)
+        for strategy in strategies
+    ]
+
+
+def matrix_table(
+    measurements: list[Measurement],
+    row_key: str = "query",
+    metric: str = "wall_ms",
+    title: str = "",
+) -> str:
+    """Pivot measurements into a text table: rows × strategies."""
+    strategies: list[str] = []
+    rows: dict[str, dict[str, float]] = {}
+    for m in measurements:
+        key = getattr(m, row_key)
+        if m.strategy not in strategies:
+            strategies.append(m.strategy)
+        rows.setdefault(str(key), {})[m.strategy] = getattr(m, metric)
+    headers = [row_key] + [f"{s} ({_unit(metric)})" for s in strategies]
+    body = [
+        [key] + [cells.get(s, "-") for s in strategies] for key, cells in rows.items()
+    ]
+    return format_table(headers, body, title)
+
+
+def _unit(metric: str) -> str:
+    return {"wall_ms": "ms", "total_io": "pages", "rows": "rows"}.get(metric, metric)
+
+
+def table2_properties(db: Database, workload_query: WorkloadQuery) -> dict:
+    """The Table II characterization of a query: N, |R|, |λ|, P/NP."""
+    session = workload_query.session(db)
+    compiled = session.compile(workload_query.sql)
+    plan = compiled.plan
+    relations = plan.relations()
+    preferred = set()
+    for preference in workload_query.preferences:
+        preferred |= set(preference.relations)
+    preferred &= relations
+    result = session.execute(compiled, strategy="gbu")
+    return {
+        "query": workload_query.name,
+        "N": result.stats.rows,
+        "|R|": len(relations),
+        "|λ|": workload_query.num_preferences,
+        "P/NP": f"{len(preferred)}/{len(relations) - len(preferred)}",
+    }

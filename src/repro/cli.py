@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — build the paper's example movie database, run a preferential
+  query under every strategy and print plans, results and statistics.
+* ``generate`` — write a synthetic IMDB or DBLP database to a directory
+  (see :mod:`repro.engine.persist` for the on-disk format).
+* ``query`` — run one preferential SQL statement against a saved database.
+* ``repl`` — interactive SQL loop against a saved or generated database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine.persist import load_database, save_database
+from .errors import ReproError
+from .query.session import Session
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preference-aware relational database (ICDE 2012 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the built-in movie demo")
+
+    generate = commands.add_parser("generate", help="generate a synthetic database")
+    generate.add_argument("--dataset", choices=("imdb", "dblp"), default="imdb")
+    generate.add_argument("--scale", type=float, default=0.001)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    query = commands.add_parser("query", help="run one SQL statement")
+    query.add_argument("--db", required=True, help="database directory")
+    query.add_argument("--strategy", default="gbu")
+    query.add_argument("--explain", action="store_true", help="print plans too")
+    query.add_argument("--limit", type=int, default=20, help="rows to print")
+    query.add_argument("sql", help="preferential SQL text")
+
+    repl = commands.add_parser("repl", help="interactive SQL loop")
+    repl.add_argument("--db", help="database directory (default: tiny IMDB)")
+    repl.add_argument("--strategy", default="gbu")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _demo()
+        if args.command == "generate":
+            return _generate(args)
+        if args.command == "query":
+            return _query(args)
+        if args.command == "repl":
+            return _repl(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+def _demo() -> int:
+    from .engine.database import Database
+    from .engine.types import DataType
+    from .core.preference import Preference
+    from .core.scoring import recency_score
+    from .engine.expressions import cmp, eq
+    from .pexec.engine import STRATEGIES
+
+    db = Database()
+    db.create_table(
+        "MOVIES",
+        [
+            ("m_id", DataType.INT),
+            ("title", DataType.TEXT),
+            ("year", DataType.INT),
+            ("d_id", DataType.INT),
+        ],
+        primary_key=["m_id"],
+    )
+    db.create_table(
+        "DIRECTORS",
+        [("d_id", DataType.INT), ("director", DataType.TEXT)],
+        primary_key=["d_id"],
+    )
+    db.insert_many(
+        "MOVIES",
+        [
+            (1, "Gran Torino", 2008, 1),
+            (2, "Wall Street", 2010, 3),
+            (3, "Million Dollar Baby", 2004, 1),
+            (4, "Match Point", 2005, 2),
+            (5, "Scoop", 2006, 2),
+        ],
+    )
+    db.insert_many("DIRECTORS", [(1, "C. Eastwood"), (2, "W. Allen"), (3, "O. Stone")])
+    db.analyze()
+
+    session = Session(db)
+    session.register(Preference("p2", "DIRECTORS", eq("d_id", 1), 0.9, 0.8))
+    session.register(
+        Preference("recent", "MOVIES", cmp("year", ">=", 2005), recency_score("year", 2011), 0.7)
+    )
+    sql = (
+        "SELECT title, director FROM MOVIES NATURAL JOIN DIRECTORS "
+        "PREFERRING p2, recent TOP 3 BY score"
+    )
+    print("demo query:")
+    print(" ", sql.strip())
+    print()
+    print(session.explain(sql))
+    print()
+    for strategy in STRATEGIES:
+        result = session.execute(sql, strategy=strategy)
+        print(f"-- {strategy}")
+        _print_result(session, result, limit=5)
+        print()
+    return 0
+
+
+def _generate(args) -> int:
+    from .workloads import generate_dblp, generate_imdb
+
+    generator = generate_imdb if args.dataset == "imdb" else generate_dblp
+    print(f"generating {args.dataset} at scale {args.scale} (seed {args.seed})...")
+    db = generator(scale=args.scale, seed=args.seed)
+    save_database(db, args.out)
+    for name in db.catalog.table_names():
+        print(f"  {name:<14} {len(db.table(name)):>9} rows")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _query(args) -> int:
+    db = load_database(args.db)
+    session = Session(db, strategy=args.strategy)
+    if args.explain:
+        print(session.explain(args.sql))
+        print()
+    result = session.execute(args.sql)
+    _print_result(session, result, args.limit)
+    return 0
+
+
+def _repl(args) -> int:
+    if args.db:
+        db = load_database(args.db)
+    else:
+        from .workloads import generate_imdb
+
+        print("no --db given: generating a tiny synthetic IMDB database...")
+        db = generate_imdb(scale=0.001, seed=42)
+    session = Session(db, strategy=args.strategy)
+    print("tables:", ", ".join(db.catalog.table_names()))
+    print("enter SQL (PREFERRING (...) SCORE ... supported), \\q to quit")
+    while True:
+        try:
+            line = input("repro> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line in ("\\q", "quit", "exit"):
+            break
+        try:
+            result = session.execute(line)
+            _print_result(session, result, limit=20)
+        except ReproError as err:
+            print(f"error: {err}")
+    return 0
+
+
+def _print_result(session: Session, result, limit: int) -> None:
+    presented = result.presented()
+    header = list(presented.schema.attribute_names) + ["score", "conf"]
+    print(" | ".join(header))
+    for index, (row, score, conf) in enumerate(presented.triples()):
+        if index >= limit:
+            print(f"... ({len(presented)} rows total)")
+            break
+        rendered = [str(v) for v in row]
+        rendered.append("⊥" if score is None else f"{score:.4f}")
+        rendered.append(f"{conf:.4f}")
+        print(" | ".join(rendered))
+    print(result.stats.summary())

@@ -1,0 +1,184 @@
+"""Aggregate functions ``F : ⟨S,C⟩ × ⟨S,C⟩ → ⟨S,C⟩`` (Definition 3).
+
+An aggregate function combines two score/confidence pairs into one.  The
+paper requires every F to be **associative** and **commutative** and to have
+``⟨⊥, 0⟩`` as **identity** — these laws are what make the prefer operator
+commutative (Property 4.3) and allow it to be pushed through binary operators
+(Property 4.4).  :func:`check_laws` verifies them empirically and backs the
+property-based tests.
+
+Built-in instances:
+
+* :class:`WeightedSum` — the paper's ``F_S``: the new score is the
+  confidence-weighted combination of the non-⊥ input scores
+  (``Σ C_k·S_k / Σ C_k``) and the new confidence is the **sum** of input
+  confidences (``Σ C_k``).  Summed confidences may exceed 1, which the paper
+  notes explicitly; the sum "captures how many preferences have been
+  satisfied" while the weighted score keeps low-confidence evidence from
+  dominating.  Note the score must be the *normalized* weighted combination:
+  the unnormalized ``Σ C_k·S_k`` would not be associative, contradicting the
+  paper's stated requirement, so F_S here carries the weighted mean.
+* :class:`MaxConfidence` — the paper's ``F_max``: the pair with the highest
+  confidence wins (deterministic tie-break on score keeps it commutative).
+* :class:`MinConfidence` — pessimistic dual of ``F_max``.
+
+Zero-confidence corner: a known score with confidence 0 carries no evidence.
+To keep the laws exact, F_S treats such pairs as dominated by any pair with
+positive confidence; among themselves the larger score survives.  Both rules
+are symmetric and associative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import PreferenceError
+from .scorepair import IDENTITY, ScorePair
+
+
+class AggregateFunction:
+    """Base class for aggregate functions over score/confidence pairs."""
+
+    #: Short name used in plan printouts and benchmark reports.
+    name = "abstract"
+
+    def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        raise NotImplementedError
+
+    def combine_many(self, pairs: Iterable[ScorePair]) -> ScorePair:
+        """Left fold of :meth:`combine` starting from the identity."""
+        out = IDENTITY
+        for p in pairs:
+            out = self.combine(out, p)
+        return out
+
+    def __repr__(self) -> str:
+        return f"F[{self.name}]"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class WeightedSum(AggregateFunction):
+    """``F_S``: ⟨Σ C_k·S_k / Σ C_k, Σ C_k⟩ over inputs with S_k ≠ ⊥."""
+
+    name = "F_S"
+
+    def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom:
+            return IDENTITY if b.is_bottom else b
+        if b.is_bottom:
+            return a
+        total_conf = a.conf + b.conf
+        if total_conf == 0.0:
+            # No evidence on either side: keep the larger score (associative).
+            return ScorePair(max(a.score, b.score), 0.0)
+        if a.conf == 0.0:
+            return b
+        if b.conf == 0.0:
+            return a
+        score = (a.conf * a.score + b.conf * b.score) / total_conf
+        return ScorePair(score, total_conf)
+
+
+class MaxConfidence(AggregateFunction):
+    """``F_max``: the input pair with the maximum confidence (Example 5).
+
+    Ties on confidence are broken by the larger score so the function stays
+    commutative (the paper's argmax leaves ties unspecified; any symmetric
+    rule works).
+    """
+
+    name = "F_max"
+
+    def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom:
+            return IDENTITY if b.is_bottom else b
+        if b.is_bottom:
+            return a
+        if (a.conf, a.score) >= (b.conf, b.score):
+            return a
+        return b
+
+
+class MinConfidence(AggregateFunction):
+    """Dual of ``F_max``: keep the least-confident known pair."""
+
+    name = "F_min"
+
+    def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom:
+            return IDENTITY if b.is_bottom else b
+        if b.is_bottom:
+            return a
+        if (a.conf, -(a.score or 0.0)) <= (b.conf, -(b.score or 0.0)):
+            return a
+        return b
+
+
+#: Default aggregate function, as assumed by the paper "for the sake of
+#: simplicity (and without loss of generality)".
+F_S = WeightedSum()
+F_MAX = MaxConfidence()
+F_MIN = MinConfidence()
+
+_REGISTRY: dict[str, AggregateFunction] = {f.name.lower(): f for f in (F_S, F_MAX, F_MIN)}
+_REGISTRY.update({"sum": F_S, "max": F_MAX, "min": F_MIN, "weighted": F_S})
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up a built-in aggregate function by name (``F_S``, ``max``...)."""
+    fn = _REGISTRY.get(name.lower())
+    if fn is None:
+        raise PreferenceError(f"unknown aggregate function {name!r}")
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Law checking (Definition 3 requirements)
+# ---------------------------------------------------------------------------
+
+
+def check_identity(fn: AggregateFunction, sample: ScorePair, tolerance: float = 1e-9) -> bool:
+    """``F(⟨⊥,0⟩, x) = x`` and ``F(x, ⟨⊥,0⟩) = x``."""
+    return fn.combine(IDENTITY, sample).approx_equal(sample, tolerance) and fn.combine(
+        sample, IDENTITY
+    ).approx_equal(sample, tolerance)
+
+
+def check_commutative(
+    fn: AggregateFunction, a: ScorePair, b: ScorePair, tolerance: float = 1e-9
+) -> bool:
+    return fn.combine(a, b).approx_equal(fn.combine(b, a), tolerance)
+
+
+def check_associative(
+    fn: AggregateFunction,
+    a: ScorePair,
+    b: ScorePair,
+    c: ScorePair,
+    tolerance: float = 1e-6,
+) -> bool:
+    left = fn.combine(fn.combine(a, b), c)
+    right = fn.combine(a, fn.combine(b, c))
+    return left.approx_equal(right, tolerance)
+
+
+def check_laws(
+    fn: AggregateFunction, samples: Iterable[ScorePair], tolerance: float = 1e-6
+) -> bool:
+    """Check identity/commutativity/associativity over all sample triples."""
+    pool = list(samples)
+    for a in pool:
+        if not check_identity(fn, a, tolerance):
+            return False
+        for b in pool:
+            if not check_commutative(fn, a, b, tolerance):
+                return False
+            for c in pool:
+                if not check_associative(fn, a, b, c, tolerance):
+                    return False
+    return True

@@ -1,0 +1,236 @@
+"""Extended relational algebra over p-relations (Section IV-B).
+
+Every standard operator is lifted to p-relations: unary operators preserve
+the score/confidence pair of each surviving tuple, binary operators combine
+the pairs of matching tuples through an aggregate function ``F``.  These
+functions are the library's *reference semantics* — deliberately direct
+implementations of the paper's definitions; the physical execution
+strategies in :mod:`repro.pexec` are tested against them.
+
+Set operations treat inputs as sets of tuples (duplicates within one input
+are first merged through ``F``), matching the paper's set-based relational
+model; projection keeps bag semantics like SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.expressions import Expr, is_true
+from ..engine.joinutil import split_equi_condition
+from ..engine.table import Row
+from ..errors import PlanError
+from .aggregates import F_S, AggregateFunction
+from .prelation import PRelation
+from .scorepair import ScorePair
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+def select(relation: PRelation, condition: Expr) -> PRelation:
+    """``σ_φ(R)``: keep tuples satisfying φ, pairs unchanged.
+
+    φ may reference the reserved ``score``/``conf`` attributes (used by
+    post-preference filters such as ``σ_{conf ≥ τ}``); those comparisons see
+    ⊥ as NULL, i.e. they are never satisfied by unknown scores.
+    """
+    if condition.references_score():
+        fn = condition.compile(relation.schema, with_score=True)
+        kept = [
+            (row, pair)
+            for row, pair in relation
+            if fn(row + (pair.score, pair.conf))
+        ]
+    else:
+        fn = condition.compile(relation.schema)
+        kept = [(row, pair) for row, pair in relation if fn(row)]
+    return PRelation(relation.schema, [r for r, _ in kept], [p for _, p in kept])
+
+
+def project(relation: PRelation, attrs: Sequence[str]) -> PRelation:
+    """``π_A(R)``: keep the listed attributes plus the score/conf pair."""
+    positions = [relation.schema.index_of(a) for a in attrs]
+    schema = relation.schema.project(attrs)
+    rows = [tuple(row[i] for i in positions) for row in relation.rows]
+    return PRelation(schema, rows, list(relation.pairs))
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+def join(
+    left: PRelation,
+    right: PRelation,
+    condition: Expr,
+    aggregate: AggregateFunction = F_S,
+) -> PRelation:
+    """``R ⋈_{φ,F} S``: concatenated matches carry ``F(pair_r, pair_s)``.
+
+    Equality conjuncts between the two sides are executed as a hash join;
+    any residual condition is applied to candidate pairs.  A condition of
+    TRUE yields the full product.
+    """
+    schema = left.schema.join(right.schema)
+    equi, residual = split_equi_condition(condition, left.schema, right.schema)
+    combine = aggregate.combine
+    rows: list[Row] = []
+    pairs: list[ScorePair] = []
+
+    if equi:
+        left_positions = [left.schema.index_of(a) for a, _ in equi]
+        right_positions = [right.schema.index_of(b) for _, b in equi]
+        buckets: dict[tuple, list[tuple[Row, ScorePair]]] = {}
+        for row, pair in right:
+            key = tuple(row[i] for i in right_positions)
+            buckets.setdefault(key, []).append((row, pair))
+        residual_fn = residual.compile(schema) if residual is not None else None
+        for row, pair in left:
+            key = tuple(row[i] for i in left_positions)
+            if any(part is None for part in key):
+                continue
+            for other_row, other_pair in buckets.get(key, ()):
+                combined_row = row + other_row
+                if residual_fn is not None and not residual_fn(combined_row):
+                    continue
+                rows.append(combined_row)
+                pairs.append(combine(pair, other_pair))
+    else:
+        fn = None if is_true(condition) else condition.compile(schema)
+        for row, pair in left:
+            for other_row, other_pair in right:
+                combined_row = row + other_row
+                if fn is not None and not fn(combined_row):
+                    continue
+                rows.append(combined_row)
+                pairs.append(combine(pair, other_pair))
+
+    return PRelation(schema, rows, pairs)
+
+
+def left_join(
+    left: PRelation,
+    right: PRelation,
+    condition: Expr,
+    aggregate: AggregateFunction = F_S,
+) -> PRelation:
+    """``R ⟕_{φ,F} S``: inner matches combine pairs through F; unmatched
+    R-tuples survive padded with NULLs, keeping their own pair.
+
+    Matching is tracked per left *occurrence* (not per value), so duplicate
+    left tuples with different pairs each get their own padded row.
+    """
+    schema = left.schema.join(right.schema)
+    equi, residual = split_equi_condition(condition, left.schema, right.schema)
+    combine = aggregate.combine
+    padding = (None,) * len(right.schema.columns)
+    rows: list[Row] = []
+    pairs: list[ScorePair] = []
+
+    if equi:
+        left_positions = [left.schema.index_of(a) for a, _ in equi]
+        right_positions = [right.schema.index_of(b) for _, b in equi]
+        buckets: dict[tuple, list[tuple[Row, ScorePair]]] = {}
+        for row, pair in right:
+            key = tuple(row[i] for i in right_positions)
+            buckets.setdefault(key, []).append((row, pair))
+        residual_fn = residual.compile(schema) if residual is not None else None
+        for row, pair in left:
+            key = tuple(row[i] for i in left_positions)
+            matched = False
+            if not any(part is None for part in key):
+                for other_row, other_pair in buckets.get(key, ()):
+                    combined_row = row + other_row
+                    if residual_fn is not None and not residual_fn(combined_row):
+                        continue
+                    matched = True
+                    rows.append(combined_row)
+                    pairs.append(combine(pair, other_pair))
+            if not matched:
+                rows.append(row + padding)
+                pairs.append(pair)
+    else:
+        fn = None if is_true(condition) else condition.compile(schema)
+        for row, pair in left:
+            matched = False
+            for other_row, other_pair in right:
+                combined_row = row + other_row
+                if fn is not None and not fn(combined_row):
+                    continue
+                matched = True
+                rows.append(combined_row)
+                pairs.append(combine(pair, other_pair))
+            if not matched:
+                rows.append(row + padding)
+                pairs.append(pair)
+
+    return PRelation(schema, rows, pairs)
+
+
+def product(left: PRelation, right: PRelation, aggregate: AggregateFunction = F_S) -> PRelation:
+    """``R × S`` — a join with condition TRUE."""
+    from ..engine.expressions import TRUE
+
+    return join(left, right, TRUE, aggregate)
+
+
+
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+
+
+def _check_compatible(left: PRelation, right: PRelation, op: str) -> None:
+    if not left.schema.union_compatible(right.schema):
+        raise PlanError(f"{op}: schemas are not union-compatible")
+
+
+def _collapse(relation: PRelation, aggregate: AggregateFunction) -> dict[Row, ScorePair]:
+    """Merge duplicate rows within one input through F (set semantics)."""
+    out: dict[Row, ScorePair] = {}
+    for row, pair in relation:
+        if row in out:
+            out[row] = aggregate.combine(out[row], pair)
+        else:
+            out[row] = pair
+    return out
+
+
+def union(left: PRelation, right: PRelation, aggregate: AggregateFunction = F_S) -> PRelation:
+    """``R ∪_F S``: tuples in either input; pairs of common tuples combined."""
+    _check_compatible(left, right, "union")
+    merged = _collapse(left, aggregate)
+    for row, pair in _collapse(right, aggregate).items():
+        if row in merged:
+            merged[row] = aggregate.combine(merged[row], pair)
+        else:
+            merged[row] = pair
+    return PRelation(left.schema, list(merged.keys()), list(merged.values()))
+
+
+def intersect(left: PRelation, right: PRelation, aggregate: AggregateFunction = F_S) -> PRelation:
+    """``R ∩_F S``: tuples in both inputs, pairs combined through F."""
+    _check_compatible(left, right, "intersect")
+    left_map = _collapse(left, aggregate)
+    right_map = _collapse(right, aggregate)
+    rows: list[Row] = []
+    pairs: list[ScorePair] = []
+    for row, pair in left_map.items():
+        if row in right_map:
+            rows.append(row)
+            pairs.append(aggregate.combine(pair, right_map[row]))
+    return PRelation(left.schema, rows, pairs)
+
+
+def difference(left: PRelation, right: PRelation, aggregate: AggregateFunction = F_S) -> PRelation:
+    """``R − S``: tuples of R absent from S, keeping R's pairs."""
+    _check_compatible(left, right, "difference")
+    right_rows = set(right.rows)
+    left_map = _collapse(left, aggregate)
+    rows = [row for row in left_map if row not in right_rows]
+    return PRelation(left.schema, rows, [left_map[row] for row in rows])

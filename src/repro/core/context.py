@@ -1,0 +1,97 @@
+"""Context-dependent preferences (the [26]-style flavour of Section II).
+
+The paper distinguishes context that is *data-dependent* (expressible in the
+conditional part σ_φ, e.g. "in the context of comedies, prefer recent
+years" — our multi-relational preferences cover that) from context that is
+*ephemeral and external to the database* ("I like comedies when I am alone
+and horror films with friends").  This module covers the latter: a
+:class:`ContextualPreference` pairs a preference with a predicate over an
+external context, and is only *active* — i.e. included in a query — when the
+session's current context satisfies it.
+
+A context is a plain mapping (``{"company": "alone", "daytime": "evening"}``);
+the activation condition is either such a mapping (every listed key must
+match; a tuple/set/list value means "any of these") or an arbitrary
+predicate callable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import PreferenceError
+from .preference import Preference
+
+Context = Mapping[str, Any]
+ContextPredicate = Callable[[Context], bool]
+
+
+class ContextualPreference:
+    """A preference that applies only in matching external contexts."""
+
+    __slots__ = ("preference", "when", "_predicate")
+
+    def __init__(
+        self,
+        preference: Preference,
+        when: "Mapping[str, Any] | ContextPredicate",
+    ):
+        self.preference = preference
+        self.when = when
+        if callable(when):
+            self._predicate: ContextPredicate = when
+        elif isinstance(when, Mapping):
+            self._predicate = _mapping_predicate(when)
+        else:
+            raise PreferenceError(
+                "ContextualPreference needs a mapping or a predicate, "
+                f"got {when!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.preference.name
+
+    def is_active(self, context: Context) -> bool:
+        """True when the preference applies under *context*."""
+        return bool(self._predicate(context))
+
+    def __repr__(self) -> str:
+        return f"ContextualPreference({self.preference.name}, when={self.when!r})"
+
+
+def _mapping_predicate(requirements: Mapping[str, Any]) -> ContextPredicate:
+    frozen = dict(requirements)
+
+    def predicate(context: Context) -> bool:
+        for key, expected in frozen.items():
+            if key not in context:
+                return False
+            actual = context[key]
+            if isinstance(expected, (tuple, set, frozenset, list)):
+                if actual not in expected:
+                    return False
+            elif actual != expected:
+                return False
+        return True
+
+    return predicate
+
+
+def active_preferences(
+    candidates: Iterable["Preference | ContextualPreference"],
+    context: Context,
+) -> list[Preference]:
+    """Resolve a mixed list against *context*.
+
+    Plain preferences are always active; contextual ones only when their
+    predicate holds.  The relative order is preserved.
+    """
+    out: list[Preference] = []
+    for candidate in candidates:
+        if isinstance(candidate, ContextualPreference):
+            if candidate.is_active(context):
+                out.append(candidate.preference)
+        else:
+            out.append(candidate)
+    return out

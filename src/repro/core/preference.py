@@ -1,0 +1,202 @@
+"""Preferences — the triple ``(σ_φ, S, C)`` of Definition 1.
+
+A preference on relation(s) ``R`` consists of:
+
+* the **conditional** part ``σ_φ`` — a boolean expression selecting the
+  affected tuples (a *soft* constraint: it never disqualifies tuples, it only
+  decides who gets scored);
+* the **scoring** part ``S`` — a :class:`~repro.core.scoring.ScoringFunction`
+  mapping affected tuples to ``[0, 1] ∪ {⊥}``;
+* the **confidence** ``C ∈ [0, 1]`` — the credibility of the preference
+  (1 for explicitly stated preferences, lower for learnt ones).
+
+Atomic preferences target exactly one tuple (a user rating — conditional
+part is a primary-key equality, confidence 1).  Generic preferences are
+set-oriented and may span product relations (multi-relational, e.g. the
+paper's p6 on ``MOVIES × GENRES``) or express membership (p7: any movie
+having a join partner in ``AWARDS``, conditional part ``σ_true``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..engine.expressions import TRUE, Attr, Expr, IsNull, eq, is_true, map_attributes
+from ..errors import PreferenceError
+from .scoring import ConstantScore, ScoringFunction
+
+
+class Preference:
+    """An immutable preference triple bound to one or more relations."""
+
+    __slots__ = ("name", "relations", "condition", "scoring", "confidence")
+
+    def __init__(
+        self,
+        name: str,
+        relations: Sequence[str] | str,
+        condition: Expr,
+        scoring: ScoringFunction | float,
+        confidence: float,
+    ):
+        if isinstance(relations, str):
+            relations = (relations,)
+        if not relations:
+            raise PreferenceError("a preference must name at least one relation")
+        if not 0.0 <= confidence <= 1.0:
+            raise PreferenceError(
+                f"preference confidence must lie in [0, 1], got {confidence}"
+            )
+        if isinstance(scoring, (int, float)):
+            scoring = ConstantScore(float(scoring))
+        self.name = name
+        self.relations: tuple[str, ...] = tuple(r.upper() for r in relations)
+        self.condition = condition
+        self.scoring = scoring
+        self.confidence = float(confidence)
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_multi_relational(self) -> bool:
+        """Defined on a product of relations (e.g. p6 on MOVIES × GENRES)."""
+        return len(self.relations) > 1
+
+    @property
+    def is_membership(self) -> bool:
+        """A membership preference: σ_true over a product relation (p7)."""
+        return self.is_multi_relational and is_true(self.condition)
+
+    # -- introspection --------------------------------------------------------
+
+    def attributes(self) -> set[str]:
+        """All attributes used by either the conditional or the scoring part.
+
+        This is the set the query parser must project through the plan and
+        the set Property 4.4 inspects when pushing the prefer operator
+        through a binary operator.
+        """
+        return self.condition.attributes() | self.scoring.attributes()
+
+    def condition_attributes(self) -> set[str]:
+        return self.condition.attributes()
+
+    def qualify(self, catalog) -> "Preference":
+        """A copy with bare attributes qualified against the declared relations.
+
+        Evaluating a single-relation preference on a join result can make a
+        bare attribute like ``d_id`` ambiguous; qualification resolves it to
+        ``DIRECTORS.d_id`` up front.  Attributes that are already qualified,
+        unknown, or present in several of the declared relations are left
+        untouched.
+        """
+        schemas = []
+        for name in self.relations:
+            if catalog.has_table(name):
+                schemas.append(catalog.table(name).schema)
+
+        def qualify_attr(attr: str) -> str:
+            if "." in attr:
+                return attr
+            owners = [s for s in schemas if s.has(attr)]
+            if len(owners) != 1:
+                return attr
+            return owners[0].column(attr).qualified_name
+
+        condition = map_attributes(self.condition, qualify_attr)
+        scoring = self.scoring.map_attributes(qualify_attr)
+        if condition == self.condition and scoring == self.scoring:
+            return self
+        return Preference(self.name, self.relations, condition, scoring, self.confidence)
+
+    def describe(self) -> str:
+        relations = "×".join(self.relations)
+        return (
+            f"{self.name}[{relations}] = (σ{{{self.condition!r}}}, "
+            f"{self.scoring.describe()}, {self.confidence:g})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Preference({self.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Preference):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.relations == other.relations
+            and self.condition == other.condition
+            and self.scoring == other.scoring
+            and self.confidence == other.confidence
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.relations, self.condition, self.scoring, self.confidence))
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def atomic(
+        cls,
+        relation: str,
+        key_attr: str,
+        key_value: Any,
+        score: float,
+        name: str | None = None,
+        confidence: float = 1.0,
+    ) -> "Preference":
+        """An atomic preference for exactly one tuple (a user rating).
+
+        Example 1: ``p1[MOVIES] = (σ_{m_id=m3}, 0.8, 1)``.
+        """
+        return cls(
+            name or f"atomic({relation}.{key_attr}={key_value!r})",
+            relation,
+            eq(key_attr, key_value),
+            ConstantScore(score),
+            confidence,
+        )
+
+    @classmethod
+    def membership_outer(
+        cls,
+        relations: Sequence[str],
+        partner_key: str,
+        score: float = 1.0,
+        confidence: float = 1.0,
+        name: str | None = None,
+    ) -> "Preference":
+        """A membership preference for use over a LEFT OUTER join.
+
+        Over an inner join every result tuple has a partner, so p7's σ_true
+        works; over ``R ⟕ S`` the condition must reject the NULL-padded rows
+        instead: ``σ_{S.key IS NOT NULL}``.  *partner_key* names a key
+        attribute of the joined (nullable) relation.
+        """
+        return cls(
+            name or f"member({'×'.join(relations)})",
+            relations,
+            IsNull(Attr(partner_key), negated=True),
+            ConstantScore(score),
+            confidence,
+        )
+
+    @classmethod
+    def membership(
+        cls,
+        relations: Sequence[str],
+        score: float = 1.0,
+        confidence: float = 1.0,
+        name: str | None = None,
+    ) -> "Preference":
+        """A membership preference: tuples having a join partner are preferred.
+
+        Example 3 / p7: ``p7[MOVIES × AWARDS] = (σ_true, 1, 0.9)``.
+        """
+        return cls(
+            name or f"member({'×'.join(relations)})",
+            relations,
+            TRUE,
+            ConstantScore(score),
+            confidence,
+        )

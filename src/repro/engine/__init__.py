@@ -1,0 +1,60 @@
+"""The relational engine substrate (the "native DBMS" of the paper).
+
+Public surface: :class:`Database`, schemas/types, the expression DSL and the
+statistics machinery.  The preference-aware layers live in
+:mod:`repro.core`, :mod:`repro.optimizer` and :mod:`repro.pexec`.
+"""
+
+from .catalog import Catalog
+from .database import Database
+from .expressions import (
+    TRUE,
+    And,
+    Arithmetic,
+    Attr,
+    Between,
+    Comparison,
+    Expr,
+    Func,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    col,
+    cmp,
+    eq,
+    lit,
+)
+from .iosim import CostModel
+from .schema import Column, TableSchema, make_schema
+from .table import Table
+from .types import DataType
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "CostModel",
+    "Column",
+    "TableSchema",
+    "make_schema",
+    "Table",
+    "DataType",
+    "Expr",
+    "And",
+    "Or",
+    "Not",
+    "Attr",
+    "Literal",
+    "Comparison",
+    "Arithmetic",
+    "Between",
+    "InList",
+    "IsNull",
+    "Func",
+    "TRUE",
+    "col",
+    "cmp",
+    "eq",
+    "lit",
+]

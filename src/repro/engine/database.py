@@ -1,0 +1,95 @@
+"""The :class:`Database` facade: DDL, DML and native query execution."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..plan.nodes import PlanNode
+from .catalog import Catalog
+from .iosim import CostModel
+from .native_optimizer import optimize_native
+from .physical import execute_native
+from .schema import TableSchema, make_schema
+from .table import Row, Table
+from .types import DataType
+
+
+class Database:
+    """An in-memory relational database with a PostgreSQL-shaped surface.
+
+    This is the substrate the preference layer runs on: it owns the catalog,
+    runs preference-free plans through the native optimizer and executor,
+    and accumulates simulated I/O in :attr:`cost`.
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.cost = CostModel()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType]],
+        primary_key: Sequence[str] = (),
+    ) -> Table:
+        """Create a table from ``(name, type)`` column specs (CREATE TABLE)."""
+        schema = make_schema(name.upper(), columns, primary_key)
+        return self.catalog.create_table(schema)
+
+    def create_table_from_schema(self, schema: TableSchema) -> Table:
+        """Create a table from an existing :class:`TableSchema`."""
+        return self.catalog.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table, its indexes and statistics (DROP TABLE)."""
+        self.catalog.drop_table(name)
+
+    def create_index(self, table: str, attrs: Sequence[str] | str, kind: str = "hash"):
+        """Build a secondary ``hash`` or ``btree`` index (CREATE INDEX)."""
+        return self.catalog.create_index(table, attrs, kind)
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert(self, table: str, values: Sequence[Any] | Mapping[str, Any]) -> Row:
+        """Insert one row (positional tuple or column mapping)."""
+        return self.catalog.table(table).insert(values)
+
+    def insert_many(
+        self, table: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> int:
+        """Bulk-insert rows and refresh the table's secondary indexes."""
+        count = self.catalog.table(table).insert_many(rows)
+        self.catalog.rebuild_indexes(table)
+        return count
+
+    def analyze(self, table: str | None = None) -> None:
+        """Collect optimizer statistics (PostgreSQL's ANALYZE)."""
+        self.catalog.analyze(table)
+
+    # -- queries --------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        return self.catalog.table(name)
+
+    def execute(
+        self, plan: PlanNode, optimize: bool = True
+    ) -> tuple[TableSchema, list[Row]]:
+        """Run a preference-free plan through the native engine.
+
+        Preference operators raise; they are handled by
+        :class:`repro.pexec.engine.ExecutionEngine`.
+        """
+        if optimize:
+            plan = optimize_native(plan, self.catalog)
+        return execute_native(plan, self.catalog, self.cost)
+
+    def explain_native(self, plan: PlanNode) -> PlanNode:
+        """The plan the native optimizer would execute (PostgreSQL's EXPLAIN)."""
+        return optimize_native(plan, self.catalog)
+
+    def reset_cost(self) -> None:
+        """Forget accumulated simulated-I/O counters (fresh measurement)."""
+        self.cost.reset()

@@ -1,0 +1,565 @@
+"""Expression trees and their compiler.
+
+Expressions appear in selection conditions, join predicates and in the
+*conditional* part of preferences.  Trees are immutable; :meth:`Expr.compile`
+turns a tree into a plain Python closure over row tuples, resolved against a
+:class:`~repro.engine.schema.TableSchema` once, so per-row evaluation costs
+no name lookups.
+
+NULL semantics are deliberately simple (and documented): any comparison or
+arithmetic involving ``None`` yields ``False`` / ``None`` respectively, i.e.
+unknown never satisfies a condition.  This matches how the paper treats the
+conditional part of a preference as a boolean soft constraint.
+
+p-relation support: compiling with ``with_score=True`` additionally resolves
+the reserved attributes ``score`` and ``conf`` to two extra trailing slots,
+so the same machinery evaluates post-preference filters such as
+``σ_{conf≥τ}``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ExpressionError
+from .schema import RESERVED_ATTRS, SCORE_ATTR, TableSchema
+
+Row = tuple
+RowFn = Callable[[Row], Any]
+
+
+# ---------------------------------------------------------------------------
+# Base class
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression-tree nodes."""
+
+    __slots__ = ()
+
+    def compile(self, schema: TableSchema, with_score: bool = False) -> RowFn:
+        """Compile against *schema*; see the module docstring for semantics."""
+        resolver = _Resolver(schema, with_score)
+        return self._compile(resolver)
+
+    def _compile(self, resolver: "_Resolver") -> RowFn:
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """All attribute names referenced by this tree (lowercased, as written)."""
+        out: set[str] = set()
+        self._collect_attributes(out)
+        return out
+
+    def _collect_attributes(self, out: set[str]) -> None:
+        for child in self.children():
+            child._collect_attributes(out)
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def references_score(self) -> bool:
+        """True if the tree mentions the reserved ``score``/``conf`` attributes."""
+        return any(_base_name(a) in RESERVED_ATTRS for a in self.attributes())
+
+    # -- combinators --------------------------------------------------------
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+def _base_name(attr: str) -> str:
+    return attr.rsplit(".", 1)[-1].lower()
+
+
+class _Resolver:
+    """Maps attribute names to row-tuple positions during compilation."""
+
+    def __init__(self, schema: TableSchema, with_score: bool):
+        self.schema = schema
+        self.with_score = with_score
+
+    def index_of(self, attr: str) -> int:
+        base = _base_name(attr)
+        if base in RESERVED_ATTRS:
+            if not self.with_score:
+                raise ExpressionError(
+                    f"attribute {attr!r} only exists on p-relations "
+                    "(compile with with_score=True)"
+                )
+            offset = 0 if base == SCORE_ATTR else 1
+            return len(self.schema) + offset
+        return self.schema.index_of(attr)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class Literal(Expr):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Attr(Expr):
+    """A reference to an attribute, bare (``year``) or qualified (``m.year``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        index = resolver.index_of(self.name)
+        return operator.itemgetter(index)
+
+    def _collect_attributes(self, out: set[str]) -> None:
+        out.add(self.name.lower())
+
+    def _key(self) -> tuple:
+        return (self.name.lower(),)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Negation map used by algebraic rewrites.
+NEGATED_COMPARISON = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+class Comparison(Expr):
+    """``left op right`` with op in ``= != < <= > >=``; NULL compares false."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        left_fn = self.left._compile(resolver)
+        right_fn = self.right._compile(resolver)
+        compare = _COMPARATORS[self.op]
+        if self.op == "=":
+            def equals(row: Row) -> bool:
+                lhs = left_fn(row)
+                return lhs is not None and lhs == right_fn(row)
+            return equals
+
+        def compiled(row: Row) -> bool:
+            lhs = left_fn(row)
+            if lhs is None:
+                return False
+            rhs = right_fn(row)
+            if rhs is None:
+                return False
+            return compare(lhs, rhs)
+
+        return compiled
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def negate(self) -> "Comparison":
+        return Comparison(NEGATED_COMPARISON[self.op], self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over constant values."""
+
+    __slots__ = ("expr", "values")
+
+    def __init__(self, expr: Expr, values: Iterable[Any]):
+        self.expr = expr
+        self.values = frozenset(values)
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fn = self.expr._compile(resolver)
+        values = self.values
+        return lambda row: fn(row) in values
+
+    def children(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+    def _key(self) -> tuple:
+        return (self.expr, self.values)
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} IN {sorted(map(repr, self.values))})"
+
+
+class Between(Expr):
+    """``low <= expr <= high`` with constant bounds; NULL is outside."""
+
+    __slots__ = ("expr", "low", "high")
+
+    def __init__(self, expr: Expr, low: Any, high: Any):
+        self.expr = expr
+        self.low = low
+        self.high = high
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fn = self.expr._compile(resolver)
+        low, high = self.low, self.high
+
+        def compiled(row: Row) -> bool:
+            value = fn(row)
+            return value is not None and low <= value <= high
+
+        return compiled
+
+    def children(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+    def _key(self) -> tuple:
+        return (self.expr, self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+class IsNull(Expr):
+    __slots__ = ("expr", "negated")
+
+    def __init__(self, expr: Expr, negated: bool = False):
+        self.expr = expr
+        self.negated = negated
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fn = self.expr._compile(resolver)
+        if self.negated:
+            return lambda row: fn(row) is not None
+        return lambda row: fn(row) is None
+
+    def children(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+    def _key(self) -> tuple:
+        return (self.expr, self.negated)
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+
+class And(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expr):
+        flat: list[Expr] = []
+        for op in operands:
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        if not flat:
+            raise ExpressionError("And() requires at least one operand")
+        self.operands = tuple(flat)
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fns = [op._compile(resolver) for op in self.operands]
+        if len(fns) == 2:
+            first, second = fns
+            return lambda row: bool(first(row)) and bool(second(row))
+        return lambda row: all(fn(row) for fn in fns)
+
+    def children(self) -> Sequence[Expr]:
+        return self.operands
+
+    def _key(self) -> tuple:
+        return (frozenset(self.operands),)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.operands)) + ")"
+
+
+class Or(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expr):
+        flat: list[Expr] = []
+        for op in operands:
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        if not flat:
+            raise ExpressionError("Or() requires at least one operand")
+        self.operands = tuple(flat)
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fns = [op._compile(resolver) for op in self.operands]
+        if len(fns) == 2:
+            first, second = fns
+            return lambda row: bool(first(row)) or bool(second(row))
+        return lambda row: any(fn(row) for fn in fns)
+
+    def children(self) -> Sequence[Expr]:
+        return self.operands
+
+    def _key(self) -> tuple:
+        return (frozenset(self.operands),)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.operands)) + ")"
+
+
+class Not(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fn = self.operand._compile(resolver)
+        return lambda row: not fn(row)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and scalar functions (used by scoring expressions)
+# ---------------------------------------------------------------------------
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Arithmetic(Expr):
+    """``left op right`` with op in ``+ - * /``; NULL propagates."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        left_fn = self.left._compile(resolver)
+        right_fn = self.right._compile(resolver)
+        apply = _ARITHMETIC[self.op]
+        is_division = self.op == "/"
+
+        def compiled(row: Row) -> Any:
+            lhs = left_fn(row)
+            if lhs is None:
+                return None
+            rhs = right_fn(row)
+            if rhs is None or (is_division and rhs == 0):
+                return None
+            return apply(lhs, rhs)
+
+        return compiled
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+class Func(Expr):
+    """A scalar function call (``abs``, ``min``, ``max``); NULL propagates."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, *args: Expr):
+        lowered = name.lower()
+        if lowered not in _SCALAR_FUNCTIONS:
+            raise ExpressionError(f"unknown scalar function {name!r}")
+        self.name = lowered
+        self.args = tuple(args)
+
+    def _compile(self, resolver: _Resolver) -> RowFn:
+        fns = [arg._compile(resolver) for arg in self.args]
+        apply = _SCALAR_FUNCTIONS[self.name]
+
+        def compiled(row: Row) -> Any:
+            values = [fn(row) for fn in fns]
+            if any(v is None for v in values):
+                return None
+            return apply(*values)
+
+        return compiled
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def _key(self) -> tuple:
+        return (self.name, self.args)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def col(name: str) -> Attr:
+    """Shorthand attribute reference: ``col('movies.year')``."""
+    return Attr(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constant: ``lit(2011)``."""
+    return Literal(value)
+
+
+def eq(attr: str, value: Any) -> Comparison:
+    """Shorthand equality condition against a constant."""
+    return Comparison("=", Attr(attr), Literal(value))
+
+
+def cmp(attr: str, op: str, value: Any) -> Comparison:
+    """Shorthand comparison of an attribute against a constant."""
+    return Comparison(op, Attr(attr), Literal(value))
+
+
+def map_attributes(expr: Expr, fn: Callable[[str], str]) -> Expr:
+    """Rebuild *expr* with every attribute name passed through *fn*.
+
+    Used to qualify bare preference attributes against their declared
+    relations so conditions stay unambiguous on join results.
+    """
+    if isinstance(expr, Attr):
+        new_name = fn(expr.name)
+        return expr if new_name == expr.name else Attr(new_name)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, map_attributes(expr.left, fn), map_attributes(expr.right, fn)
+        )
+    if isinstance(expr, InList):
+        return InList(map_attributes(expr.expr, fn), expr.values)
+    if isinstance(expr, Between):
+        return Between(map_attributes(expr.expr, fn), expr.low, expr.high)
+    if isinstance(expr, IsNull):
+        return IsNull(map_attributes(expr.expr, fn), expr.negated)
+    if isinstance(expr, And):
+        return And(*(map_attributes(op, fn) for op in expr.operands))
+    if isinstance(expr, Or):
+        return Or(*(map_attributes(op, fn) for op in expr.operands))
+    if isinstance(expr, Not):
+        return Not(map_attributes(expr.operand, fn))
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(
+            expr.op, map_attributes(expr.left, fn), map_attributes(expr.right, fn)
+        )
+    if isinstance(expr, Func):
+        return Func(expr.name, *(map_attributes(arg, fn) for arg in expr.args))
+    raise ExpressionError(f"map_attributes: unknown expression node {expr!r}")
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Split *expr* into its top-level AND-ed conjuncts."""
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(conjuncts(operand))
+        return out
+    return [expr]
+
+
+def conjoin(parts: Sequence[Expr]) -> Expr:
+    """Rebuild a conjunction, collapsing trivial cases."""
+    filtered = [p for p in parts if p != TRUE]
+    if not filtered:
+        return TRUE
+    if len(filtered) == 1:
+        return filtered[0]
+    return And(*filtered)
+
+
+def is_true(expr: Expr) -> bool:
+    return isinstance(expr, Literal) and expr.value is True

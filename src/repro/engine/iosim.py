@@ -1,0 +1,79 @@
+"""Simulated storage costs.
+
+The paper measures cold-cache query times on PostgreSQL and argues (§VI-A)
+that the dominant cost driver is disk I/O, which in turn tracks the size of
+intermediate relations.  Our engine is in-memory, so alongside wall-clock
+time we keep an explicit :class:`CostModel` that counts simulated page reads,
+page writes and tuples materialized.  Physical operators report to it; the
+benchmark harness prints both wall time and these counters so the paper's
+cost shapes can be verified independently of Python interpreter noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Number of tuples assumed to fit in one disk page.  The absolute value is
+#: irrelevant for shapes; it only scales the reported page counts.
+TUPLES_PER_PAGE = 64
+
+
+def pages_for(tuples: int, tuples_per_page: int = TUPLES_PER_PAGE) -> int:
+    """Number of pages needed to hold *tuples* rows (at least one if any)."""
+    if tuples <= 0:
+        return 0
+    return -(-tuples // tuples_per_page)
+
+
+@dataclass
+class CostModel:
+    """Mutable accumulator of simulated storage costs for one query run."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    tuples_scanned: int = 0
+    tuples_materialized: int = 0
+    index_lookups: int = 0
+    operator_calls: dict[str, int] = field(default_factory=dict)
+
+    def scan(self, tuples: int) -> None:
+        """Account for a sequential scan of *tuples* rows."""
+        self.tuples_scanned += tuples
+        self.pages_read += pages_for(tuples)
+
+    def index_probe(self, matches: int) -> None:
+        """Account for one index lookup returning *matches* rows."""
+        self.index_lookups += 1
+        # One page for the index descent plus the data pages touched.
+        self.pages_read += 1 + pages_for(matches)
+
+    def materialize(self, tuples: int) -> None:
+        """Account for writing an intermediate relation of *tuples* rows."""
+        self.tuples_materialized += tuples
+        self.pages_written += pages_for(tuples)
+
+    def count_operator(self, name: str) -> None:
+        self.operator_calls[name] = self.operator_calls.get(name, 0) + 1
+
+    @property
+    def total_io(self) -> int:
+        return self.pages_read + self.pages_written
+
+    def reset(self) -> None:
+        self.pages_read = 0
+        self.pages_written = 0
+        self.tuples_scanned = 0
+        self.tuples_materialized = 0
+        self.index_lookups = 0
+        self.operator_calls = {}
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counters (for reports and assertions)."""
+        return {
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "tuples_scanned": self.tuples_scanned,
+            "tuples_materialized": self.tuples_materialized,
+            "index_lookups": self.index_lookups,
+            "total_io": self.total_io,
+        }

@@ -1,0 +1,49 @@
+"""Join-condition analysis shared by the reference algebra and the executor."""
+
+from __future__ import annotations
+
+from .expressions import Attr, Comparison, Expr, conjoin, conjuncts, is_true
+from .schema import TableSchema
+
+
+def split_equi_condition(
+    condition: Expr, left: TableSchema, right: TableSchema
+) -> tuple[list[tuple[str, str]], Expr | None]:
+    """Split a join condition into hashable equi pairs and a residual.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_attr,
+    right_attr)`` — an ``a = b`` conjunct whose sides resolve unambiguously
+    to the two inputs — and *residual* is the conjunction of everything else
+    (``None`` when fully consumed).
+    """
+    equi: list[tuple[str, str]] = []
+    residual: list[Expr] = []
+    for part in conjuncts(condition):
+        if is_true(part):
+            continue
+        pair = _equi_pair(part, left, right)
+        if pair is not None:
+            equi.append(pair)
+        else:
+            residual.append(part)
+    if not residual:
+        return equi, None
+    return equi, conjoin(residual)
+
+
+def _equi_pair(
+    part: Expr, left: TableSchema, right: TableSchema
+) -> tuple[str, str] | None:
+    if not (
+        isinstance(part, Comparison)
+        and part.op == "="
+        and isinstance(part.left, Attr)
+        and isinstance(part.right, Attr)
+    ):
+        return None
+    a, b = part.left.name, part.right.name
+    if left.has(a) and right.has(b) and not (left.has(b) or right.has(a)):
+        return (a, b)
+    if left.has(b) and right.has(a) and not (left.has(a) or right.has(b)):
+        return (b, a)
+    return None

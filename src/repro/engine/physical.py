@@ -1,0 +1,407 @@
+"""The native execution engine: preference-free plans over the catalog.
+
+This is the stand-in for the conventional DBMS underneath the paper's
+prototype.  It executes plans containing only standard operators —
+Relation / Materialized leaves, Select, Project, Join and the set
+operations — using an iterator (pipelined) model with hash joins, index
+access paths and simulated I/O accounting.
+
+Preference operators are rejected: they belong to the layer above
+(:mod:`repro.pexec`), exactly like the paper's prefer routines live outside
+the PostgreSQL executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import ExecutionError
+from ..plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from .catalog import Catalog
+from .expressions import Attr, Comparison, Expr, Literal, conjoin, conjuncts
+from .index import OrderedIndex
+from .iosim import CostModel
+from .joinutil import split_equi_condition
+from .schema import TableSchema
+from .table import Row
+
+
+def execute_native(
+    plan: PlanNode, catalog: Catalog, cost: CostModel | None = None
+) -> tuple[TableSchema, list[Row]]:
+    """Run a preference-free *plan*; returns its schema and materialized rows."""
+    cost = cost if cost is not None else CostModel()
+    schema, rows = _Executor(catalog, cost).run(plan)
+    return schema, list(rows)
+
+
+class _Executor:
+    def __init__(self, catalog: Catalog, cost: CostModel):
+        self.catalog = catalog
+        self.cost = cost
+
+    def run(self, plan: PlanNode) -> tuple[TableSchema, Iterator[Row]]:
+        self.cost.count_operator(plan.kind)
+        if isinstance(plan, Relation):
+            return self._relation(plan)
+        if isinstance(plan, Materialized):
+            self.cost.scan(len(plan.rows))
+            return plan.schema(self.catalog), iter(plan.rows)
+        if isinstance(plan, Select):
+            return self._select(plan)
+        if isinstance(plan, Project):
+            return self._project(plan)
+        if isinstance(plan, Join):
+            return self._join(plan)
+        if isinstance(plan, LeftJoin):
+            return self._left_join(plan)
+        if isinstance(plan, Union):
+            return self._union(plan)
+        if isinstance(plan, Intersect):
+            return self._intersect(plan)
+        if isinstance(plan, Difference):
+            return self._difference(plan)
+        if isinstance(plan, (Prefer, TopK)):
+            raise ExecutionError(
+                f"the native engine cannot execute {plan.kind!r}; "
+                "preference operators are evaluated by repro.pexec"
+            )
+        raise ExecutionError(f"unknown plan node {plan!r}")
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _relation(self, plan: Relation) -> tuple[TableSchema, Iterator[Row]]:
+        table = self.catalog.table(plan.name)
+        self.cost.scan(len(table))
+        return plan.schema(self.catalog), iter(table.rows)
+
+    # -- unary -------------------------------------------------------------------
+
+    def _select(self, plan: Select) -> tuple[TableSchema, Iterator[Row]]:
+        if plan.condition.references_score():
+            raise ExecutionError(
+                "the native engine has no score/conf attributes; "
+                "score filters are evaluated by the preference layer"
+            )
+        if isinstance(plan.child, Relation):
+            result = self._try_index_access(plan.child, plan.condition)
+            if result is not None:
+                return result
+        schema, rows = self.run(plan.child)
+        predicate = plan.condition.compile(schema)
+        return schema, (row for row in rows if predicate(row))
+
+    def _try_index_access(
+        self, relation: Relation, condition: Expr
+    ) -> tuple[TableSchema, Iterator[Row]] | None:
+        """Use a secondary index when a conjunct allows it (σ over base table)."""
+        schema = relation.schema(self.catalog)
+        parts = conjuncts(condition)
+        for position, part in enumerate(parts):
+            access = self._index_candidates(relation, schema, part)
+            if access is None:
+                continue
+            matched = access
+            residual = conjoin([p for i, p in enumerate(parts) if i != position])
+            self.cost.index_probe(len(matched))
+            rows: Iterator[Row] = iter(matched)
+            from .expressions import is_true
+
+            if not is_true(residual):
+                predicate = residual.compile(schema)
+                rows = (row for row in matched if predicate(row))
+            return schema, rows
+        return None
+
+    def _index_candidates(
+        self, relation: Relation, schema: TableSchema, part: Expr
+    ) -> list[Row] | None:
+        if not isinstance(part, Comparison):
+            return None
+        attr, value = _attr_const(part, schema)
+        if attr is None:
+            return None
+        bare = attr.rsplit(".", 1)[-1]
+        if part.op == "=":
+            index = self.catalog.find_index(relation.name, bare)
+            if index is not None:
+                return index.lookup(value)
+            return None
+        index = self.catalog.find_index(relation.name, bare, kind="btree")
+        if not isinstance(index, OrderedIndex):
+            return None
+        op = part.op if isinstance(part.left, Attr) else _mirror(part.op)
+        if op == "<":
+            return list(index.range(high=value, high_inclusive=False))
+        if op == "<=":
+            return list(index.range(high=value))
+        if op == ">":
+            return list(index.range(low=value, low_inclusive=False))
+        if op == ">=":
+            return list(index.range(low=value))
+        return None
+
+    def _project(self, plan: Project) -> tuple[TableSchema, Iterator[Row]]:
+        schema, rows = self.run(plan.child)
+        positions = [schema.index_of(a) for a in plan.attrs]
+        out_schema = schema.project(plan.attrs)
+        return out_schema, (tuple(row[i] for i in positions) for row in rows)
+
+    # -- joins --------------------------------------------------------------------
+
+    def _join(self, plan: Join) -> tuple[TableSchema, Iterator[Row]]:
+        left_schema, left_rows = self.run(plan.left)
+        right_schema = plan.right.schema(self.catalog)
+        out_schema = left_schema.join(right_schema)
+        equi, residual = split_equi_condition(plan.condition, left_schema, right_schema)
+
+        if equi:
+            index_plan = self._try_index_nested_loop(
+                plan, left_schema, left_rows, right_schema, out_schema, equi, residual
+            )
+            if index_plan is not None:
+                return out_schema, index_plan
+            _, right_rows = self.run(plan.right)
+            return out_schema, self._hash_join(
+                left_schema, left_rows, right_schema, right_rows, out_schema, equi, residual
+            )
+        _, right_rows = self.run(plan.right)
+        return out_schema, self._nested_loop(
+            left_rows, right_rows, out_schema, plan.condition
+        )
+
+    def _try_index_nested_loop(
+        self,
+        plan: Join,
+        left_schema: TableSchema,
+        left_rows: Iterator[Row],
+        right_schema: TableSchema,
+        out_schema: TableSchema,
+        equi: list[tuple[str, str]],
+        residual: Expr | None,
+    ) -> Iterator[Row] | None:
+        """Probe a base-table index per outer row instead of scanning it.
+
+        Chosen when the inner side is a base relation (possibly under a
+        pushed-down projection) with an index on the (single) join attribute
+        and the outer side is estimated to be much smaller — the classic
+        index-nested-loop win after a selective filter.
+        """
+        if len(equi) != 1:
+            return None
+        inner = plan.right
+        project_positions: list[int] | None = None
+        if isinstance(inner, Project) and isinstance(inner.child, Relation):
+            base_schema = inner.child.schema(self.catalog)
+            project_positions = [base_schema.index_of(a) for a in inner.attrs]
+            inner = inner.child
+        if not isinstance(inner, Relation):
+            return None
+        left_attr, right_attr = equi[0]
+        bare = right_attr.rsplit(".", 1)[-1]
+        index = self.catalog.find_index(inner.name, bare)
+        if index is None:
+            return None
+        right_size = len(self.catalog.table(inner.name))
+        from .cardinality import estimate_cardinality
+
+        outer_estimate = estimate_cardinality(plan.left, self.catalog)
+        if outer_estimate * 4 >= right_size:
+            return None
+        probe_position = left_schema.index_of(left_attr)
+        predicate = residual.compile(out_schema) if residual is not None else None
+        cost = self.cost
+        self.cost.count_operator("index-nested-loop")
+
+        def generate() -> Iterator[Row]:
+            for row in left_rows:
+                key = row[probe_position]
+                if key is None:
+                    continue
+                matches = index.lookup(key)
+                cost.index_probe(len(matches))
+                for other in matches:
+                    if project_positions is not None:
+                        other = tuple(other[i] for i in project_positions)
+                    combined = row + other
+                    if predicate is None or predicate(combined):
+                        yield combined
+
+        return generate()
+
+    def _hash_join(
+        self,
+        left_schema: TableSchema,
+        left_rows: Iterator[Row],
+        right_schema: TableSchema,
+        right_rows: Iterator[Row],
+        out_schema: TableSchema,
+        equi: list[tuple[str, str]],
+        residual: Expr | None,
+    ) -> Iterator[Row]:
+        build_positions = [right_schema.index_of(b) for _, b in equi]
+        probe_positions = [left_schema.index_of(a) for a, _ in equi]
+        buckets: dict[tuple, list[Row]] = {}
+        build_count = 0
+        for row in right_rows:
+            key = tuple(row[i] for i in build_positions)
+            buckets.setdefault(key, []).append(row)
+            build_count += 1
+        self.cost.materialize(build_count)
+        predicate = residual.compile(out_schema) if residual is not None else None
+
+        def generate() -> Iterator[Row]:
+            for row in left_rows:
+                key = tuple(row[i] for i in probe_positions)
+                if any(part is None for part in key):
+                    continue
+                for other in buckets.get(key, ()):
+                    combined = row + other
+                    if predicate is None or predicate(combined):
+                        yield combined
+
+        return generate()
+
+    def _left_join(self, plan: LeftJoin) -> tuple[TableSchema, Iterator[Row]]:
+        left_schema, left_rows = self.run(plan.left)
+        right_schema, right_rows = self.run(plan.right)
+        out_schema = left_schema.join(right_schema)
+        equi, residual = split_equi_condition(plan.condition, left_schema, right_schema)
+        padding = (None,) * len(right_schema.columns)
+
+        if equi:
+            build_positions = [right_schema.index_of(b) for _, b in equi]
+            probe_positions = [left_schema.index_of(a) for a, _ in equi]
+            buckets: dict[tuple, list[Row]] = {}
+            build_count = 0
+            for row in right_rows:
+                buckets.setdefault(tuple(row[i] for i in build_positions), []).append(row)
+                build_count += 1
+            self.cost.materialize(build_count)
+            predicate = residual.compile(out_schema) if residual is not None else None
+
+            def generate() -> Iterator[Row]:
+                for row in left_rows:
+                    key = tuple(row[i] for i in probe_positions)
+                    matched = False
+                    if not any(part is None for part in key):
+                        for other in buckets.get(key, ()):
+                            combined = row + other
+                            if predicate is None or predicate(combined):
+                                matched = True
+                                yield combined
+                    if not matched:
+                        yield row + padding
+
+            return out_schema, generate()
+
+        from .expressions import is_true
+
+        inner = list(right_rows)
+        self.cost.materialize(len(inner))
+        predicate = None if is_true(plan.condition) else plan.condition.compile(out_schema)
+
+        def generate_nested() -> Iterator[Row]:
+            for row in left_rows:
+                matched = False
+                for other in inner:
+                    combined = row + other
+                    if predicate is None or predicate(combined):
+                        matched = True
+                        yield combined
+                if not matched:
+                    yield row + padding
+
+        return out_schema, generate_nested()
+
+    def _nested_loop(
+        self,
+        left_rows: Iterator[Row],
+        right_rows: Iterator[Row],
+        out_schema: TableSchema,
+        condition: Expr,
+    ) -> Iterator[Row]:
+        from .expressions import is_true
+
+        inner = list(right_rows)
+        self.cost.materialize(len(inner))
+        predicate = None if is_true(condition) else condition.compile(out_schema)
+
+        def generate() -> Iterator[Row]:
+            for row in left_rows:
+                for other in inner:
+                    combined = row + other
+                    if predicate is None or predicate(combined):
+                        yield combined
+
+        return generate()
+
+    # -- set operations --------------------------------------------------------------
+
+    def _union(self, plan: Union) -> tuple[TableSchema, Iterator[Row]]:
+        schema, left_rows, right_rows = self._set_inputs(plan)
+        seen: dict[Row, None] = {}
+        for row in left_rows:
+            seen.setdefault(row)
+        for row in right_rows:
+            seen.setdefault(row)
+        self.cost.materialize(len(seen))
+        return schema, iter(seen.keys())
+
+    def _intersect(self, plan: Intersect) -> tuple[TableSchema, Iterator[Row]]:
+        schema, left_rows, right_rows = self._set_inputs(plan)
+        right_set = set(right_rows)
+        self.cost.materialize(len(right_set))
+        seen: dict[Row, None] = {}
+        for row in left_rows:
+            if row in right_set:
+                seen.setdefault(row)
+        return schema, iter(seen.keys())
+
+    def _difference(self, plan: Difference) -> tuple[TableSchema, Iterator[Row]]:
+        schema, left_rows, right_rows = self._set_inputs(plan)
+        right_set = set(right_rows)
+        self.cost.materialize(len(right_set))
+        seen: dict[Row, None] = {}
+        for row in left_rows:
+            if row not in right_set:
+                seen.setdefault(row)
+        return schema, iter(seen.keys())
+
+    def _set_inputs(self, plan) -> tuple[TableSchema, Iterator[Row], Iterator[Row]]:
+        left_schema, left_rows = self.run(plan.left)
+        right_schema, right_rows = self.run(plan.right)
+        if not left_schema.union_compatible(right_schema):
+            raise ExecutionError(f"{plan.kind}: inputs are not union-compatible")
+        return left_schema, left_rows, right_rows
+
+
+def _attr_const(part: Comparison, schema: TableSchema) -> tuple[str | None, Any]:
+    """Decompose ``attr op const`` (either orientation) against *schema*."""
+    if isinstance(part.left, Attr) and isinstance(part.right, Literal):
+        if schema.has(part.left.name):
+            return part.left.name, part.right.value
+    if isinstance(part.right, Attr) and isinstance(part.left, Literal):
+        if schema.has(part.right.name):
+            return part.right.name, part.left.value
+    return None, None
+
+
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _mirror(op: str) -> str:
+    return _MIRROR[op]

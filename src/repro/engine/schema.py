@@ -1,0 +1,175 @@
+"""Schemas: named, typed, ordered attribute lists with name resolution.
+
+A :class:`TableSchema` is the engine's unit of structure: it maps attribute
+names (optionally qualified, ``movies.year``) to positions in row tuples.
+Schemas are immutable; joins, projections and renames produce new schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import SchemaError
+from .types import DataType
+
+#: Reserved attribute names used by p-relations.  They never appear inside a
+#: base :class:`TableSchema`; the preference layer resolves them specially.
+SCORE_ATTR = "score"
+CONF_ATTR = "conf"
+RESERVED_ATTRS = frozenset({SCORE_ATTR, CONF_ATTR})
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single attribute: a name, a type and an optional table qualifier."""
+
+    name: str
+    dtype: DataType
+    table: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def with_table(self, table: str | None) -> "Column":
+        return Column(self.name, self.dtype, table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.qualified_name}:{self.dtype.value})"
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with name resolution.
+
+    Resolution accepts either a bare name (``year``) or a qualified name
+    (``movies.year``).  A bare name that matches several columns raises
+    :class:`SchemaError` (ambiguity), mirroring SQL semantics.
+    """
+
+    __slots__ = ("name", "columns", "primary_key", "_by_qualified", "_by_bare")
+
+    def __init__(
+        self,
+        name: str | None,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+    ):
+        if not columns:
+            raise SchemaError("a schema requires at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_qualified: dict[str, int] = {}
+        self._by_bare: dict[str, list[int]] = {}
+        for i, col in enumerate(self.columns):
+            if col.name.lower() in RESERVED_ATTRS:
+                raise SchemaError(f"{col.name!r} is reserved for p-relations")
+            qualified = col.qualified_name.lower()
+            if qualified in self._by_qualified:
+                raise SchemaError(f"duplicate column {col.qualified_name!r}")
+            self._by_qualified[qualified] = i
+            self._by_bare.setdefault(col.name.lower(), []).append(i)
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        for key_attr in self.primary_key:
+            self.index_of(key_attr)  # validate eagerly
+
+    # -- resolution ---------------------------------------------------------
+
+    def index_of(self, attr: str) -> int:
+        """Return the tuple position of *attr*, bare or qualified."""
+        lowered = attr.lower()
+        if "." in lowered:
+            index = self._by_qualified.get(lowered)
+            if index is None:
+                raise SchemaError(f"unknown attribute {attr!r} in {self._describe()}")
+            return index
+        candidates = self._by_bare.get(lowered, [])
+        if not candidates:
+            raise SchemaError(f"unknown attribute {attr!r} in {self._describe()}")
+        if len(candidates) > 1:
+            names = ", ".join(self.columns[i].qualified_name for i in candidates)
+            raise SchemaError(f"ambiguous attribute {attr!r}: matches {names}")
+        return candidates[0]
+
+    def has(self, attr: str) -> bool:
+        try:
+            self.index_of(attr)
+        except SchemaError:
+            return False
+        return True
+
+    def column(self, attr: str) -> Column:
+        return self.columns[self.index_of(attr)]
+
+    def primary_key_indexes(self) -> tuple[int, ...]:
+        return tuple(self.index_of(a) for a in self.primary_key)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(col.qualified_name for col in self.columns)
+
+    # -- derivation ---------------------------------------------------------
+
+    def project(self, attrs: Sequence[str], name: str | None = None) -> "TableSchema":
+        """Schema of ``π_attrs(self)``; the primary key survives only if fully kept."""
+        columns = [self.columns[self.index_of(a)] for a in attrs]
+        keep_key = self.primary_key and all(
+            any(self.index_of(k) == self.index_of(a) for a in attrs) for k in self.primary_key
+        )
+        return TableSchema(name or self.name, columns, self.primary_key if keep_key else ())
+
+    def rename(self, new_name: str) -> "TableSchema":
+        """Re-qualify every column with *new_name* (table alias)."""
+        columns = [col.with_table(new_name) for col in self.columns]
+        return TableSchema(new_name, columns, self.primary_key)
+
+    def join(self, other: "TableSchema", name: str | None = None) -> "TableSchema":
+        """Schema of the concatenation ``self × other``.
+
+        The combined primary key is the concatenation of both keys (qualified
+        to stay unambiguous), matching the paper's composite score-relation
+        keys for join results.
+        """
+        columns = list(self.columns) + list(other.columns)
+        key: list[str] = []
+        for schema in (self, other):
+            for attr in schema.primary_key:
+                key.append(schema.column(attr).qualified_name)
+        return TableSchema(name, columns, tuple(key))
+
+    def union_compatible(self, other: "TableSchema") -> bool:
+        if len(self.columns) != len(other.columns):
+            return False
+        return all(
+            a.dtype == b.dtype for a, b in zip(self.columns, other.columns)
+        )
+
+    # -- misc ---------------------------------------------------------------
+
+    def _describe(self) -> str:
+        label = self.name or "<anonymous>"
+        return f"schema {label}({', '.join(self.attribute_names)})"
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self.columns == other.columns and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableSchema({self._describe()})"
+
+
+def make_schema(
+    name: str,
+    specs: Iterable[tuple[str, DataType]],
+    primary_key: Sequence[str] = (),
+) -> TableSchema:
+    """Convenience constructor: ``make_schema('R', [('a', INT)], ['a'])``."""
+    columns = [Column(attr, dtype, table=name) for attr, dtype in specs]
+    return TableSchema(name, columns, primary_key)

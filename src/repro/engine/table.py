@@ -1,0 +1,91 @@
+"""Heap tables: validated, append-only row storage with primary-key lookup."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import CatalogError, SchemaError, TypeError_
+from .schema import TableSchema
+
+Row = tuple
+
+
+class Table:
+    """An in-memory heap of row tuples conforming to a :class:`TableSchema`.
+
+    Rows are stored as plain tuples in insertion order.  When the schema
+    declares a primary key, uniqueness is enforced and a hash map from key
+    values to row positions supports point lookups.
+    """
+
+    def __init__(self, schema: TableSchema):
+        if schema.name is None:
+            raise SchemaError("a stored table requires a schema name")
+        self.schema = schema
+        self.rows: list[Row] = []
+        self._pk_indexes = schema.primary_key_indexes()
+        self._pk_map: dict[tuple, int] = {}
+
+    @property
+    def name(self) -> str:
+        assert self.schema.name is not None
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> Row:
+        """Validate and append one row; returns the stored tuple."""
+        row = self._coerce(values)
+        if self._pk_indexes:
+            key = tuple(row[i] for i in self._pk_indexes)
+            if any(part is None for part in key):
+                raise TypeError_(f"primary key of {self.name} cannot contain NULL: {key!r}")
+            if key in self._pk_map:
+                raise CatalogError(f"duplicate primary key {key!r} in table {self.name}")
+            self._pk_map[key] = len(self.rows)
+        self.rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def _coerce(self, values: Sequence[Any] | Mapping[str, Any]) -> Row:
+        columns = self.schema.columns
+        if isinstance(values, Mapping):
+            lowered = {k.lower(): v for k, v in values.items()}
+            unknown = set(lowered) - {c.name.lower() for c in columns}
+            if unknown:
+                raise SchemaError(f"unknown columns {sorted(unknown)} for table {self.name}")
+            ordered = [lowered.get(c.name.lower()) for c in columns]
+        else:
+            if len(values) != len(columns):
+                raise SchemaError(
+                    f"table {self.name} expects {len(columns)} values, got {len(values)}"
+                )
+            ordered = list(values)
+        return tuple(c.dtype.validate(v) for c, v in zip(columns, ordered))
+
+    # -- access ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def get(self, key: tuple) -> Row | None:
+        """Point lookup by primary-key values; ``None`` when absent."""
+        if not self._pk_indexes:
+            raise CatalogError(f"table {self.name} has no primary key")
+        position = self._pk_map.get(key)
+        return None if position is None else self.rows[position]
+
+    def primary_key_of(self, row: Row) -> tuple:
+        return tuple(row[i] for i in self._pk_indexes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name}, {len(self.rows)} rows)"

@@ -1,0 +1,78 @@
+"""Column data types for the relational engine.
+
+The engine supports a small, closed set of scalar types.  Values are stored
+as plain Python objects inside row tuples; :class:`DataType` carries the
+validation and coercion logic used at insert time and by the expression
+compiler for type checking.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..errors import TypeError_
+
+
+class DataType(enum.Enum):
+    """Scalar column types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def python_type(self) -> type:
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> Any:
+        """Coerce *value* to this type, raising :class:`TypeError_` on mismatch.
+
+        ``None`` is accepted for every type (SQL NULL).  Integers are accepted
+        where floats are expected and are widened.
+        """
+        if value is None:
+            return None
+        if self is DataType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError_(f"expected INT, got {value!r}")
+            return value
+        if self is DataType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError_(f"expected FLOAT, got {value!r}")
+            return float(value)
+        if self is DataType.TEXT:
+            if not isinstance(value, str):
+                raise TypeError_(f"expected TEXT, got {value!r}")
+            return value
+        if self is DataType.BOOL:
+            if not isinstance(value, bool):
+                raise TypeError_(f"expected BOOL, got {value!r}")
+            return value
+        raise TypeError_(f"unknown data type {self!r}")  # pragma: no cover
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+_PYTHON_TYPES = {
+    DataType.INT: int,
+    DataType.FLOAT: float,
+    DataType.TEXT: str,
+    DataType.BOOL: bool,
+}
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value (bool before int)."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeError_(f"cannot infer column type for {value!r}")

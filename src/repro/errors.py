@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro preference-aware database library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch a single exception type at the API boundary while still
+being able to discriminate finer failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute cannot be resolved."""
+
+
+class CatalogError(ReproError):
+    """A table, index or statistic is missing from, or duplicated in, the catalog."""
+
+
+class TypeError_(ReproError):
+    """A value does not match the declared column type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ExpressionError(ReproError):
+    """An expression tree is malformed or references unknown attributes."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed (e.g. arity mismatch in a set operation)."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer was given a plan it cannot rewrite soundly."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed during plan execution."""
+
+
+class PreferenceError(ReproError):
+    """A preference definition is invalid (bad confidence, scoring range...)."""
+
+
+class ParseError(ReproError):
+    """The SQL dialect parser rejected the input text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column

@@ -1,0 +1,21 @@
+"""Full-ranking presentation: all results ordered by score or confidence."""
+
+from __future__ import annotations
+
+from ..core.prelation import PRelation
+from ..errors import ExecutionError
+from .topk import canonical_column_order, rank_key
+
+
+def ranked(relation: PRelation, by: str = "score") -> PRelation:
+    """All tuples, best first (deterministic ties, ⊥ last)."""
+    if by not in ("score", "conf"):
+        raise ExecutionError(f"ranking orders by 'score' or 'conf', got {by!r}")
+    order = canonical_column_order(relation.schema)
+    entries = sorted(
+        zip(relation.rows, relation.pairs),
+        key=lambda item: rank_key(item[0], item[1], by, order),
+    )
+    return PRelation(
+        relation.schema, [row for row, _ in entries], [pair for _, pair in entries]
+    )

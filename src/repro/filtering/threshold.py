@@ -1,0 +1,64 @@
+"""Threshold filtering on scores and confidences (paper Example 10).
+
+``σ_{conf ≥ τ}`` keeps only tuples whose accumulated evidence passes a
+credibility bar — the paper's "safe suggestions".  ⊥ scores never satisfy a
+score threshold (unknown is not good enough), matching the NULL semantics of
+the expression layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.preference import Preference
+from ..core.prelation import PRelation
+from ..core.scorepair import ScorePair
+
+
+def filter_pairs(relation: PRelation, keep: Callable[[ScorePair], bool]) -> PRelation:
+    """Generic pair-level filter."""
+    kept = [(row, pair) for row, pair in relation if keep(pair)]
+    return PRelation(relation.schema, [r for r, _ in kept], [p for _, p in kept])
+
+
+def score_at_least(relation: PRelation, threshold: float) -> PRelation:
+    """Tuples with a known score ``≥ threshold``."""
+    return filter_pairs(
+        relation, lambda p: p.score is not None and p.score >= threshold
+    )
+
+
+def conf_at_least(relation: PRelation, threshold: float) -> PRelation:
+    """Tuples with accumulated confidence ``≥ threshold`` (Example 10's Q2)."""
+    return filter_pairs(relation, lambda p: p.conf >= threshold)
+
+
+def matched_any(relation: PRelation) -> PRelation:
+    """Tuples affected by at least one preference (``σ_{conf > 0}`` in Q3)."""
+    return filter_pairs(relation, lambda p: p.conf > 0.0)
+
+
+def satisfies_at_least(
+    relation: PRelation,
+    preferences: Sequence[Preference],
+    minimum: int,
+) -> PRelation:
+    """Tuples matching the conditional part of at least *minimum* preferences.
+
+    This realizes the "minimum number of preferences" filtering flavour the
+    paper cites ([19]); preferences whose attributes are absent from the
+    relation's schema simply never match.
+    """
+    checks = []
+    for preference in preferences:
+        schema = relation.schema
+        if all(schema.has(a) for a in preference.attributes()):
+            checks.append(preference.condition.compile(schema))
+    kept_rows = []
+    kept_pairs = []
+    for row, pair in relation:
+        matched = sum(1 for check in checks if check(row))
+        if matched >= minimum:
+            kept_rows.append(row)
+            kept_pairs.append(pair)
+    return PRelation(relation.schema, kept_rows, kept_pairs)

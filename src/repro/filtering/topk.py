@@ -1,0 +1,64 @@
+"""Top-k filtering: ``top(k, score|conf)`` (paper Example 9).
+
+Selecting the k most highly ranked tuples is a *filtering* phase applied
+after preference evaluation.  The order is total and deterministic — ties on
+the ranking value are broken by the tuple's attribute values — so every
+execution strategy cuts the same k tuples and can be compared against the
+reference evaluator exactly.  ⊥ scores rank below every known score.
+
+Tie-breaking must not depend on the physical column order (the optimizer is
+free to permute it), so the attribute comparison walks the columns in
+qualified-name order, which is identical across all equivalent plans.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from ..core.prelation import PRelation
+from ..core.scorepair import ScorePair
+from ..engine.schema import TableSchema
+from ..engine.table import Row
+from ..errors import ExecutionError
+
+
+def canonical_column_order(schema: TableSchema) -> tuple[int, ...]:
+    """Column positions ordered by qualified attribute name."""
+    return tuple(
+        sorted(range(len(schema.columns)), key=lambda i: schema.columns[i].qualified_name.lower())
+    )
+
+
+def row_sort_key(row: Row, order: Sequence[int]) -> tuple:
+    """A total-order key over rows that may contain NULLs (None sorts last)."""
+    return tuple(
+        (row[i] is None, 0 if row[i] is None else row[i]) for i in order
+    )
+
+
+def rank_key(row: Row, pair: ScorePair, by: str, order: Sequence[int]) -> tuple:
+    """Sort key: higher score/conf first, ⊥ last, ties broken by the row."""
+    value = pair.score if by == "score" else pair.conf
+    return (
+        value is None,
+        -(value if value is not None else 0.0),
+        row_sort_key(row, order),
+    )
+
+
+def topk(relation: PRelation, k: int, by: str = "score") -> PRelation:
+    """The k best tuples of *relation* ordered by ``score`` or ``conf``."""
+    if by not in ("score", "conf"):
+        raise ExecutionError(f"top-k orders by 'score' or 'conf', got {by!r}")
+    if k <= 0:
+        raise ExecutionError(f"top-k requires k >= 1, got {k}")
+    order = canonical_column_order(relation.schema)
+    entries = heapq.nsmallest(
+        k,
+        zip(relation.rows, relation.pairs),
+        key=lambda item: rank_key(item[0], item[1], by, order),
+    )
+    return PRelation(
+        relation.schema, [row for row, _ in entries], [pair for _, pair in entries]
+    )

@@ -1,0 +1,113 @@
+"""Winnow: best-matches-only filtering under a qualitative preference order.
+
+The paper's related work contrasts its quantitative model with the
+*qualitative* approach ([7], [11], [16]) where preferences are binary
+relations ("value a is preferred over b and c") and the winnow / BMO
+operator returns the tuples not dominated under that order.  This module
+provides the qualitative toolkit so both styles coexist in one library:
+
+* :class:`PreferenceRelation` — a strict partial order over the values of
+  one attribute, built from ``better ≻ worse`` statements (transitively
+  closed, cycles rejected).
+* :func:`winnow` — tuples not dominated by any other tuple under one or
+  more preference relations (Pareto/prioritized composition).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core.prelation import PRelation
+from ..engine.table import Row
+from ..errors import PreferenceError
+
+
+class PreferenceRelation:
+    """A strict partial order over the domain of one attribute.
+
+    Built from explicit statements; the transitive closure is computed
+    eagerly and cycles are rejected (a preference order must be a strict
+    order).  Values never mentioned are incomparable to everything.
+    """
+
+    def __init__(self, attr: str, prefers: Iterable[tuple[Any, Any]] = ()):
+        self.attr = attr
+        self._better_than: dict[Any, set[Any]] = {}
+        for better, worse in prefers:
+            self.add(better, worse)
+
+    def add(self, better: Any, worse: Any) -> None:
+        """Declare ``better ≻ worse`` and close transitively."""
+        if better == worse:
+            raise PreferenceError(f"{better!r} cannot be preferred over itself")
+        if self.prefers(worse, better):
+            raise PreferenceError(
+                f"adding {better!r} ≻ {worse!r} would create a preference cycle"
+            )
+        dominated = self._better_than.setdefault(better, set())
+        dominated.add(worse)
+        dominated |= self._better_than.get(worse, set())
+        for values in self._better_than.values():
+            if better in values:
+                values.add(worse)
+                values |= self._better_than.get(worse, set())
+
+    def prefers(self, a: Any, b: Any) -> bool:
+        """True when ``a ≻ b`` holds (strictly)."""
+        return b in self._better_than.get(a, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = sum(len(v) for v in self._better_than.values())
+        return f"PreferenceRelation({self.attr}, {pairs} pairs)"
+
+
+def winnow(
+    relation: PRelation,
+    orders: "PreferenceRelation | Sequence[PreferenceRelation]",
+    prioritized: bool = False,
+) -> PRelation:
+    """Tuples of *relation* not dominated under the given orders.
+
+    With several orders, domination is *Pareto* by default (t dominates t'
+    when t is at least as good on every order — equal or preferred — and
+    strictly preferred on one); ``prioritized=True`` uses the lexicographic
+    composition instead (earlier orders matter more).  NULL values are
+    incomparable to everything, matching the engine's NULL semantics.
+    """
+    if isinstance(orders, PreferenceRelation):
+        orders = [orders]
+    if not orders:
+        raise PreferenceError("winnow requires at least one preference relation")
+    positions = [relation.schema.index_of(order.attr) for order in orders]
+
+    def dominates(a: Row, b: Row) -> bool:
+        if prioritized:
+            for order, position in zip(orders, positions):
+                va, vb = a[position], b[position]
+                if va is None or vb is None:
+                    return False
+                if order.prefers(va, vb):
+                    return True
+                if order.prefers(vb, va) or va != vb:
+                    return False
+            return False
+        strictly_better = False
+        for order, position in zip(orders, positions):
+            va, vb = a[position], b[position]
+            if va is None or vb is None:
+                return False
+            if order.prefers(va, vb):
+                strictly_better = True
+            elif va != vb:
+                return False  # incomparable or worse on this dimension
+        return strictly_better
+
+    entries = list(zip(relation.rows, relation.pairs))
+    kept = [
+        (row, pair)
+        for row, pair in entries
+        if not any(dominates(other, row) for other, _ in entries)
+    ]
+    return PRelation(
+        relation.schema, [r for r, _ in kept], [p for _, p in kept]
+    )

@@ -1,0 +1,29 @@
+"""Preference learning: deriving preferences from user feedback.
+
+The paper assumes preferences "have already been extracted for each user"
+through learning paths such as ratings, clicks or query logs, with the
+**confidence** dimension capturing "the uncertainty imposed by the
+preference learning method" (Section III).  This subpackage makes that story
+concrete:
+
+* :mod:`~repro.learning.ratings` — atomic preferences from explicit ratings
+  (Example 1: a rating of 8/10 becomes ``(σ_{m_id=...}, 0.8, 1)``).
+* :mod:`~repro.learning.mining` — generic preferences mined from rated
+  items: per-value statistics over a categorical attribute, with confidence
+  shrunk toward zero for low support.
+* :mod:`~repro.learning.fitting` — least-squares fitting of linear scoring
+  functions over numeric attributes, yielding ``ExprScore`` scoring parts
+  whose confidence reflects goodness of fit.
+"""
+
+from .fitting import FittedScore, fit_linear_scoring
+from .mining import mine_categorical_preferences, mine_numeric_preference
+from .ratings import atomic_preferences_from_ratings
+
+__all__ = [
+    "atomic_preferences_from_ratings",
+    "mine_categorical_preferences",
+    "mine_numeric_preference",
+    "fit_linear_scoring",
+    "FittedScore",
+]

@@ -1,0 +1,79 @@
+"""Fitting scoring functions from observations.
+
+The paper points to "a considerable body of work on providing efficient
+methods to learn a scoring function S" (clickthrough data, query logs, user
+feedback) and assumes the functions exist.  This module provides the
+simplest credible instance: ordinary least squares over one numeric
+attribute, producing an :class:`~repro.core.scoring.ExprScore` (so the fitted
+function stays transparent to the optimizer) plus an R²-based confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.scoring import ExprScore, ScoringFunction
+from ..engine.expressions import Arithmetic, Attr, Literal
+from ..errors import PreferenceError
+
+
+@dataclass(frozen=True)
+class FittedScore:
+    """Result of fitting: the scoring function plus fit diagnostics."""
+
+    scoring: ScoringFunction
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @property
+    def suggested_confidence(self) -> float:
+        """A confidence for preferences using this scoring part.
+
+        R² clipped into [0, 0.95]: a perfect fit is still a *learnt*
+        preference, never as certain as an explicitly stated one.
+        """
+        return max(0.0, min(0.95, self.r_squared))
+
+
+def fit_linear_scoring(
+    attr: str, observations: Sequence[tuple[float, float]], label: str | None = None
+) -> FittedScore:
+    """Least-squares fit of ``score ≈ a·attr + b`` from (value, score) pairs.
+
+    Target scores must lie in [0, 1] (the scoring codomain); the resulting
+    expression is clamped into [0, 1] at evaluation time like every
+    ExprScore, so mild extrapolation stays well-formed.
+    """
+    if len(observations) < 2:
+        raise PreferenceError("fitting needs at least two observations")
+    xs = [float(x) for x, _ in observations]
+    ys = [float(y) for _, y in observations]
+    for y in ys:
+        if not 0.0 <= y <= 1.0:
+            raise PreferenceError(f"target scores must lie in [0, 1], got {y}")
+
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        # Degenerate: constant attribute — fall back to the mean score.
+        scoring = ExprScore(Literal(mean_y), label=label or f"fit({attr})")
+        return FittedScore(scoring, 0.0, mean_y, 0.0)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    ss_residual = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_total == 0 else max(0.0, 1.0 - ss_residual / ss_total)
+
+    expr = Arithmetic(
+        "+", Arithmetic("*", Literal(slope), Attr(attr)), Literal(intercept)
+    )
+    scoring = ExprScore(expr, label=label or f"fit({slope:.3g}·{attr}+{intercept:.3g})")
+    return FittedScore(scoring, slope, intercept, r_squared)

@@ -1,0 +1,54 @@
+"""Atomic preferences from explicit user ratings (paper Example 1).
+
+A rating is the one preference source the paper treats as fully certain:
+"since the preferences are directly provided by users we are certain about
+their scores" — confidence 1.  A rating of r on an R-point scale for tuple
+with key k becomes the atomic preference ``(σ_{pk=k}, r/R, 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.preference import Preference
+from ..errors import PreferenceError
+
+
+def atomic_preferences_from_ratings(
+    relation: str,
+    key_attr: str,
+    ratings: Iterable[tuple[Any, float]],
+    rating_scale: float = 10.0,
+    confidence: float = 1.0,
+    name_prefix: str = "rating",
+) -> list[Preference]:
+    """One atomic preference per ``(key_value, rating)`` pair.
+
+    Example 1: Alice rated Million Dollar Baby (m3) 8/10 and Gran Torino
+    (m1) 3/10::
+
+        atomic_preferences_from_ratings("MOVIES", "m_id", [(3, 8), (1, 3)])
+        # → [(σ_{m_id=3}, 0.8, 1), (σ_{m_id=1}, 0.3, 1)]
+
+    Duplicate keys keep the *last* rating (users revise their opinions).
+    """
+    if rating_scale <= 0:
+        raise PreferenceError("rating_scale must be positive")
+    latest: dict[Any, float] = {}
+    for key_value, rating in ratings:
+        if not 0 <= rating <= rating_scale:
+            raise PreferenceError(
+                f"rating {rating} outside [0, {rating_scale}] for key {key_value!r}"
+            )
+        latest[key_value] = float(rating)
+    return [
+        Preference.atomic(
+            relation,
+            key_attr,
+            key_value,
+            score=rating / rating_scale,
+            name=f"{name_prefix}_{relation}_{key_attr}_{key_value}".replace(" ", "_"),
+            confidence=confidence,
+        )
+        for key_value, rating in latest.items()
+    ]

@@ -1,0 +1,19 @@
+"""Preference-aware query optimization: heuristic rules 1-5 + left-deep plans."""
+
+from .leftdeep import left_deepen, match_native_join_order
+from .optimizer import OptimizerConfig, PreferenceOptimizer, optimize
+from .rules import push_prefers, push_projections, push_selections, reorder_prefers
+from .selectivity import preference_selectivity
+
+__all__ = [
+    "PreferenceOptimizer",
+    "OptimizerConfig",
+    "optimize",
+    "push_selections",
+    "push_projections",
+    "push_prefers",
+    "reorder_prefers",
+    "match_native_join_order",
+    "left_deepen",
+    "preference_selectivity",
+]

@@ -1,0 +1,34 @@
+"""Preference-aware query execution strategies (§VI-B).
+
+* :class:`ExecutionEngine` — strategy registry and entry point.
+* :func:`execute_ftp` / :func:`execute_bu` / :func:`execute_gbu` — the
+  paper's Filter-then-Prefer, Bottom-Up and Group Bottom-Up algorithms.
+* :func:`execute_plugin_rma` / :func:`execute_plugin_shared` — the plug-in
+  baselines (rewrite / materialize / aggregate).
+* :func:`evaluate_reference` — the semantics oracle.
+"""
+
+from .bottom_up import execute_bu
+from .conform import conform
+from .engine import STRATEGIES, ExecutionEngine, ExecutionStats, QueryResult
+from .ftp import execute_ftp, is_spj_region
+from .group_bottom_up import execute_gbu
+from .plugin import execute_plugin_rma, execute_plugin_shared
+from .reference import evaluate_reference
+from .scorerel import Intermediate
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionStats",
+    "QueryResult",
+    "STRATEGIES",
+    "execute_ftp",
+    "execute_bu",
+    "execute_gbu",
+    "execute_plugin_rma",
+    "execute_plugin_shared",
+    "evaluate_reference",
+    "conform",
+    "is_spj_region",
+    "Intermediate",
+]

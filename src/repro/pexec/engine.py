@@ -1,0 +1,170 @@
+"""The preference-aware execution engine: strategy registry and entry point.
+
+This is the component marked "Execution Engine" in the paper's architecture
+(Fig. 6): it receives an extended query plan, runs the preference-aware
+optimizer where the strategy calls for it, executes the plan with the chosen
+strategy and returns a p-relation along with timing and simulated-I/O
+statistics.
+
+Strategies:
+
+======================  ======================================================
+``gbu`` (default)       Group Bottom-Up — optimized plan, operators batched
+                        into native queries between prefer boundaries (Alg 2).
+``bu``                  Bottom-Up — optimized plan, one query per operator.
+``ftp``                 Filter-then-Prefer — non-preference part delegated
+                        wholesale, prefers evaluated on its result (Alg 1).
+``plugin-rma``          Plug-in baseline, one full query per preference.
+``plugin-shared``       Plug-in baseline sharing one materialized base result.
+``reference``           Direct interpretation of the extended algebra (oracle).
+======================  ======================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.prelation import PRelation
+from ..engine.database import Database
+from ..errors import ExecutionError
+from ..optimizer import OptimizerConfig, PreferenceOptimizer
+from ..plan.analysis import (
+    qualify_preferences,
+    required_carry_attributes,
+    widen_projections,
+)
+from ..plan.nodes import PlanNode
+from .bottom_up import execute_bu
+from .conform import conform
+from .ftp import execute_ftp
+from .group_bottom_up import execute_gbu
+from .plugin import execute_plugin_rma, execute_plugin_shared
+from .reference import evaluate_reference
+
+#: Strategies that run on the plan produced by the preference-aware
+#: optimizer; the others organize execution themselves.
+_OPTIMIZED_STRATEGIES = frozenset({"bu", "gbu"})
+
+STRATEGIES = ("gbu", "bu", "ftp", "plugin-rma", "plugin-shared", "reference")
+
+
+@dataclass
+class ExecutionStats:
+    """Measurements for a single query execution."""
+
+    strategy: str
+    wall_time: float
+    rows: int
+    cost: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.wall_time * 1e3:.2f} ms, {self.rows} rows, "
+            f"{self.cost.get('total_io', 0)} simulated page I/Os"
+        )
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution.
+
+    ``relation`` carries the *widened* schema (user attributes plus the
+    primary keys and preference attributes the engine projects through the
+    plan); :meth:`presented` trims it back to the attributes the query asked
+    for.
+    """
+
+    relation: PRelation
+    stats: ExecutionStats
+    plan: PlanNode
+    executed_plan: PlanNode
+    plan_schema: object = None
+
+    def presented(self) -> PRelation:
+        from ..core.algebra import project
+
+        target = [c.qualified_name for c in self.plan_schema.columns]
+        return project(self.relation, target)
+
+
+class ExecutionEngine:
+    """Runs extended query plans against a :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        aggregate: AggregateFunction = F_S,
+        optimizer_config: OptimizerConfig | None = None,
+    ):
+        self.db = db
+        self.aggregate = aggregate
+        self.optimizer = PreferenceOptimizer(db.catalog, optimizer_config)
+
+    def prepare(self, plan: PlanNode) -> PlanNode:
+        """Widen the plan's projections (the parser step of §VI).
+
+        Every attribute a prefer operator uses, every join attribute and
+        every base-relation primary key is carried through projections so
+        score relations stay keyable.
+        """
+        plan = qualify_preferences(plan, self.db.catalog)
+        carry = required_carry_attributes(plan, self.db.catalog)
+        return widen_projections(plan, carry, self.db.catalog)
+
+    def run(self, plan: PlanNode, strategy: str = "gbu") -> QueryResult:
+        """Execute *plan* with *strategy*, returning result and statistics."""
+        if strategy not in STRATEGIES:
+            raise ExecutionError(
+                f"unknown strategy {strategy!r}; choose one of {', '.join(STRATEGIES)}"
+            )
+        original_schema = plan.schema(self.db.catalog)
+        widened = self.prepare(plan)
+        target_schema = widened.schema(self.db.catalog)
+
+        cost_before = self.db.cost.snapshot()
+        started = time.perf_counter()
+        if strategy in _OPTIMIZED_STRATEGIES:
+            executed_plan = self.optimizer.optimize(widened)
+        else:
+            executed_plan = widened
+        result = self._dispatch(executed_plan, strategy)
+        result = conform(result, target_schema)
+        elapsed = time.perf_counter() - started
+        cost_after = self.db.cost.snapshot()
+
+        stats = ExecutionStats(
+            strategy=strategy,
+            wall_time=elapsed,
+            rows=len(result),
+            cost={k: cost_after[k] - cost_before.get(k, 0) for k in cost_after},
+        )
+        return QueryResult(result, stats, plan, executed_plan, original_schema)
+
+    def explain_result(self, result: QueryResult, index: int = 0):
+        """Provenance for one result tuple: each preference's contribution.
+
+        Works on the widened relation the engine returns, so every attribute
+        a preference reads is present; see :mod:`repro.pexec.provenance`.
+        """
+        from .provenance import explain_tuple
+
+        preferences = [
+            p.qualify(self.db.catalog) for p in result.plan.preferences()
+        ]
+        row = result.relation.rows[index]
+        return explain_tuple(result.relation.schema, row, preferences, self.aggregate)
+
+    def _dispatch(self, plan: PlanNode, strategy: str) -> PRelation:
+        if strategy == "gbu":
+            return execute_gbu(plan, self.db, self.aggregate)
+        if strategy == "bu":
+            return execute_bu(plan, self.db, self.aggregate)
+        if strategy == "ftp":
+            return execute_ftp(plan, self.db, self.aggregate)
+        if strategy == "plugin-rma":
+            return execute_plugin_rma(plan, self.db, self.aggregate)
+        if strategy == "plugin-shared":
+            return execute_plugin_shared(plan, self.db, self.aggregate)
+        return evaluate_reference(plan, self.db.catalog, self.aggregate)

@@ -1,0 +1,142 @@
+"""The Filter-then-Prefer (FtP) execution strategy (Algorithm 1, §VI-B).
+
+FtP separates the non-preference query part from preference evaluation: the
+plan with every prefer operator removed (``Q_NP``) is delegated wholesale to
+the native engine; the prefer operators are then evaluated directly on its
+result ``R_NP`` — possible because the query parser projects every attribute
+any prefer operator needs.  Join/set operators between score relations reduce
+to folding all prefer operators over ``R_NP`` (F is associative and
+commutative), which is exactly what this implementation does.
+
+FtP applies per *region*: a maximal select/project/join subtree with embedded
+prefer operators.  Filtering operators (top-k, score/confidence selections)
+and set operations form region boundaries and are evaluated on p-relations —
+so arbitrarily shaped plans (e.g. the paper's Q3) still execute, each SPJ
+region going through the FtP fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import algebra
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.prefer import prefer as apply_prefer
+from ..core.prelation import PRelation
+from ..engine.database import Database
+from ..errors import ExecutionError
+from ..filtering import topk as topk_filter
+from ..plan.analysis import strip_prefers
+from .conform import conform
+from ..plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+
+RegionFn = Callable[[PlanNode], PRelation]
+
+
+def execute_ftp(
+    plan: PlanNode, db: Database, aggregate: AggregateFunction = F_S
+) -> PRelation:
+    """Execute *plan* (already widened) with the FtP strategy."""
+    return RegionEvaluator(db, aggregate, _make_ftp_region(db, aggregate)).evaluate(plan)
+
+
+def is_spj_region(plan: PlanNode) -> bool:
+    """True when the whole subtree is select/project/join/prefer over leaves.
+
+    Such a subtree is what Algorithm 1 calls the query: its non-preference
+    part is one native query.  Score-referencing selections and top-k depend
+    on preference output and break the region.
+    """
+    for node in plan.walk():
+        if isinstance(node, (Relation, Materialized, Project, Join, LeftJoin, Prefer)):
+            continue
+        if isinstance(node, Select) and not node.condition.references_score():
+            continue
+        return False
+    return True
+
+
+class RegionEvaluator:
+    """Shared recursive skeleton for FtP and the plug-in baselines.
+
+    SPJ regions go through ``region_fn``; everything else (filters, set
+    operations) is interpreted over p-relations with the extended algebra.
+    """
+
+    def __init__(self, db: Database, aggregate: AggregateFunction, region_fn: RegionFn):
+        self.db = db
+        self.aggregate = aggregate
+        self.region_fn = region_fn
+
+    def evaluate(self, plan: PlanNode) -> PRelation:
+        if is_spj_region(plan):
+            return self.region_fn(plan)
+        if isinstance(plan, Select):
+            return algebra.select(self.evaluate(plan.child), plan.condition)
+        if isinstance(plan, Project):
+            return algebra.project(self.evaluate(plan.child), plan.attrs)
+        if isinstance(plan, Join):
+            return algebra.join(
+                self.evaluate(plan.left),
+                self.evaluate(plan.right),
+                plan.condition,
+                self.aggregate,
+            )
+        if isinstance(plan, LeftJoin):
+            return algebra.left_join(
+                self.evaluate(plan.left),
+                self.evaluate(plan.right),
+                plan.condition,
+                self.aggregate,
+            )
+        if isinstance(plan, Union):
+            return algebra.union(
+                self.evaluate(plan.left), self.evaluate(plan.right), self.aggregate
+            )
+        if isinstance(plan, Intersect):
+            return algebra.intersect(
+                self.evaluate(plan.left), self.evaluate(plan.right), self.aggregate
+            )
+        if isinstance(plan, Difference):
+            return algebra.difference(
+                self.evaluate(plan.left), self.evaluate(plan.right), self.aggregate
+            )
+        if isinstance(plan, Prefer):
+            return apply_prefer(
+                self.evaluate(plan.child),
+                plan.preference,
+                plan.aggregate or self.aggregate,
+            )
+        if isinstance(plan, TopK):
+            return topk_filter(self.evaluate(plan.child), plan.k, plan.by)
+        raise ExecutionError(f"FtP cannot execute node {plan!r}")
+
+
+def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
+    def run_region(plan: PlanNode) -> PRelation:
+        non_preference = strip_prefers(plan)
+        schema, rows = db.execute(non_preference, optimize=True)
+        db.cost.materialize(len(rows))
+        result = conform(
+            PRelation(schema, rows), non_preference.schema(db.catalog)
+        )
+        for preference in plan.preferences():
+            db.cost.scan(len(rows))
+            db.cost.count_operator("prefer")
+            result = apply_prefer(result, preference, aggregate)
+        return result
+
+    return run_region

@@ -1,0 +1,204 @@
+"""The Group Bottom-Up (GBU) execution strategy (Algorithm 2, §VI-B).
+
+GBU performs the same postorder traversal as BU but **defers** standard
+operators: contiguous selects/projects/joins/set-operations are accumulated
+(the paper's DAG ``G``) and, when a prefer operator — or the root — forces
+evaluation, the whole accumulated block is combined into a *single* query
+delegated to the native engine, which optimizes it with its own machinery.
+Intermediates produced by prefer operators re-enter blocks as materialized
+leaves, so the only materializations are the unavoidable ones at prefer
+boundaries.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.prelation import PRelation
+from ..engine.database import Database
+from ..engine.native_optimizer import optimize_native
+from ..engine.physical import execute_native
+from ..errors import ExecutionError
+from ..plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from . import scorerel
+from .scorerel import Intermediate
+
+
+def execute_gbu(
+    plan: PlanNode, db: Database, aggregate: AggregateFunction = F_S
+) -> PRelation:
+    """Execute *plan* (already optimized and widened) with the GBU strategy."""
+    evaluator = _Evaluator(db, aggregate)
+    deferred = evaluator.evaluate(plan)
+    return evaluator.force(deferred).to_prelation()
+
+
+class _Evaluator:
+    """Recursive GBU evaluation.
+
+    :meth:`evaluate` returns either a *deferred* plan — a subtree of standard
+    operators whose leaves are base relations or materialized intermediates —
+    or an :class:`Intermediate` (after a forcing operator).  ``embedded``
+    maps each materialized leaf injected into a deferred subtree back to the
+    intermediate it wraps, so the block's score relation can be derived after
+    native execution.
+    """
+
+    def __init__(self, db: Database, aggregate: AggregateFunction):
+        self.db = db
+        self.aggregate = aggregate
+        self.embedded: dict[int, Intermediate] = {}
+
+    # -- traversal -----------------------------------------------------------
+
+    def evaluate(self, plan: PlanNode) -> "PlanNode | Intermediate":
+        if isinstance(plan, (Relation, Materialized)):
+            return plan
+
+        if isinstance(plan, Select):
+            if plan.condition.references_score():
+                child = self.force(self.evaluate(plan.child))
+                return scorerel.apply_score_select(child, plan.condition)
+            return self._defer_unary(plan)
+
+        if isinstance(plan, Project):
+            return self._defer_unary(plan)
+
+        if isinstance(plan, (Join, LeftJoin, Union, Intersect, Difference)):
+            left = self._as_deferred(self.evaluate(plan.children()[0]))
+            right = self._as_deferred(self.evaluate(plan.children()[1]))
+            return plan.with_children([left, right])
+
+        if isinstance(plan, Prefer):
+            return self._prefer(plan)
+
+        if isinstance(plan, TopK):
+            child = self.force(self.evaluate(plan.child))
+            return scorerel.apply_topk(child, plan.k, plan.by)
+
+        raise ExecutionError(f"GBU cannot execute node {plan!r}")
+
+    def _prefer(self, plan: Prefer) -> Intermediate:
+        """Evaluate a prefer operator without copying its input.
+
+        When the child is a *pure* block (standard operators over base
+        relations, no embedded intermediates) — the common shape after the
+        optimizer pushed the prefer down — the conditional part runs through
+        the native engine as ``σ_φ(block)``, so selection pushdown and index
+        access paths apply, and only the score relation is materialized.
+        The block itself stays deferred (lazy rows), exactly like the paper's
+        prototype where prefer leaves R unchanged and updates R_P.
+        """
+        aggregate = plan.aggregate or self.aggregate
+        preference = plan.preference
+        self.db.cost.count_operator("prefer")
+
+        child = self.evaluate(plan.child)
+        block: PlanNode | None = None
+        base_scores: dict = {}
+        if isinstance(child, Intermediate):
+            if child.rows is None:
+                block = child.source  # lazy: a prefer chain over one block
+                base_scores = child.scores
+        elif not self._has_embedded(child):
+            block = child
+
+        if block is None:
+            # Impure input (filters/set-ops below): force and scan.
+            forced = self.force(child)
+            self.db.cost.scan(len(forced.rows))
+            result = scorerel.apply_prefer(forced, preference, aggregate)
+            self.db.cost.materialize(len(result.scores))
+            return result
+
+        conditional = Select(block, preference.condition)
+        optimized = optimize_native(conditional, self.db.catalog)
+        result_schema, qualifying = execute_native(
+            optimized, self.db.catalog, self.db.cost
+        )
+        schema = block.schema(self.db.catalog)
+        key_attrs = self._block_key_attrs(block, schema)
+        scores = scorerel.prefer_scores_from_rows(
+            result_schema, list(qualifying), key_attrs, preference, aggregate, base_scores
+        )
+        self.db.cost.materialize(len(scores))
+        return Intermediate(schema, None, key_attrs, scores, source=block)
+
+    def _block_key_attrs(self, block: PlanNode, schema) -> list[str]:
+        """Qualified primary keys of the block's base relations (its R_P key)."""
+        key_attrs: list[str] = []
+        for node in block.walk():
+            if isinstance(node, Relation):
+                relation_schema = node.schema(self.db.catalog)
+                for attr in relation_schema.primary_key:
+                    qualified = relation_schema.column(attr).qualified_name
+                    if qualified not in key_attrs:
+                        key_attrs.append(qualified)
+        if not key_attrs or not all(schema.has(a) for a in key_attrs):
+            return [c.qualified_name for c in schema.columns]
+        return key_attrs
+
+    def _has_embedded(self, block: PlanNode) -> bool:
+        return any(id(node) in self.embedded for node in block.walk())
+
+    def _defer_unary(self, plan: PlanNode) -> PlanNode:
+        child = self._as_deferred(self.evaluate(plan.children()[0]))
+        return plan.with_children([child])
+
+    def _as_deferred(self, value: "PlanNode | Intermediate") -> PlanNode:
+        if isinstance(value, Intermediate):
+            if value.source is not None:
+                # The rows are exactly a base relation's: keep the relation
+                # inside the delegated query (index access paths survive,
+                # nothing is copied) and carry only the score relation.
+                leaf = value.source
+            else:
+                leaf = Materialized(value.schema, value.rows)
+            self.embedded[id(leaf)] = value
+            return leaf
+        return value
+
+    # -- forcing ---------------------------------------------------------------
+
+    def force(self, value: "PlanNode | Intermediate") -> Intermediate:
+        """Run an accumulated block as one native query and derive its R_P."""
+        if isinstance(value, Intermediate):
+            if value.rows is None:
+                # Lazy (prefer over a pure block): execute the block now.
+                optimized = optimize_native(value.source, self.db.catalog)
+                schema, rows = execute_native(optimized, self.db.catalog, self.db.cost)
+                self.db.cost.materialize(len(rows))
+                return Intermediate(schema, list(rows), value.key_attrs, value.scores)
+            return value
+        block = value
+        embedded: list[Intermediate] = []
+        extra_keys: list[str] = []
+        for node in block.walk():
+            if id(node) in self.embedded:
+                # Consume the entry (Alg. 2 removes executed operators from
+                # G).  Crucial for correctness, not just hygiene: once the
+                # forced tree is garbage-collected a future node could reuse
+                # the same id() and collide with a stale entry.
+                embedded.append(self.embedded.pop(id(node)))
+            elif isinstance(node, Relation):
+                schema = node.schema(self.db.catalog)
+                for attr in schema.primary_key:
+                    extra_keys.append(schema.column(attr).qualified_name)
+        optimized = optimize_native(block, self.db.catalog)
+        schema, rows = execute_native(optimized, self.db.catalog, self.db.cost)
+        self.db.cost.materialize(len(rows))
+        return scorerel.merge_embedded(
+            schema, rows, embedded, extra_keys, self.aggregate
+        )

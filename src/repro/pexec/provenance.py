@@ -1,0 +1,109 @@
+"""Answer provenance: *why* does a tuple carry its score and confidence?
+
+A preference-aware application should be able to explain its suggestions
+("because you love comedies, and it won an Academy Award").  Since the
+engine widens every result with the attributes the prefer operators read,
+each result row still carries enough information to re-evaluate every
+preference's conditional and scoring part on it — so explanations come for
+free, without re-running the query.
+
+The per-tuple report lists one :class:`Contribution` per preference: whether
+its conditional part matched, the score it assigned, its confidence, and —
+as a sanity check — the F-combined pair, which equals the tuple's actual
+pair for SPJ-shaped queries (set operations merge pairs across branches, so
+there the report explains the branch's contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.preference import Preference
+from ..core.prelation import PRelation
+from ..core.scorepair import IDENTITY, ScorePair
+from ..engine.schema import TableSchema
+from ..engine.table import Row
+from ..errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One preference's effect on one result tuple."""
+
+    preference: Preference
+    matched: bool
+    score: float | None = None       # the scoring part's value (if matched)
+    confidence: float = 0.0          # the preference's confidence (if matched)
+
+    def describe(self) -> str:
+        if not self.matched:
+            return f"{self.preference.name}: not applicable"
+        score = "⊥" if self.score is None else f"{self.score:.3f}"
+        return (
+            f"{self.preference.name}: matched, score {score} "
+            f"with confidence {self.confidence:g}"
+        )
+
+
+@dataclass(frozen=True)
+class TupleExplanation:
+    """All contributions for one tuple plus the combined pair."""
+
+    row: Row
+    contributions: tuple[Contribution, ...]
+    combined: ScorePair
+
+    @property
+    def matched(self) -> tuple[Contribution, ...]:
+        return tuple(c for c in self.contributions if c.matched)
+
+    def describe(self) -> str:
+        lines = [f"tuple {self.row!r} → {self.combined!r}"]
+        for contribution in self.contributions:
+            lines.append("  " + contribution.describe())
+        return "\n".join(lines)
+
+
+def explain_tuple(
+    schema: TableSchema,
+    row: Row,
+    preferences: Sequence[Preference],
+    aggregate: AggregateFunction = F_S,
+) -> TupleExplanation:
+    """Evaluate every preference against one (widened) result row."""
+    contributions: list[Contribution] = []
+    pair = IDENTITY
+    for preference in preferences:
+        try:
+            condition = preference.condition.compile(schema)
+            scoring = preference.scoring.compile(schema)
+        except Exception as err:  # attribute not carried: cannot explain
+            raise ExecutionError(
+                f"cannot explain preference {preference.name!r}: {err}"
+            ) from err
+        if condition(row):
+            score = scoring(row)
+            contributions.append(
+                Contribution(preference, True, score, preference.confidence)
+            )
+            pair = aggregate.combine(pair, ScorePair(score, preference.confidence))
+        else:
+            contributions.append(Contribution(preference, False))
+    return TupleExplanation(row, tuple(contributions), pair)
+
+
+def explain_relation(
+    relation: PRelation,
+    preferences: Sequence[Preference],
+    aggregate: AggregateFunction = F_S,
+    limit: int | None = None,
+) -> list[TupleExplanation]:
+    """Explanations for (the first *limit*) tuples of a result p-relation."""
+    out: list[TupleExplanation] = []
+    for index, row in enumerate(relation.rows):
+        if limit is not None and index >= limit:
+            break
+        out.append(explain_tuple(relation.schema, row, preferences, aggregate))
+    return out

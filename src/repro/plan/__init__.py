@@ -1,0 +1,50 @@
+"""Logical extended query plans: nodes, builder, printer and analysis."""
+
+from .analysis import (
+    preference_attributes,
+    preferred_relations,
+    required_carry_attributes,
+    strip_prefers,
+    widen_projections,
+)
+from .builder import PlanBuilder, natural_join_condition, scan
+from .nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from .printer import compact, explain
+
+__all__ = [
+    "PlanNode",
+    "Relation",
+    "Materialized",
+    "Select",
+    "Project",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Intersect",
+    "Difference",
+    "Prefer",
+    "TopK",
+    "PlanBuilder",
+    "scan",
+    "natural_join_condition",
+    "explain",
+    "compact",
+    "strip_prefers",
+    "widen_projections",
+    "preference_attributes",
+    "preferred_relations",
+    "required_carry_attributes",
+]

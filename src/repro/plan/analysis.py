@@ -1,0 +1,152 @@
+"""Static analysis helpers over extended query plans.
+
+Used by the query parser (which must project every attribute any prefer
+operator will need, plus all join attributes — §VI "System Architecture")
+and by the Filter-then-Prefer strategy (which strips prefer operators to
+obtain the non-preference query part ``Q_NP``).
+"""
+
+from __future__ import annotations
+
+from ..engine.catalog import Catalog
+from .nodes import Join, LeftJoin, PlanNode, Prefer, Project, Relation, Select
+
+
+def preference_attributes(plan: PlanNode) -> set[str]:
+    """Attributes used by any prefer operator in *plan* (conditional+scoring)."""
+    out: set[str] = set()
+    for node in plan.walk():
+        if isinstance(node, Prefer):
+            out |= node.preference.attributes()
+    return out
+
+
+def join_attributes(plan: PlanNode) -> set[str]:
+    """Attributes referenced by any join condition in *plan*."""
+    out: set[str] = set()
+    for node in plan.walk():
+        if isinstance(node, (Join, LeftJoin)):
+            out |= node.condition.attributes()
+    return out
+
+
+def preferred_relations(plan: PlanNode) -> set[str]:
+    """Base relations named by at least one preference in *plan*."""
+    out: set[str] = set()
+    for node in plan.walk():
+        if isinstance(node, Prefer):
+            out |= set(node.preference.relations)
+    return out
+
+
+def primary_key_attributes(plan: PlanNode, catalog: Catalog) -> set[str]:
+    """Qualified primary-key attributes of every base relation in the plan.
+
+    The execution strategies key score relations by primary keys — composite
+    keys for join results — so any projection along the way must preserve
+    them.  Keys of preference-free relations are kept too: they make the
+    composite key of a join result unique even under fan-out.
+    """
+    out: set[str] = set()
+    for node in plan.walk():
+        if not isinstance(node, Relation) or not catalog.has_table(node.name):
+            continue
+        schema = node.schema(catalog)
+        for attr in schema.primary_key:
+            out.add(schema.column(attr).qualified_name.lower())
+    return out
+
+
+def qualify_preferences(plan: PlanNode, catalog: Catalog) -> PlanNode:
+    """Qualify every preference's bare attributes against its relations.
+
+    Run once by the execution engine before widening/optimizing so that
+    preference conditions stay unambiguous when evaluated on join results.
+    """
+    if isinstance(plan, Prefer):
+        child = qualify_preferences(plan.child, catalog)
+        return Prefer(child, plan.preference.qualify(catalog), plan.aggregate)
+    children = plan.children()
+    if not children:
+        return plan
+    return plan.with_children([qualify_preferences(child, catalog) for child in children])
+
+
+def strip_prefers(plan: PlanNode) -> PlanNode:
+    """The non-preference part ``Q_NP``: *plan* with every Prefer removed."""
+    if isinstance(plan, Prefer):
+        return strip_prefers(plan.child)
+    children = plan.children()
+    if not children:
+        return plan
+    return plan.with_children([strip_prefers(child) for child in children])
+
+
+def required_carry_attributes(plan: PlanNode, catalog: Catalog) -> set[str]:
+    """Everything a projection must keep for preference processing to work:
+    prefer attributes, join attributes and affected relations' primary keys.
+    """
+    return (
+        preference_attributes(plan)
+        | join_attributes(plan)
+        | primary_key_attributes(plan, catalog)
+    )
+
+
+def widen_projections(plan: PlanNode, extra: set[str], catalog: Catalog) -> PlanNode:
+    """Rewrite every Project so attributes in *extra* survive when available.
+
+    This implements the parser's rule of adding "projections for all
+    attributes that will be used as part of a prefer operator and for all
+    join attributes".  Attributes are matched by bare or qualified name
+    against the projection input's schema; kept attributes are added in
+    schema order after the user-requested ones.
+    """
+    children = plan.children()
+    if children:
+        plan = plan.with_children(
+            [widen_projections(child, extra, catalog) for child in children]
+        )
+    if not isinstance(plan, Project):
+        return plan
+    child_schema = plan.child.schema(catalog)
+    kept = list(plan.attrs)
+    kept_positions = {child_schema.index_of(a) for a in plan.attrs}
+    for column in child_schema.columns:
+        bare = column.name.lower()
+        qualified = column.qualified_name.lower()
+        if bare in extra or qualified in extra:
+            position = child_schema.index_of(qualified)
+            if position not in kept_positions:
+                kept.append(column.qualified_name)
+                kept_positions.add(position)
+    if tuple(kept) == plan.attrs:
+        return plan
+    return Project(plan.child, kept)
+
+
+def selection_conditions(plan: PlanNode) -> list:
+    """All selection conditions in the plan (pre-order) — used in tests."""
+    return [node.condition for node in plan.walk() if isinstance(node, Select)]
+
+
+def leaf_tables(plan: PlanNode) -> list[Relation]:
+    """Relation leaves in left-to-right order."""
+    return [node for node in plan.walk() if isinstance(node, Relation)]
+
+
+def plan_depth(plan: PlanNode) -> int:
+    children = plan.children()
+    if not children:
+        return 1
+    return 1 + max(plan_depth(child) for child in children)
+
+
+def is_left_deep(plan: PlanNode) -> bool:
+    """True when no binary operator has another binary operator on its right."""
+    for node in plan.walk():
+        if len(node.children()) == 2:
+            right = node.children()[1]
+            if any(len(inner.children()) == 2 for inner in right.walk()):
+                return False
+    return True

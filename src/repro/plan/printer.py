@@ -1,0 +1,47 @@
+"""EXPLAIN-style pretty printing of extended query plans."""
+
+from __future__ import annotations
+
+from .nodes import PlanNode
+
+
+def explain(plan: PlanNode) -> str:
+    """Render *plan* as an indented operator tree, root first.
+
+    Example::
+
+        top(10, score)
+        └─ π[title]
+           └─ ⋈[(movies.d_id = directors.d_id)]
+              ├─ σ[(movies.year = 2011)]
+              │  └─ MOVIES
+              └─ λ[p2]
+                 └─ DIRECTORS
+    """
+    lines: list[str] = []
+    _render(plan, prefix="", is_last=True, is_root=True, lines=lines)
+    return "\n".join(lines)
+
+
+def _render(
+    node: PlanNode, prefix: str, is_last: bool, is_root: bool, lines: list[str]
+) -> None:
+    if is_root:
+        lines.append(node.label())
+        child_prefix = ""
+    else:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + node.label())
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    children = node.children()
+    for index, child in enumerate(children):
+        _render(child, child_prefix, index == len(children) - 1, False, lines)
+
+
+def compact(plan: PlanNode) -> str:
+    """One-line functional rendering, useful in assertion messages."""
+    children = plan.children()
+    if not children:
+        return plan.label()
+    inner = ", ".join(compact(child) for child in children)
+    return f"{plan.label()}({inner})"

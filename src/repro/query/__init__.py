@@ -1,0 +1,8 @@
+"""User-facing query layer: SQL dialect, query compiler and sessions."""
+
+from .model import PreferentialQuery, QueryCompiler
+from .session import Session
+from .sql import parse
+from .store import PreferenceStore
+
+__all__ = ["Session", "QueryCompiler", "PreferentialQuery", "parse", "PreferenceStore"]

@@ -1,0 +1,16 @@
+"""SQL dialect: lexer, AST and parser for preferential queries."""
+
+from .ast import InlinePreference, SelectBlock, SetStatement, Statement, TableRef
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "Token",
+    "Statement",
+    "SelectBlock",
+    "SetStatement",
+    "TableRef",
+    "InlinePreference",
+]

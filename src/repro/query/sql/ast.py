@@ -1,0 +1,59 @@
+"""Abstract syntax of the preferential SQL dialect.
+
+A statement is one or more SELECT blocks combined with set operators.  Each
+block may carry a ``PREFERRING`` clause (named or inline preferences) and a
+``TOP k BY score|conf`` / ``ORDER BY score|conf`` suffix — the paper's
+preference evaluation and filtering phases, surfaced in the query language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ...engine.expressions import Expr
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry: base table, optional alias, optional join condition."""
+
+    name: str
+    alias: str | None = None
+    join_condition: Expr | None = None  # None on the first entry
+    natural: bool = False
+    outer: bool = False  # LEFT [OUTER] JOIN
+
+
+@dataclass(frozen=True)
+class InlinePreference:
+    """An inline ``PREFERRING (cond) SCORE expr CONFIDENCE c [ON rels]``."""
+
+    condition: Expr
+    score_expr: Expr
+    confidence: float
+    relations: tuple[str, ...]  # empty → inferred from the FROM list
+
+
+@dataclass(frozen=True)
+class SelectBlock:
+    """One SELECT ... FROM ... WHERE ... PREFERRING ... block."""
+
+    attrs: tuple[str, ...]  # empty tuple → SELECT *
+    tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    preferring: tuple[object, ...] = ()  # str (registered name) | InlinePreference
+    aggregate: str | None = None  # USING F_S|F_max|F_min
+    top_k: int | None = None
+    top_by: str = "score"
+    order_by: str | None = None  # 'score' | 'conf' | None
+
+
+@dataclass(frozen=True)
+class SetStatement:
+    """``left (UNION|INTERSECT|EXCEPT) right``."""
+
+    op: str  # 'union' | 'intersect' | 'except'
+    left: "Statement"
+    right: "Statement"
+
+
+Statement = SelectBlock | SetStatement

@@ -1,0 +1,104 @@
+"""Tokenizer for the preferential SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "and", "or", "not", "join", "on", "as",
+        "natural", "left", "outer", "in", "between", "is", "null", "preferring", "score",
+        "confidence", "top", "by", "using", "union", "intersect", "except", "true",
+        "false", "abs", "min", "max", "order", "asc", "desc",
+    }
+)
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'name' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        column = index - line_start + 1
+        if ch == "\n":
+            line += 1
+            line_start = index + 1
+            index += 1
+            continue
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == "-" and text[index : index + 2] == "--":  # line comment
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if ch == "'":
+            end = index + 1
+            parts: list[str] = []
+            while True:
+                if end >= length:
+                    raise ParseError("unterminated string literal", line, column)
+                if text[end] == "'":
+                    if text[end : end + 2] == "''":  # escaped quote
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            tokens.append(Token("string", "".join(parts), line, column))
+            index = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length and text[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # Don't swallow a trailing qualifier dot like "t.1" (invalid anyway).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", text[index:end], line, column))
+            index = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "name"
+            tokens.append(Token(kind, word.lower() if kind == "keyword" else word, line, column))
+            index = end
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("symbol", value, line, column))
+                index += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, length - line_start + 1))
+    return tokens

@@ -1,0 +1,381 @@
+"""Recursive-descent parser for the preferential SQL dialect.
+
+Supported shape (case-insensitive keywords)::
+
+    SELECT title, director FROM MOVIES
+      JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id
+      NATURAL JOIN GENRES
+    WHERE year = 2011 AND conf >= 0.5
+    PREFERRING p1, p2,
+               (genre = 'Comedy') SCORE 0.8 CONFIDENCE 0.9 ON GENRES
+    [USING F_max]
+    TOP 10 BY score
+
+``USING`` selects the aggregate function F for the whole query (default
+F_S); the same F applies to every operator, as Properties 4.3/4.4 require.
+
+The ON relation list of an inline preference is whitespace-separated
+(``ON MOVIES DIRECTORS``); a comma would be ambiguous with the
+PREFERRING-entry separator.
+
+    <query> UNION <query> / INTERSECT / EXCEPT
+
+``PREFERRING`` entries are either names of registered preferences or inline
+triples; ``score``/``conf`` in WHERE express post-preference filtering.
+"""
+
+from __future__ import annotations
+
+from ...engine.expressions import (
+    And,
+    Arithmetic,
+    Attr,
+    Between,
+    Comparison,
+    Expr,
+    Func,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from ...errors import ParseError
+from .ast import InlinePreference, SelectBlock, SetStatement, Statement, TableRef
+from .lexer import Token, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def parse(text: str) -> Statement:
+    """Parse *text* into a :class:`Statement` AST."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.current.kind == "keyword" and self.current.value in words
+
+    def at_symbol(self, *symbols: str) -> bool:
+        return self.current.kind == "symbol" and self.current.value in symbols
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            self._fail(f"expected {word.upper()}")
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.at_symbol(symbol):
+            self._fail(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            self._fail("expected an identifier")
+        return self.advance().value
+
+    def _fail(self, message: str) -> None:
+        token = self.current
+        raise ParseError(f"{message}, found {token.value!r}", token.line, token.column)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        left: Statement = self.parse_select_block()
+        while self.at_keyword("union", "intersect", "except"):
+            op = self.advance().value
+            right = self.parse_select_block()
+            left = SetStatement(op, left, right)
+        if self.current.kind != "eof":
+            self._fail("unexpected trailing input")
+        return left
+
+    def parse_select_block(self) -> SelectBlock:
+        self.expect_keyword("select")
+        attrs = self._select_list()
+        self.expect_keyword("from")
+        tables = self._table_refs()
+        where = None
+        if self.at_keyword("where"):
+            self.advance()
+            where = self._or_expr()
+        preferring: list[object] = []
+        if self.at_keyword("preferring"):
+            self.advance()
+            preferring.append(self._preference())
+            while self.at_symbol(","):
+                self.advance()
+                preferring.append(self._preference())
+        aggregate = None
+        if self.at_keyword("using"):
+            self.advance()
+            aggregate = self.expect_name()
+        top_k = None
+        top_by = "score"
+        if self.at_keyword("top"):
+            self.advance()
+            top_k = int(self._number())
+            self.expect_keyword("by")
+            top_by = self._rank_attr()
+        order_by = None
+        if self.at_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            order_by = self._rank_attr()
+            if self.at_keyword("desc", "asc"):
+                self.advance()  # ranking is always best-first; tolerate the noise
+        return SelectBlock(
+            attrs=tuple(attrs),
+            tables=tuple(tables),
+            where=where,
+            preferring=tuple(preferring),
+            aggregate=aggregate,
+            top_k=top_k,
+            top_by=top_by,
+            order_by=order_by,
+        )
+
+    def _rank_attr(self) -> str:
+        if self.at_keyword("score", "confidence"):
+            word = self.advance().value
+            return "score" if word == "score" else "conf"
+        name = self.expect_name().lower()
+        if name not in ("score", "conf"):
+            self._fail("TOP/ORDER BY ranks by SCORE or CONF")
+        return name
+
+    # -- select list and FROM ---------------------------------------------------
+
+    def _select_list(self) -> list[str]:
+        if self.at_symbol("*"):
+            self.advance()
+            return []
+        attrs = [self._attr_name()]
+        while self.at_symbol(","):
+            self.advance()
+            attrs.append(self._attr_name())
+        return attrs
+
+    def _attr_name(self) -> str:
+        name = self.expect_name()
+        if self.at_symbol("."):
+            self.advance()
+            name = f"{name}.{self.expect_name()}"
+        return name
+
+    def _table_refs(self) -> list[TableRef]:
+        refs = [self._table_ref(first=True)]
+        while True:
+            if self.at_symbol(","):
+                self.advance()
+                refs.append(self._table_ref(first=False, natural=False))
+            elif self.at_keyword("natural"):
+                self.advance()
+                self.expect_keyword("join")
+                refs.append(self._table_ref(first=False, natural=True))
+            elif self.at_keyword("join"):
+                self.advance()
+                ref = self._table_ref(first=False, natural=False)
+                self.expect_keyword("on")
+                condition = self._or_expr()
+                refs.append(
+                    TableRef(ref.name, ref.alias, join_condition=condition)
+                )
+            elif self.at_keyword("left"):
+                self.advance()
+                if self.at_keyword("outer"):
+                    self.advance()
+                self.expect_keyword("join")
+                ref = self._table_ref(first=False, natural=False)
+                self.expect_keyword("on")
+                condition = self._or_expr()
+                refs.append(
+                    TableRef(ref.name, ref.alias, join_condition=condition, outer=True)
+                )
+            else:
+                break
+        return refs
+
+    def _table_ref(self, first: bool, natural: bool = False) -> TableRef:
+        name = self.expect_name()
+        alias = None
+        if self.at_keyword("as"):
+            self.advance()
+            alias = self.expect_name()
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return TableRef(name, alias, natural=natural and not first)
+
+    # -- preferences -----------------------------------------------------------
+
+    def _preference(self) -> object:
+        if self.current.kind == "name":
+            return self.expect_name()
+        self.expect_symbol("(")
+        condition = self._or_expr()
+        self.expect_symbol(")")
+        self.expect_keyword("score")
+        score_expr = self._add_expr()
+        confidence = 1.0
+        if self.at_keyword("confidence"):
+            self.advance()
+            confidence = self._number()
+        relations: list[str] = []
+        if self.at_keyword("on"):
+            # Whitespace-separated relation list: a comma would be ambiguous
+            # with the PREFERRING-entry separator (ON MOVIES DIRECTORS, p2).
+            self.advance()
+            relations.append(self.expect_name())
+            while self.current.kind == "name":
+                relations.append(self.advance().value)
+        return InlinePreference(condition, score_expr, confidence, tuple(relations))
+
+    def _number(self) -> float:
+        if self.current.kind != "number":
+            self._fail("expected a number")
+        return float(self.advance().value)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self.at_keyword("or"):
+            self.advance()
+            expr = Or(expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._not_expr()
+        while self.at_keyword("and"):
+            self.advance()
+            expr = And(expr, self._not_expr())
+        return expr
+
+    def _not_expr(self) -> Expr:
+        if self.at_keyword("not"):
+            self.advance()
+            return Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        left = self._add_expr()
+        if self.current.kind == "symbol" and self.current.value in _COMPARISON_OPS:
+            op = self.advance().value
+            right = self._add_expr()
+            return Comparison(op, left, right)
+        if self.at_keyword("in"):
+            self.advance()
+            self.expect_symbol("(")
+            values = [self._literal_value()]
+            while self.at_symbol(","):
+                self.advance()
+                values.append(self._literal_value())
+            self.expect_symbol(")")
+            return InList(left, values)
+        if self.at_keyword("between"):
+            self.advance()
+            low = self._literal_value()
+            self.expect_keyword("and")
+            high = self._literal_value()
+            return Between(left, low, high)
+        if self.at_keyword("is"):
+            self.advance()
+            negated = False
+            if self.at_keyword("not"):
+                self.advance()
+                negated = True
+            self.expect_keyword("null")
+            return IsNull(left, negated)
+        return left
+
+    def _literal_value(self):
+        if self.current.kind == "number":
+            return _numeric(self.advance().value)
+        if self.current.kind == "string":
+            return self.advance().value
+        if self.at_keyword("true"):
+            self.advance()
+            return True
+        if self.at_keyword("false"):
+            self.advance()
+            return False
+        self._fail("expected a literal value")
+
+    def _add_expr(self) -> Expr:
+        expr = self._mul_expr()
+        while self.at_symbol("+", "-"):
+            op = self.advance().value
+            expr = Arithmetic(op, expr, self._mul_expr())
+        return expr
+
+    def _mul_expr(self) -> Expr:
+        expr = self._unary()
+        while self.at_symbol("*", "/"):
+            op = self.advance().value
+            expr = Arithmetic(op, expr, self._unary())
+        return expr
+
+    def _unary(self) -> Expr:
+        if self.at_symbol("-"):
+            self.advance()
+            return Arithmetic("-", Literal(0), self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Literal(_numeric(token.value))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if self.at_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if self.at_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if self.at_keyword("abs", "min", "max"):
+            name = self.advance().value
+            self.expect_symbol("(")
+            args = [self._or_expr()]
+            while self.at_symbol(","):
+                self.advance()
+                args.append(self._or_expr())
+            self.expect_symbol(")")
+            return Func(name, *args)
+        if self.at_keyword("score", "confidence"):
+            # score/conf pseudo-attributes in post-filter conditions.
+            word = self.advance().value
+            return Attr("score" if word == "score" else "conf")
+        if token.kind == "name":
+            return Attr(self._attr_name())
+        if self.at_symbol("("):
+            self.advance()
+            expr = self._or_expr()
+            self.expect_symbol(")")
+            return expr
+        self._fail("expected an expression")
+        raise AssertionError("unreachable")
+
+
+def _numeric(text: str) -> int | float:
+    if "." in text:
+        return float(text)
+    return int(text)

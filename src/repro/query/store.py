@@ -1,0 +1,108 @@
+"""Per-user preference stores and cross-user blending.
+
+The paper's application scenario (Section V) keeps a set of collected
+preferences per user and composes them — Q3 blends Alice's mandatory
+preferences with Bob's for social recommendations.  This module provides the
+bookkeeping: a :class:`PreferenceStore` maps users to their (possibly
+context-dependent) preferences and hands out ready-made sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.context import ContextualPreference
+from ..core.preference import Preference
+from ..engine.database import Database
+from ..errors import PreferenceError
+from .session import Session
+
+StoredPreference = "Preference | ContextualPreference"
+
+
+class PreferenceStore:
+    """Preferences collected per user, with session and blending helpers."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._by_user: dict[str, dict[str, object]] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def add(self, user: str, preference: "Preference | ContextualPreference") -> None:
+        """Store *preference* for *user* (names are unique per user)."""
+        bucket = self._by_user.setdefault(user, {})
+        key = preference.name.lower()
+        if key in bucket:
+            raise PreferenceError(
+                f"user {user!r} already has a preference named {preference.name!r}"
+            )
+        bucket[key] = preference
+
+    def add_all(
+        self, user: str, preferences: Iterable["Preference | ContextualPreference"]
+    ) -> None:
+        for preference in preferences:
+            self.add(user, preference)
+
+    def remove(self, user: str, name: str) -> None:
+        self._by_user.get(user, {}).pop(name.lower(), None)
+
+    def preferences_of(self, user: str) -> list[object]:
+        return list(self._by_user.get(user, {}).values())
+
+    def users(self) -> list[str]:
+        return sorted(self._by_user)
+
+    # -- sessions ---------------------------------------------------------------
+
+    def session_for(
+        self,
+        user: str,
+        strategy: str = "gbu",
+        aggregate: AggregateFunction = F_S,
+        context: Mapping | None = None,
+    ) -> Session:
+        """A session with the user's preferences registered."""
+        session = Session(self.db, strategy=strategy, aggregate=aggregate)
+        session.register_all(self.preferences_of(user))
+        if context:
+            session.set_context(**context)
+        return session
+
+    def blended_session(
+        self,
+        users: Iterable[str],
+        strategy: str = "gbu",
+        aggregate: AggregateFunction = F_S,
+    ) -> Session:
+        """A session carrying several users' preferences at once (Example 11).
+
+        Name clashes across users are disambiguated by prefixing the user
+        name (``alice.p2``); preferences keep their scores and confidences —
+        applications wanting to weight one user over another can register
+        re-scaled copies instead.
+        """
+        session = Session(self.db, strategy=strategy, aggregate=aggregate)
+        taken: set[str] = set()
+        for user in users:
+            for stored in self.preferences_of(user):
+                name = stored.name.lower()
+                if name in taken:
+                    stored = _renamed(stored, f"{user}.{stored.name}")
+                taken.add(stored.name.lower())
+                session.register(stored)
+        return session
+
+
+def _renamed(stored, new_name: str):
+    if isinstance(stored, ContextualPreference):
+        inner = stored.preference
+        return ContextualPreference(
+            Preference(new_name, inner.relations, inner.condition, inner.scoring, inner.confidence),
+            stored.when,
+        )
+    return Preference(
+        new_name, stored.relations, stored.condition, stored.scoring, stored.confidence
+    )

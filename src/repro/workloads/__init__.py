@@ -1,0 +1,43 @@
+"""Experiment workloads: synthetic data sets, queries and preference pools."""
+
+from .dblp import DblpConfig, generate_dblp
+from .imdb import ImdbConfig, generate_imdb
+from .prefgen import (
+    equality_preference,
+    measured_selectivity,
+    preference_pool,
+    range_preference,
+)
+from .queries import (
+    WorkloadQuery,
+    all_queries,
+    dblp_1,
+    dblp_2,
+    dblp_3,
+    dblp_queries,
+    imdb_1,
+    imdb_2,
+    imdb_3,
+    imdb_queries,
+)
+
+__all__ = [
+    "generate_imdb",
+    "ImdbConfig",
+    "generate_dblp",
+    "DblpConfig",
+    "WorkloadQuery",
+    "all_queries",
+    "imdb_queries",
+    "dblp_queries",
+    "imdb_1",
+    "imdb_2",
+    "imdb_3",
+    "dblp_1",
+    "dblp_2",
+    "dblp_3",
+    "equality_preference",
+    "range_preference",
+    "measured_selectivity",
+    "preference_pool",
+]

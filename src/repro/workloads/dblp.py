@@ -1,0 +1,241 @@
+"""Synthetic DBLP-shaped dataset generator (paper Fig. 8 / Table I).
+
+The paper's second data set is a June 2011 DBLP extract decomposed into
+PUBLICATIONS (2,659,337 rows), AUTHORS (977,494), PUB_AUTHORS (5,394,948),
+CONFERENCES (956,888), JOURNALS (689,016) and CITATIONS.  As with IMDB we
+reproduce the schema, size ratios and distribution shapes at a configurable
+scale with a seeded generator.
+
+Every publication is either a conference or a journal paper; CONFERENCES and
+JOURNALS key on ``p_id`` (one venue row per publication, as in the paper's
+decomposition of the DBLP XML).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.database import Database
+from ..engine.types import DataType
+
+#: Row counts at scale=1.0 (CITATIONS is not reported in the visible text;
+#: we use ~3 citation edges per publication, in line with DBLP snapshots).
+TABLE1_SIZES = {
+    "PUBLICATIONS": 2_659_337,
+    "AUTHORS": 977_494,
+    "PUB_AUTHORS": 5_394_948,
+    "CONFERENCES": 956_888,
+    "JOURNALS": 689_016,
+    "CITATIONS": 7_978_011,
+}
+
+CONFERENCE_NAMES = (
+    "ICDE", "SIGMOD", "VLDB", "EDBT", "CIKM", "KDD", "WWW", "ICDM",
+    "SIGIR", "PODS", "WSDM", "SOCC", "ICML", "NIPS", "AAAI", "IJCAI",
+)
+
+JOURNAL_NAMES = (
+    "TODS", "VLDBJ", "TKDE", "Information Systems", "DAPD",
+    "SIGMOD Record", "JACM", "CACM", "TOIS", "DKE",
+)
+
+LOCATIONS = (
+    "San Jose", "Athens", "Paris", "Tokyo", "Istanbul", "Seoul",
+    "Chicago", "Vancouver", "Shanghai", "Berlin", "Sydney", "Lisbon",
+)
+
+PUB_TYPES = ("conference", "journal")
+
+MIN_YEAR = 1970
+MAX_YEAR = 2011
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Generation parameters for the synthetic DBLP database."""
+
+    scale: float = 0.001
+    seed: int = 1729
+    build_indexes: bool = True
+    analyze: bool = True
+
+    def size(self, table: str) -> int:
+        return max(2, int(TABLE1_SIZES[table] * self.scale))
+
+
+def generate_dblp(config: DblpConfig | None = None, **overrides) -> Database:
+    """Build and load a synthetic DBLP database."""
+    if config is None:
+        config = DblpConfig(**overrides)
+    rng = np.random.default_rng(config.seed)
+    db = Database()
+    _create_schema(db)
+
+    n_pubs = config.size("PUBLICATIONS")
+    n_conf = min(config.size("CONFERENCES"), n_pubs)
+    n_jour = min(config.size("JOURNALS"), n_pubs - n_conf)
+    n_authors = config.size("AUTHORS")
+
+    years = _years(rng, n_pubs)
+    _load_publications(db, n_pubs, n_conf, n_jour)
+    _load_conferences(db, rng, n_conf, years)
+    _load_journals(db, rng, n_conf, n_jour, years)
+    _load_authors(db, n_authors)
+    _load_pub_authors(db, rng, n_pubs, n_authors, config.size("PUB_AUTHORS"))
+    _load_citations(db, rng, n_pubs, config.size("CITATIONS"))
+
+    if config.build_indexes:
+        _build_indexes(db)
+    if config.analyze:
+        db.analyze()
+    return db
+
+
+def _create_schema(db: Database) -> None:
+    """The bibliography schema of the paper's Fig. 8."""
+    db.create_table(
+        "PUBLICATIONS",
+        [("p_id", DataType.INT), ("title", DataType.TEXT), ("pub_type", DataType.TEXT)],
+        primary_key=["p_id"],
+    )
+    db.create_table(
+        "PUB_AUTHORS",
+        [("p_id", DataType.INT), ("a_id", DataType.INT)],
+        primary_key=["p_id", "a_id"],
+    )
+    db.create_table(
+        "AUTHORS",
+        [("a_id", DataType.INT), ("name", DataType.TEXT)],
+        primary_key=["a_id"],
+    )
+    db.create_table(
+        "CONFERENCES",
+        [
+            ("p_id", DataType.INT),
+            ("name", DataType.TEXT),
+            ("year", DataType.INT),
+            ("location", DataType.TEXT),
+        ],
+        primary_key=["p_id"],
+    )
+    db.create_table(
+        "JOURNALS",
+        [
+            ("p_id", DataType.INT),
+            ("name", DataType.TEXT),
+            ("year", DataType.INT),
+            ("volume", DataType.INT),
+        ],
+        primary_key=["p_id"],
+    )
+    db.create_table(
+        "CITATIONS",
+        [("p1_id", DataType.INT), ("p2_id", DataType.INT)],
+        primary_key=["p1_id", "p2_id"],
+    )
+
+
+def _years(rng: np.random.Generator, size: int) -> np.ndarray:
+    u = rng.power(4.0, size)  # publication volume grows over time
+    return (MIN_YEAR + u * (MAX_YEAR - MIN_YEAR)).astype(int)
+
+
+def _zipf_choice(rng: np.random.Generator, n_items: int, size: int, skew: float = 1.1):
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(n_items, size=size, p=weights)
+
+
+def _load_publications(db: Database, n_pubs: int, n_conf: int, n_jour: int) -> None:
+    rows = []
+    for i in range(1, n_pubs + 1):
+        if i <= n_conf:
+            pub_type = "conference"
+        elif i <= n_conf + n_jour:
+            pub_type = "journal"
+        else:
+            pub_type = "other"
+        rows.append((i, f"Publication {i}", pub_type))
+    db.insert_many("PUBLICATIONS", rows)
+
+
+def _load_conferences(db: Database, rng: np.random.Generator, n_conf: int, years) -> None:
+    venue = _zipf_choice(rng, len(CONFERENCE_NAMES), n_conf, skew=0.9)
+    location = rng.integers(0, len(LOCATIONS), size=n_conf)
+    rows = [
+        (i + 1, CONFERENCE_NAMES[int(venue[i])], int(years[i]), LOCATIONS[int(location[i])])
+        for i in range(n_conf)
+    ]
+    db.insert_many("CONFERENCES", rows)
+
+
+def _load_journals(
+    db: Database, rng: np.random.Generator, n_conf: int, n_jour: int, years
+) -> None:
+    venue = _zipf_choice(rng, len(JOURNAL_NAMES), n_jour, skew=0.9)
+    rows = [
+        (
+            n_conf + i + 1,
+            JOURNAL_NAMES[int(venue[i])],
+            int(years[n_conf + i]),
+            int(years[n_conf + i]) - MIN_YEAR + 1,
+        )
+        for i in range(n_jour)
+    ]
+    db.insert_many("JOURNALS", rows)
+
+
+def _load_authors(db: Database, n: int) -> None:
+    rows = [(i, f"Author {i}") for i in range(1, n + 1)]
+    db.insert_many("AUTHORS", rows)
+
+
+def _load_pub_authors(
+    db: Database, rng: np.random.Generator, n_pubs: int, n_authors: int, target: int
+) -> None:
+    pub_ids = rng.integers(1, n_pubs + 1, size=int(target * 1.25))
+    author_ids = _zipf_choice(rng, n_authors, len(pub_ids), skew=1.05) + 1
+    seen: set[tuple[int, int]] = set()
+    rows = []
+    for p, a in zip(pub_ids, author_ids):
+        key = (int(p), int(a))
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append(key)
+        if len(rows) >= target:
+            break
+    db.insert_many("PUB_AUTHORS", rows)
+
+
+def _load_citations(db: Database, rng: np.random.Generator, n_pubs: int, target: int) -> None:
+    citing = rng.integers(1, n_pubs + 1, size=int(target * 1.25))
+    cited = _zipf_choice(rng, n_pubs, len(citing), skew=1.2) + 1
+    seen: set[tuple[int, int]] = set()
+    rows = []
+    for p1, p2 in zip(citing, cited):
+        if p1 == p2:
+            continue
+        key = (int(p1), int(p2))
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append(key)
+        if len(rows) >= target:
+            break
+    db.insert_many("CITATIONS", rows)
+
+
+def _build_indexes(db: Database) -> None:
+    db.create_index("PUB_AUTHORS", "p_id")
+    db.create_index("PUB_AUTHORS", "a_id")
+    db.create_index("CONFERENCES", "name")
+    db.create_index("CONFERENCES", "year", kind="btree")
+    db.create_index("JOURNALS", "name")
+    db.create_index("JOURNALS", "year", kind="btree")
+    db.create_index("CITATIONS", "p1_id")
+    db.create_index("CITATIONS", "p2_id")
+    db.create_index("PUBLICATIONS", "pub_type")

@@ -1,0 +1,251 @@
+"""Synthetic IMDB-shaped dataset generator (paper Fig. 1 / Table I).
+
+The paper evaluates on a March 2010 IMDB snapshot (Table I: MOVIES 1,573,041
+rows, DIRECTORS 191,686, GENRES 997,550, CAST 13,145,520, RATINGS 318,374).
+We cannot ship that data, so this generator produces a database with the
+same schema, the same *size ratios* and comparable value distributions —
+zipf-skewed categorical attributes, recency-skewed years, normal durations —
+at a configurable scale.  ``scale=1.0`` reproduces the Table I row counts;
+the default used in tests and benchmarks is far smaller.
+
+Determinism: everything is driven by a seeded ``numpy`` generator, so a
+given (scale, seed) pair always produces the same database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.database import Database
+from ..engine.types import DataType
+
+#: Row counts at scale=1.0, from Table I (ACTORS/AWARDS are not reported in
+#: the visible text; their ratios are chosen to match the schema's role:
+#: roughly one distinct actor per 8 cast entries, awards for ~3% of movies).
+TABLE1_SIZES = {
+    "MOVIES": 1_573_041,
+    "DIRECTORS": 191_686,
+    "GENRES": 997_550,
+    "CAST": 13_145_520,
+    "RATINGS": 318_374,
+    "ACTORS": 1_643_190,
+    "AWARDS": 47_191,
+}
+
+GENRE_NAMES = (
+    "Drama", "Comedy", "Documentary", "Action", "Romance", "Thriller",
+    "Horror", "Crime", "Adventure", "Family", "Animation", "Sci-Fi",
+    "Fantasy", "Mystery", "Biography", "Music", "War", "History",
+    "Western", "Sport",
+)
+
+ROLE_NAMES = ("lead", "supporting", "cameo", "voice", "extra")
+
+AWARD_NAMES = (
+    "Academy Award", "Golden Globe", "BAFTA", "Palme d'Or", "Golden Lion",
+    "Golden Bear", "Screen Actors Guild", "Critics Choice",
+)
+
+MIN_YEAR = 1920
+MAX_YEAR = 2011
+
+
+@dataclass(frozen=True)
+class ImdbConfig:
+    """Generation parameters for the synthetic IMDB database."""
+
+    scale: float = 0.001
+    seed: int = 42
+    build_indexes: bool = True
+    analyze: bool = True
+
+    def size(self, table: str) -> int:
+        return max(2, int(TABLE1_SIZES[table] * self.scale))
+
+
+def generate_imdb(config: ImdbConfig | None = None, **overrides) -> Database:
+    """Build and load a synthetic IMDB database.
+
+    Keyword overrides are applied on top of the default config, e.g.
+    ``generate_imdb(scale=0.01, seed=7)``.
+    """
+    if config is None:
+        config = ImdbConfig(**overrides)
+    rng = np.random.default_rng(config.seed)
+    db = Database()
+    _create_schema(db)
+
+    n_movies = config.size("MOVIES")
+    n_directors = config.size("DIRECTORS")
+    n_actors = config.size("ACTORS")
+
+    _load_directors(db, rng, n_directors)
+    _load_movies(db, rng, n_movies, n_directors)
+    _load_genres(db, rng, n_movies, config.size("GENRES"))
+    _load_actors(db, rng, n_actors)
+    _load_cast(db, rng, n_movies, n_actors, config.size("CAST"))
+    _load_ratings(db, rng, n_movies, config.size("RATINGS"))
+    _load_awards(db, rng, n_movies, config.size("AWARDS"))
+
+    if config.build_indexes:
+        _build_indexes(db)
+    if config.analyze:
+        db.analyze()
+    return db
+
+
+def _create_schema(db: Database) -> None:
+    """The movie schema of the paper's Fig. 1."""
+    db.create_table(
+        "MOVIES",
+        [
+            ("m_id", DataType.INT),
+            ("title", DataType.TEXT),
+            ("year", DataType.INT),
+            ("duration", DataType.INT),
+            ("d_id", DataType.INT),
+        ],
+        primary_key=["m_id"],
+    )
+    db.create_table(
+        "DIRECTORS",
+        [("d_id", DataType.INT), ("director", DataType.TEXT)],
+        primary_key=["d_id"],
+    )
+    db.create_table(
+        "GENRES",
+        [("m_id", DataType.INT), ("genre", DataType.TEXT)],
+        primary_key=["m_id", "genre"],
+    )
+    db.create_table(
+        "ACTORS",
+        [("a_id", DataType.INT), ("actor", DataType.TEXT)],
+        primary_key=["a_id"],
+    )
+    db.create_table(
+        "CAST",
+        [("m_id", DataType.INT), ("a_id", DataType.INT), ("role", DataType.TEXT)],
+        primary_key=["m_id", "a_id"],
+    )
+    db.create_table(
+        "RATINGS",
+        [("m_id", DataType.INT), ("rating", DataType.FLOAT), ("votes", DataType.INT)],
+        primary_key=["m_id"],
+    )
+    db.create_table(
+        "AWARDS",
+        [("m_id", DataType.INT), ("award", DataType.TEXT), ("year", DataType.INT)],
+        primary_key=["m_id", "award"],
+    )
+
+
+def _zipf_choice(rng: np.random.Generator, n_items: int, size: int, skew: float = 1.1):
+    """Zipf-skewed indexes in [0, n_items) (vectorized, truncated)."""
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(n_items, size=size, p=weights)
+
+
+def _years(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Production years skewed toward the present (as in the real IMDB)."""
+    u = rng.power(3.0, size)  # density rises toward 1
+    return (MIN_YEAR + u * (MAX_YEAR - MIN_YEAR)).astype(int)
+
+
+def _load_directors(db: Database, rng: np.random.Generator, n: int) -> None:
+    rows = [(i, f"Director {i}") for i in range(1, n + 1)]
+    db.insert_many("DIRECTORS", rows)
+
+
+def _load_movies(db: Database, rng: np.random.Generator, n: int, n_directors: int) -> None:
+    years = _years(rng, n)
+    durations = np.clip(rng.normal(105, 25, n), 40, 300).astype(int)
+    directors = _zipf_choice(rng, n_directors, n) + 1
+    rows = [
+        (i + 1, f"Movie {i + 1}", int(years[i]), int(durations[i]), int(directors[i]))
+        for i in range(n)
+    ]
+    db.insert_many("MOVIES", rows)
+
+
+def _load_genres(db: Database, rng: np.random.Generator, n_movies: int, target: int) -> None:
+    genre_ids = _zipf_choice(rng, len(GENRE_NAMES), int(target * 1.25), skew=1.0)
+    movie_ids = rng.integers(1, n_movies + 1, size=len(genre_ids))
+    seen: set[tuple[int, int]] = set()
+    rows = []
+    for m, g in zip(movie_ids, genre_ids):
+        key = (int(m), int(g))
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append((int(m), GENRE_NAMES[int(g)]))
+        if len(rows) >= target:
+            break
+    db.insert_many("GENRES", rows)
+
+
+def _load_actors(db: Database, rng: np.random.Generator, n: int) -> None:
+    rows = [(i, f"Actor {i}") for i in range(1, n + 1)]
+    db.insert_many("ACTORS", rows)
+
+
+def _load_cast(
+    db: Database, rng: np.random.Generator, n_movies: int, n_actors: int, target: int
+) -> None:
+    movie_ids = rng.integers(1, n_movies + 1, size=int(target * 1.25))
+    actor_ids = _zipf_choice(rng, n_actors, len(movie_ids), skew=1.05) + 1
+    roles = rng.integers(0, len(ROLE_NAMES), size=len(movie_ids))
+    seen: set[tuple[int, int]] = set()
+    rows = []
+    for m, a, r in zip(movie_ids, actor_ids, roles):
+        key = (int(m), int(a))
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append((int(m), int(a), ROLE_NAMES[int(r)]))
+        if len(rows) >= target:
+            break
+    db.insert_many("CAST", rows)
+
+
+def _load_ratings(db: Database, rng: np.random.Generator, n_movies: int, target: int) -> None:
+    target = min(target, n_movies)
+    movie_ids = rng.choice(n_movies, size=target, replace=False) + 1
+    ratings = np.clip(rng.normal(6.4, 1.6, target), 1.0, 10.0).round(1)
+    votes = np.minimum(rng.zipf(1.6, target) * 10, 2_000_000)
+    rows = [
+        (int(m), float(r), int(v)) for m, r, v in zip(movie_ids, ratings, votes)
+    ]
+    db.insert_many("RATINGS", rows)
+
+
+def _load_awards(db: Database, rng: np.random.Generator, n_movies: int, target: int) -> None:
+    movie_ids = rng.integers(1, n_movies + 1, size=int(target * 1.25))
+    awards = rng.integers(0, len(AWARD_NAMES), size=len(movie_ids))
+    seen: set[tuple[int, int]] = set()
+    rows = []
+    for m, a in zip(movie_ids, awards):
+        key = (int(m), int(a))
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append((int(m), AWARD_NAMES[int(a)], int(MIN_YEAR + (m % (MAX_YEAR - MIN_YEAR)))))
+        if len(rows) >= target:
+            break
+    db.insert_many("AWARDS", rows)
+
+
+def _build_indexes(db: Database) -> None:
+    """Access paths a production deployment would have on this schema."""
+    db.create_index("MOVIES", "d_id")
+    db.create_index("MOVIES", "year", kind="btree")
+    db.create_index("GENRES", "m_id")
+    db.create_index("GENRES", "genre")
+    db.create_index("CAST", "m_id")
+    db.create_index("CAST", "a_id")
+    db.create_index("RATINGS", "m_id")
+    db.create_index("RATINGS", "votes", kind="btree")
+    db.create_index("AWARDS", "m_id")

@@ -1,0 +1,195 @@
+"""Preference generation with controlled selectivity.
+
+The paper's sensitivity experiments vary one parameter at a time — number of
+preferences (|λ|) or the selectivity of their conditional parts.  These
+helpers manufacture preferences whose conditional parts match a requested
+fraction of a relation's tuples, by inspecting the actual data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.preference import Preference
+from ..core.scoring import ConstantScore, ScoringFunction
+from ..engine.database import Database
+from ..engine.expressions import Attr, Comparison, InList
+from ..errors import PreferenceError
+
+
+def equality_preference(
+    db: Database,
+    relation: str,
+    attr: str,
+    selectivity: float,
+    score: float | ScoringFunction = 0.8,
+    confidence: float = 0.9,
+    name: str | None = None,
+) -> Preference:
+    """A preference whose conditional part matches ≈ *selectivity* of tuples.
+
+    Builds an ``attr IN (v1, ..., vk)`` condition by greedily accumulating
+    the most frequent values of *attr* until the requested fraction is
+    reached (single-value conditions degenerate to equality).
+    """
+    values = _pick_values(db, relation, attr, selectivity)
+    if len(values) == 1:
+        condition = Comparison("=", Attr(attr), _literal(values[0]))
+    else:
+        condition = InList(Attr(attr), values)
+    return Preference(
+        name or f"sel({relation}.{attr}≈{selectivity:g})",
+        relation,
+        condition,
+        score,
+        confidence,
+    )
+
+
+def range_preference(
+    db: Database,
+    relation: str,
+    attr: str,
+    selectivity: float,
+    score: float | ScoringFunction = 0.8,
+    confidence: float = 0.9,
+    name: str | None = None,
+) -> Preference:
+    """A ``attr >= q`` preference matching the top *selectivity* fraction."""
+    table = db.table(relation)
+    position = table.schema.index_of(attr)
+    values = sorted(
+        (row[position] for row in table.rows if row[position] is not None),
+        reverse=True,
+    )
+    if not values:
+        raise PreferenceError(f"{relation}.{attr} has no non-NULL values")
+    cut = min(len(values) - 1, max(0, int(len(values) * selectivity) - 1))
+    threshold = values[cut]
+    return Preference(
+        name or f"range({relation}.{attr}≈{selectivity:g})",
+        relation,
+        Comparison(">=", Attr(attr), _literal(threshold)),
+        score,
+        confidence,
+    )
+
+
+def measured_selectivity(db: Database, preference: Preference) -> float:
+    """The *actual* fraction of the relation's tuples the preference affects.
+
+    Only defined for single-relation preferences; used to verify that the
+    generated conditional parts hit their targets.
+    """
+    if len(preference.relations) != 1:
+        raise PreferenceError("measured_selectivity needs a single-relation preference")
+    table = db.table(preference.relations[0])
+    if not len(table):
+        return 0.0
+    check = preference.qualify(db.catalog).condition.compile(table.schema)
+    matched = sum(1 for row in table.rows if check(row))
+    return matched / len(table)
+
+
+def preference_pool(
+    db: Database,
+    count: int,
+    selectivity: float = 0.05,
+    confidence: float = 0.8,
+) -> list[Preference]:
+    """*count* distinct preferences over the IMDB schema for the |λ| sweeps.
+
+    Preferences cycle over (relation, attribute) pairs and successive
+    frequency slices of each attribute, so no two preferences in the pool
+    share a conditional part.
+    """
+    sources = [
+        ("GENRES", "genre"),
+        ("MOVIES", "year"),
+        ("DIRECTORS", "d_id"),
+        ("MOVIES", "duration"),
+        ("RATINGS", "votes"),
+        ("MOVIES", "d_id"),
+    ]
+    pool: list[Preference] = []
+    offsets: Counter = Counter()
+    index = 0
+    while len(pool) < count:
+        relation, attr = sources[index % len(sources)]
+        slice_number = offsets[(relation, attr)]
+        offsets[(relation, attr)] += 1
+        values = _pick_values(db, relation, attr, selectivity, skip_slices=slice_number)
+        condition = (
+            Comparison("=", Attr(attr), _literal(values[0]))
+            if len(values) == 1
+            else InList(Attr(attr), values)
+        )
+        pool.append(
+            Preference(
+                f"pool#{len(pool) + 1}({relation}.{attr})",
+                relation,
+                condition,
+                ConstantScore(min(1.0, 0.5 + 0.04 * len(pool))),
+                confidence,
+            )
+        )
+        index += 1
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _pick_values(
+    db: Database, relation: str, attr: str, selectivity: float, skip_slices: int = 0
+) -> list:
+    """Most frequent values of *attr* covering ≈ *selectivity* of the rows.
+
+    ``skip_slices`` slides the selection window down the frequency ranking so
+    repeated calls yield disjoint conditions of similar selectivity.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise PreferenceError(f"selectivity must be in (0, 1], got {selectivity}")
+    table = db.table(relation)
+    if not len(table):
+        raise PreferenceError(f"relation {relation} is empty")
+    position = table.schema.index_of(attr)
+    counts = Counter(
+        row[position] for row in table.rows if row[position] is not None
+    )
+    ranked = counts.most_common()
+    total = len(table)
+    start = 0
+    for _ in range(skip_slices):
+        start = _slice_end(ranked, start, selectivity, total)
+        if start >= len(ranked):
+            start = 0  # wrap around: better overlap than failure
+            break
+    target = selectivity * total
+    if start < len(ranked) and ranked[start][1] > 1.5 * target:
+        # The head value overshoots the target badly (skewed categorical
+        # data): the single value with the closest frequency is a better fit
+        # than a greedy prefix.
+        best = min(ranked[start:], key=lambda vc: abs(vc[1] - target))
+        return [best[0]]
+    end = _slice_end(ranked, start, selectivity, total)
+    values = [value for value, _ in ranked[start:end]]
+    return values or [ranked[0][0]]
+
+
+def _slice_end(ranked, start: int, selectivity: float, total: int) -> int:
+    covered = 0
+    end = start
+    target = selectivity * total
+    while end < len(ranked) and covered < target:
+        covered += ranked[end][1]
+        end += 1
+    return max(end, start + 1)
+
+
+def _literal(value):
+    from ..engine.expressions import Literal
+
+    return Literal(value)

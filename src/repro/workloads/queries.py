@@ -1,0 +1,225 @@
+"""The experiment workload: queries IMDB-1..3 and DBLP-1..3 (§VII, Table II).
+
+The paper's experiments run six preferential queries over the two data sets,
+characterized by: result size ``N``, number of joined relations ``|R|``,
+number of preferences ``|λ|`` and the split ``P/NP`` of relations with vs
+without preferences.  The exact SQL is not printed in the paper, so these
+queries are reconstructions that hit the same parameter points and exercise
+every preference flavour of Section III (atomic, generic, multi-attribute,
+multi-relational, membership).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.preference import Preference
+from ..core.scoring import around_score, rating_score, recency_score, weighted
+from ..engine.database import Database
+from ..engine.expressions import TRUE, InList, Attr, cmp, eq
+from ..query.session import Session
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One experiment query: SQL text plus the preferences it references."""
+
+    name: str
+    dataset: str  # 'imdb' | 'dblp'
+    sql: str
+    preferences: tuple[Preference, ...]
+    description: str = ""
+
+    @property
+    def num_preferences(self) -> int:
+        return len(self.preferences)
+
+    def session(self, db: Database, **session_kwargs) -> Session:
+        """A session over *db* with this query's preferences registered."""
+        session = Session(db, **session_kwargs)
+        session.register_all(self.preferences)
+        return session
+
+
+# ---------------------------------------------------------------------------
+# IMDB queries
+# ---------------------------------------------------------------------------
+
+
+def imdb_1(k: int = 10, year: int = 2005) -> WorkloadQuery:
+    """IMDB-1 — the paper's Q1 (Example 9): top-k recent movies, 3 preferences.
+
+    |R| = 5 (MOVIES, GENRES, DIRECTORS, CAST, ACTORS), |λ| = 3, P/NP = 3/2.
+    """
+    preferences = (
+        Preference("p1", "GENRES", eq("genre", "Comedy"), 0.8, 0.9),
+        Preference("p2", "DIRECTORS", eq("d_id", 1), 0.9, 0.8),
+        Preference("p3", "ACTORS", eq("a_id", 1), 1.0, 1.0),
+    )
+    sql = f"""
+        SELECT title, director FROM MOVIES
+          NATURAL JOIN GENRES
+          NATURAL JOIN DIRECTORS
+          NATURAL JOIN CAST
+          NATURAL JOIN ACTORS
+        WHERE year >= {year}
+        PREFERRING p1, p2, p3
+        TOP {k} BY score
+    """
+    return WorkloadQuery(
+        "IMDB-1", "imdb", sql, preferences, "top-k with per-relation preferences"
+    )
+
+
+def imdb_2(k: int = 10) -> WorkloadQuery:
+    """IMDB-2 — rating/recency flavour (preferences p4, p5 of Section III).
+
+    |R| = 2 (MOVIES, RATINGS), |λ| = 2, P/NP = 2/0.
+    """
+    preferences = (
+        Preference(
+            "p4", "RATINGS", cmp("votes", ">", 50), rating_score("rating"), 0.8
+        ),
+        Preference(
+            "p5",
+            "MOVIES",
+            TRUE,
+            weighted([(0.5, recency_score("year", 2011)), (0.5, around_score("duration", 120))]),
+            0.9,
+        ),
+    )
+    sql = f"""
+        SELECT title, rating FROM MOVIES
+          NATURAL JOIN RATINGS
+        PREFERRING p4, p5
+        TOP {k} BY score
+    """
+    return WorkloadQuery(
+        "IMDB-2", "imdb", sql, preferences, "multi-attribute scoring functions"
+    )
+
+
+def imdb_3(tau: float = 0.8, year: int = 1990) -> WorkloadQuery:
+    """IMDB-3 — multi-relational + membership preferences, confidence filter.
+
+    |R| = 3 (MOVIES, GENRES, AWARDS), |λ| = 4, P/NP = 3/0; the result keeps
+    only tuples with accumulated confidence ≥ τ (the paper's Q2 flavour).
+    """
+    preferences = (
+        Preference(
+            "p6",
+            ("MOVIES", "GENRES"),
+            eq("genre", "Action"),
+            recency_score("year", 2011),
+            0.8,
+        ),
+        Preference.membership(("MOVIES", "AWARDS"), score=1.0, confidence=0.9, name="p7"),
+        Preference("p8", "GENRES", eq("genre", "Comedy"), 0.8, 0.9),
+        Preference("p9", "GENRES", eq("genre", "Horror"), 0.0, 0.7),
+    )
+    sql = f"""
+        SELECT title, genre, award FROM MOVIES
+          NATURAL JOIN GENRES
+          JOIN AWARDS ON MOVIES.m_id = AWARDS.m_id
+        WHERE MOVIES.year >= {year} AND conf >= {tau}
+        PREFERRING p6, p7, p8, p9
+        ORDER BY score
+    """
+    return WorkloadQuery(
+        "IMDB-3", "imdb", sql, preferences, "membership preference + confidence filter"
+    )
+
+
+# ---------------------------------------------------------------------------
+# DBLP queries
+# ---------------------------------------------------------------------------
+
+
+def dblp_1(k: int = 10, year: int = 2000) -> WorkloadQuery:
+    """DBLP-1 — top-k recent conference papers by preferred venues/authors.
+
+    |R| = 4 (PUBLICATIONS, CONFERENCES, PUB_AUTHORS, AUTHORS), |λ| = 3,
+    P/NP = 2/2.
+    """
+    preferences = (
+        Preference(
+            "d1",
+            "CONFERENCES",
+            InList(Attr("name"), ["SIGMOD", "VLDB", "ICDE"]),
+            0.9,
+            0.9,
+        ),
+        Preference(
+            "d2", "CONFERENCES", TRUE, recency_score("year", 2011), 0.7
+        ),
+        Preference("d3", "AUTHORS", eq("a_id", 1), 1.0, 1.0),
+    )
+    sql = f"""
+        SELECT title, CONFERENCES.name FROM PUBLICATIONS
+          NATURAL JOIN CONFERENCES
+          NATURAL JOIN PUB_AUTHORS
+          JOIN AUTHORS ON PUB_AUTHORS.a_id = AUTHORS.a_id
+        WHERE year >= {year}
+        PREFERRING d1, d2, d3
+        TOP {k} BY score
+    """
+    return WorkloadQuery(
+        "DBLP-1", "dblp", sql, preferences, "venue and author preferences"
+    )
+
+
+def dblp_2(k: int = 10) -> WorkloadQuery:
+    """DBLP-2 — journal papers, 2 relations, 2 preferences (P/NP = 1/1)."""
+    preferences = (
+        Preference(
+            "d4", "JOURNALS", InList(Attr("name"), ["TKDE", "VLDBJ", "TODS"]), 0.9, 0.8
+        ),
+        Preference("d5", "JOURNALS", TRUE, recency_score("year", 2011), 0.6),
+    )
+    sql = f"""
+        SELECT title, name, year FROM PUBLICATIONS
+          NATURAL JOIN JOURNALS
+        PREFERRING d4, d5
+        TOP {k} BY score
+    """
+    return WorkloadQuery("DBLP-2", "dblp", sql, preferences, "journal preferences")
+
+
+def dblp_3(tau: float = 0.5) -> WorkloadQuery:
+    """DBLP-3 — membership preference over the citation graph.
+
+    |R| = 2 (PUBLICATIONS, CITATIONS), |λ| = 2: cited publications are
+    preferred (membership) and conference papers get a boost; results with
+    any matched preference are kept (σ_{conf>0} as in the paper's Q3).
+    """
+    preferences = (
+        Preference.membership(
+            ("PUBLICATIONS", "CITATIONS"), score=1.0, confidence=0.9, name="d6"
+        ),
+        Preference(
+            "d7", "PUBLICATIONS", eq("pub_type", "conference"), 0.7, 0.6
+        ),
+    )
+    sql = f"""
+        SELECT title, pub_type FROM PUBLICATIONS
+          JOIN CITATIONS ON PUBLICATIONS.p_id = CITATIONS.p2_id
+        WHERE conf >= {tau}
+        PREFERRING d6, d7
+        ORDER BY score
+    """
+    return WorkloadQuery(
+        "DBLP-3", "dblp", sql, preferences, "citation membership preference"
+    )
+
+
+def all_queries() -> list[WorkloadQuery]:
+    """The six-query workload of Table II."""
+    return [imdb_1(), imdb_2(), imdb_3(), dblp_1(), dblp_2(), dblp_3()]
+
+
+def imdb_queries() -> list[WorkloadQuery]:
+    return [imdb_1(), imdb_2(), imdb_3()]
+
+
+def dblp_queries() -> list[WorkloadQuery]:
+    return [dblp_1(), dblp_2(), dblp_3()]

@@ -1,0 +1,179 @@
+"""Unit + property tests for aggregate functions (Definition 3 laws)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    F_MAX,
+    F_MIN,
+    F_S,
+    check_associative,
+    check_commutative,
+    check_identity,
+    check_laws,
+    get_aggregate,
+)
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.errors import PreferenceError
+
+ALL = (F_S, F_MAX, F_MIN)
+
+
+def pairs_strategy():
+    """Canonical pairs: a ⊥ score always carries confidence 0.
+
+    The F_S formula maps any ⟨⊥, c⟩ to ⟨⊥, 0⟩ ("else ⟨⊥, 0⟩" in Example 4):
+    an unknown score carries no usable evidence, so ⟨⊥, c⟩ ≡ ⟨⊥, 0⟩ in the
+    algebra and the Definition 3 laws are stated over canonical pairs.
+    """
+    known = st.builds(
+        ScorePair,
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    return st.one_of(st.just(IDENTITY), known)
+
+
+class TestWeightedSum:
+    def test_example4_weighted_combination(self):
+        # Two known pairs: score is the confidence-weighted combination,
+        # confidence is the sum (can exceed 1, as the paper notes).
+        out = F_S.combine(ScorePair(0.8, 1.0), ScorePair(0.3, 1.0))
+        assert out.score == pytest.approx(0.55)
+        assert out.conf == pytest.approx(2.0)
+
+    def test_weights_matter(self):
+        out = F_S.combine(ScorePair(1.0, 0.9), ScorePair(0.0, 0.1))
+        assert out.score == pytest.approx(0.9)
+        assert out.conf == pytest.approx(1.0)
+
+    def test_bottom_is_ignored(self):
+        known = ScorePair(0.7, 0.5)
+        assert F_S.combine(known, ScorePair(None, 0.9)) == known
+        assert F_S.combine(ScorePair(None, 0.9), known) == known
+
+    def test_all_bottom_collapses_to_identity(self):
+        assert F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == IDENTITY
+
+    def test_zero_confidence_pairs(self):
+        # Zero-confidence knowns are dominated by positive-confidence pairs.
+        strong = ScorePair(0.4, 0.8)
+        assert F_S.combine(ScorePair(0.9, 0.0), strong) == strong
+        # Among themselves, the larger score survives (associative tie rule).
+        out = F_S.combine(ScorePair(0.9, 0.0), ScorePair(0.5, 0.0))
+        assert out == ScorePair(0.9, 0.0)
+
+    def test_combine_many(self):
+        out = F_S.combine_many(
+            [ScorePair(1.0, 0.5), ScorePair(0.0, 0.5), ScorePair(None, 0.9)]
+        )
+        assert out.score == pytest.approx(0.5)
+        assert out.conf == pytest.approx(1.0)
+
+    def test_combine_many_empty_is_identity(self):
+        assert F_S.combine_many([]) == IDENTITY
+
+
+class TestMaxConfidence:
+    def test_example5_picks_max_confidence(self):
+        a, b = ScorePair(0.2, 0.9), ScorePair(0.9, 0.3)
+        assert F_MAX.combine(a, b) == a
+
+    def test_tie_breaks_on_score(self):
+        a, b = ScorePair(0.2, 0.5), ScorePair(0.9, 0.5)
+        assert F_MAX.combine(a, b) == b
+        assert F_MAX.combine(b, a) == b
+
+    def test_bottom_loses(self):
+        known = ScorePair(0.1, 0.1)
+        assert F_MAX.combine(ScorePair(None, 0.9), known) == known
+
+
+class TestMinConfidence:
+    def test_picks_min_confidence(self):
+        a, b = ScorePair(0.2, 0.9), ScorePair(0.9, 0.3)
+        assert F_MIN.combine(a, b) == b
+
+    def test_bottom_still_loses(self):
+        known = ScorePair(0.1, 0.9)
+        assert F_MIN.combine(ScorePair(None, 0.0), known) == known
+
+
+class TestBottomCanonicalization:
+    """⟨⊥, c⟩ collapses to ⟨⊥, 0⟩: unknown scores carry no evidence."""
+
+    def test_two_bottoms_lose_their_confidence(self):
+        assert F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == IDENTITY
+
+    def test_bottom_confidence_never_leaks_into_known(self):
+        out = F_S.combine(ScorePair(None, 0.9), ScorePair(0.5, 0.2))
+        assert out == ScorePair(0.5, 0.2)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_aggregate("F_S") is F_S
+        assert get_aggregate("max") is F_MAX
+        assert get_aggregate("f_min") is F_MIN
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PreferenceError):
+            get_aggregate("median")
+
+    def test_equality_by_type(self):
+        from repro.core.aggregates import WeightedSum
+
+        assert WeightedSum() == F_S
+        assert hash(WeightedSum()) == hash(F_S)
+
+
+class TestLawsExhaustive:
+    """check_laws over a hand-picked pair pool, for every built-in F."""
+
+    POOL = [
+        IDENTITY,
+        ScorePair(0.0, 0.0),
+        ScorePair(1.0, 0.0),
+        ScorePair(0.0, 1.0),
+        ScorePair(1.0, 1.0),
+        ScorePair(0.5, 0.25),
+        ScorePair(0.25, 0.75),
+    ]
+
+    @pytest.mark.parametrize("fn", ALL, ids=lambda f: f.name)
+    def test_laws(self, fn):
+        assert check_laws(fn, self.POOL)
+
+
+class TestLawsProperty:
+    """Hypothesis: the Definition 3 laws on random pairs."""
+
+    @settings(max_examples=200)
+    @given(pairs_strategy())
+    def test_identity(self, p):
+        for fn in ALL:
+            assert check_identity(fn, p)
+
+    @settings(max_examples=200)
+    @given(pairs_strategy(), pairs_strategy())
+    def test_commutative(self, a, b):
+        for fn in ALL:
+            assert check_commutative(fn, a, b)
+
+    @settings(max_examples=300)
+    @given(pairs_strategy(), pairs_strategy(), pairs_strategy())
+    def test_associative(self, a, b, c):
+        for fn in ALL:
+            assert check_associative(fn, a, b, c)
+
+    @settings(max_examples=100)
+    @given(st.lists(pairs_strategy(), max_size=6))
+    def test_fold_order_independent(self, items):
+        """combine_many is invariant under permutation (needed by Prop 4.3)."""
+        import itertools
+
+        for fn in ALL:
+            reference = fn.combine_many(items)
+            for permutation in itertools.islice(itertools.permutations(items), 6):
+                assert fn.combine_many(permutation).approx_equal(reference, 1e-6)

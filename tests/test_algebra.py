@@ -1,0 +1,157 @@
+"""Unit tests for the extended relational algebra (Section IV-B)."""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.aggregates import F_MAX, F_S
+from repro.core.prefer import prefer
+from repro.core.preference import Preference
+from repro.core.prelation import PRelation
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.engine.expressions import TRUE, Attr, Comparison, cmp, eq
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def movies(movie_db):
+    return PRelation.from_table(movie_db.table("MOVIES"))
+
+
+@pytest.fixture
+def directors(movie_db):
+    prel = PRelation.from_table(movie_db.table("DIRECTORS"))
+    # Fig. 3(b)-style pairs: Eastwood ⟨0.8,1⟩, Allen ⟨0.9,0.9⟩, Stone default.
+    prel.pairs[0] = ScorePair(0.8, 1.0)
+    prel.pairs[1] = ScorePair(0.9, 0.9)
+    return prel
+
+
+class TestSelect:
+    def test_filters_rows_keeps_pairs(self, directors):
+        out = algebra.select(directors, eq("director", "W. Allen"))
+        assert len(out) == 1
+        assert out.pairs[0] == ScorePair(0.9, 0.9)
+
+    def test_score_condition(self, directors):
+        out = algebra.select(directors, cmp("conf", ">=", 0.95))
+        assert [r[0] for r in out.rows] == [1]
+
+    def test_score_condition_bottom_fails(self, directors):
+        out = algebra.select(directors, cmp("score", ">=", 0.0))
+        assert len(out) == 2  # the default-pair tuple (⊥) is excluded
+
+
+class TestProject:
+    def test_keeps_pairs(self, directors):
+        out = algebra.project(directors, ["director"])
+        assert out.schema.attribute_names == ("DIRECTORS.director",)
+        assert out.pairs == directors.pairs
+
+    def test_bag_semantics(self, movie_db):
+        genres = PRelation.from_table(movie_db.table("GENRES"))
+        out = algebra.project(genres, ["genre"])
+        assert len(out) == len(genres)  # duplicates preserved
+
+
+class TestJoin:
+    def test_example7_join_combines_pairs(self, movies, directors):
+        """Fig. 3(c): MOVIES ⋈ DIRECTORS combines pairs through F."""
+        condition = Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id"))
+        out = algebra.join(movies, directors, condition)
+        assert len(out) == 5
+        by_movie = {row[0]: pair for row, pair in out}
+        # Movies have default pairs: the director pair passes through F_S.
+        assert by_movie[1] == ScorePair(0.8, 1.0)   # Eastwood
+        assert by_movie[4] == ScorePair(0.9, 0.9)   # Allen
+        assert by_movie[2] == IDENTITY              # Stone (default)
+
+    def test_join_combines_both_sides(self, movies, directors):
+        scored = prefer(
+            movies, Preference("p", "MOVIES", TRUE, 0.5, 1.0)
+        )
+        condition = Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id"))
+        out = algebra.join(scored, directors, condition)
+        by_movie = {row[0]: pair for row, pair in out}
+        # Gran Torino: F_S(⟨0.5,1⟩, ⟨0.8,1⟩) = ⟨0.65, 2⟩.
+        assert by_movie[1].score == pytest.approx(0.65)
+        assert by_movie[1].conf == pytest.approx(2.0)
+
+    def test_theta_join_residual(self, movies, directors):
+        condition = (
+            Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id"))
+            & cmp("year", ">", 2005)
+        )
+        out = algebra.join(movies, directors, condition)
+        assert {row[0] for row in out.rows} == {1, 2, 5}
+
+    def test_product(self, movies, directors):
+        out = algebra.product(movies, directors)
+        assert len(out) == 15
+
+    def test_join_with_max_aggregate(self, movies, directors):
+        scored = prefer(movies, Preference("p", "MOVIES", TRUE, 0.5, 0.95))
+        condition = Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id"))
+        out = algebra.join(scored, directors, condition, F_MAX)
+        by_movie = {row[0]: pair for row, pair in out}
+        assert by_movie[1] == ScorePair(0.8, 1.0)      # director pair wins
+        assert by_movie[4] == ScorePair(0.5, 0.95)     # movie pair wins
+
+    def test_null_join_keys_dropped(self, movie_db, directors):
+        movie_db.insert("MOVIES", (9, "No Director", 2000, 100, None))
+        movies = PRelation.from_table(movie_db.table("MOVIES"))
+        condition = Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id"))
+        out = algebra.join(movies, directors, condition)
+        assert all(row[0] != 9 for row in out.rows)
+
+
+class TestSetOperations:
+    def _rel(self, movie_db, rows_pairs):
+        schema = movie_db.table("DIRECTORS").schema
+        rows = [rp[0] for rp in rows_pairs]
+        pairs = [rp[1] for rp in rows_pairs]
+        return PRelation(schema, rows, pairs)
+
+    def test_union_combines_common(self, movie_db):
+        """Example 6: movies Alice and Bob could both see."""
+        a = self._rel(movie_db, [((1, "A"), ScorePair(0.8, 1.0)), ((2, "B"), IDENTITY)])
+        b = self._rel(movie_db, [((1, "A"), ScorePair(0.4, 1.0)), ((3, "C"), ScorePair(0.1, 0.5))])
+        out = algebra.union(a, b)
+        by_id = {row[0]: pair for row, pair in out}
+        assert len(out) == 3
+        assert by_id[1].score == pytest.approx(0.6)
+        assert by_id[1].conf == pytest.approx(2.0)
+        assert by_id[2] == IDENTITY
+        assert by_id[3] == ScorePair(0.1, 0.5)
+
+    def test_union_deduplicates_within_input(self, movie_db):
+        a = self._rel(
+            movie_db,
+            [((1, "A"), ScorePair(0.8, 1.0)), ((1, "A"), ScorePair(0.4, 1.0))],
+        )
+        b = self._rel(movie_db, [])
+        out = algebra.union(a, b)
+        assert len(out) == 1
+        assert out.pairs[0].score == pytest.approx(0.6)
+
+    def test_intersection(self, movie_db):
+        a = self._rel(movie_db, [((1, "A"), ScorePair(0.8, 1.0)), ((2, "B"), IDENTITY)])
+        b = self._rel(movie_db, [((1, "A"), ScorePair(0.4, 1.0))])
+        out = algebra.intersect(a, b)
+        assert len(out) == 1
+        assert out.pairs[0].score == pytest.approx(0.6)
+
+    def test_difference_keeps_left_pairs(self, movie_db):
+        a = self._rel(movie_db, [((1, "A"), ScorePair(0.8, 1.0)), ((2, "B"), ScorePair(0.2, 0.2))])
+        b = self._rel(movie_db, [((1, "A"), ScorePair(0.4, 1.0))])
+        out = algebra.difference(a, b)
+        assert len(out) == 1
+        assert out.rows[0][0] == 2
+        assert out.pairs[0] == ScorePair(0.2, 0.2)
+
+    def test_incompatible_schemas_rejected(self, movies, directors):
+        with pytest.raises(PlanError):
+            algebra.union(movies, directors)
+        with pytest.raises(PlanError):
+            algebra.intersect(movies, directors)
+        with pytest.raises(PlanError):
+            algebra.difference(movies, directors)

@@ -1,0 +1,84 @@
+"""Unit tests for cardinality estimation."""
+
+import pytest
+
+from repro.engine.cardinality import (
+    estimate_cardinality,
+    estimate_condition_selectivity,
+    estimate_join_selectivity,
+)
+from repro.engine.expressions import TRUE, cmp, eq
+from repro.plan.builder import natural_join_condition, scan
+from repro.plan.nodes import Join, Materialized, Relation, Select, TopK, Union
+
+
+class TestBaseCardinality:
+    def test_relation_uses_stats(self, movie_db):
+        assert estimate_cardinality(Relation("MOVIES"), movie_db.catalog) == 5
+
+    def test_relation_without_stats_counts(self, movie_db):
+        db = movie_db
+        db.insert("DIRECTORS", (4, "New Guy"))  # stats now stale (3)
+        assert estimate_cardinality(Relation("DIRECTORS"), db.catalog) == 3
+        db.analyze("DIRECTORS")
+        assert estimate_cardinality(Relation("DIRECTORS"), db.catalog) == 4
+
+    def test_materialized(self, movie_db):
+        node = Materialized(movie_db.table("MOVIES").schema, [(1,) * 5] * 7)
+        assert estimate_cardinality(node, movie_db.catalog) == 7
+
+
+class TestDerivedCardinality:
+    def test_selection_scales_down(self, movie_db):
+        base = Relation("MOVIES")
+        selected = Select(base, eq("m_id", 1))
+        assert estimate_cardinality(selected, movie_db.catalog) < 5
+
+    def test_equijoin_uses_distinct_counts(self, movie_db):
+        plan = Join(
+            Relation("MOVIES"),
+            Relation("DIRECTORS"),
+            natural_join_condition(
+                movie_db.catalog, Relation("MOVIES"), Relation("DIRECTORS")
+            ),
+        )
+        estimate = estimate_cardinality(plan, movie_db.catalog)
+        # True result is 5 (every movie matches exactly one director).
+        assert 2 <= estimate <= 10
+
+    def test_cross_product(self, movie_db):
+        plan = Join(Relation("MOVIES"), Relation("DIRECTORS"), TRUE)
+        assert estimate_cardinality(plan, movie_db.catalog) == 15
+
+    def test_union_adds(self, movie_db):
+        plan = Union(Relation("MOVIES"), Relation("MOVIES"))
+        assert estimate_cardinality(plan, movie_db.catalog) == 10
+
+    def test_topk_caps(self, movie_db):
+        plan = TopK(Relation("MOVIES"), 2)
+        assert estimate_cardinality(plan, movie_db.catalog) == 2
+
+    def test_selectivity_through_join(self, movie_db):
+        """A qualified condition deep in a join uses its base table's stats."""
+        join = Join(
+            Relation("MOVIES"),
+            Relation("DIRECTORS"),
+            natural_join_condition(
+                movie_db.catalog, Relation("MOVIES"), Relation("DIRECTORS")
+            ),
+        )
+        s = estimate_condition_selectivity(
+            eq("MOVIES.m_id", 1), join, movie_db.catalog
+        )
+        assert s == pytest.approx(1 / 5, rel=0.5)
+
+
+class TestJoinSelectivity:
+    def test_equi_selectivity(self, movie_db):
+        condition = natural_join_condition(
+            movie_db.catalog, Relation("MOVIES"), Relation("DIRECTORS")
+        )
+        s = estimate_join_selectivity(
+            condition, Relation("MOVIES"), Relation("DIRECTORS"), movie_db.catalog
+        )
+        assert s == pytest.approx(1 / 3, rel=0.1)  # 3 distinct directors

@@ -1,0 +1,91 @@
+"""Unit tests for the catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import make_schema
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    c = Catalog()
+    schema = make_schema(
+        "T", [("id", DataType.INT), ("v", DataType.INT)], primary_key=["id"]
+    )
+    table = c.create_table(schema)
+    table.insert_many([(i, i % 3) for i in range(10)])
+    return c
+
+
+class TestTables:
+    def test_create_and_lookup(self, catalog):
+        assert catalog.table("T").name == "T"
+        assert catalog.table("t").name == "T"  # case-insensitive
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_schema("T", [("a", DataType.INT)]))
+
+    def test_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_drop(self, catalog):
+        catalog.drop_table("T")
+        assert not catalog.has_table("T")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("T")
+
+    def test_names(self, catalog):
+        assert catalog.table_names() == ["T"]
+
+
+class TestIndexes:
+    def test_create_and_find(self, catalog):
+        catalog.create_index("T", "v")
+        index = catalog.find_index("T", "v")
+        assert index is not None
+        assert index.kind == "hash"
+
+    def test_find_by_kind(self, catalog):
+        catalog.create_index("T", "v", kind="btree")
+        assert catalog.find_index("T", "v", kind="hash") is None
+        assert catalog.find_index("T", "v", kind="btree") is not None
+
+    def test_find_qualified_attr(self, catalog):
+        catalog.create_index("T", "v")
+        assert catalog.find_index("T", "T.v") is not None
+
+    def test_duplicate_index_rejected(self, catalog):
+        catalog.create_index("T", "v")
+        with pytest.raises(CatalogError):
+            catalog.create_index("T", "v")
+
+    def test_rebuild_after_load(self, catalog):
+        catalog.create_index("T", "v")
+        catalog.table("T").insert((100, 7))
+        catalog.rebuild_indexes("T")
+        index = catalog.find_index("T", "v")
+        assert any(r[0] == 100 for r in index.lookup(7))
+
+    def test_indexes_on(self, catalog):
+        catalog.create_index("T", "v")
+        catalog.create_index("T", "id", kind="btree")
+        assert len(catalog.indexes_on("T")) == 2
+        assert catalog.indexes_on("missing") == []
+
+
+class TestStats:
+    def test_analyze_single(self, catalog):
+        assert catalog.stats("T") is None
+        catalog.analyze("T")
+        stats = catalog.stats("T")
+        assert stats is not None and stats.n_rows == 10
+
+    def test_analyze_all(self, catalog):
+        catalog.create_table(make_schema("U", [("x", DataType.INT)]))
+        catalog.analyze()
+        assert catalog.stats("T") is not None
+        assert catalog.stats("U") is not None

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInProcess:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "extended query plan" in out
+        assert "-- gbu" in out and "-- reference" in out
+        assert "Wall Street" in out
+
+    def test_generate_and_query(self, tmp_path, capsys):
+        assert main(["generate", "--dataset", "imdb", "--scale", "0.0005", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        sql = (
+            "SELECT title FROM MOVIES WHERE year >= 2005 "
+            "PREFERRING (year > 2008) SCORE 0.9 ON MOVIES TOP 3 BY score"
+        )
+        assert main(["query", "--db", str(tmp_path), sql]) == 0
+        out = capsys.readouterr().out
+        assert "MOVIES.title" in out
+        assert "rows" in out
+
+    def test_query_with_explain(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["query", "--db", str(tmp_path), "--explain", "SELECT title FROM MOVIES TOP 2 BY conf"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized plan" in out
+
+    def test_query_limit_truncates(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        main(["query", "--db", str(tmp_path), "--limit", "2", "SELECT title FROM MOVIES"])
+        out = capsys.readouterr().out
+        assert "rows total" in out
+
+    def test_query_missing_db_errors(self, capsys, tmp_path):
+        assert main(["query", "--db", str(tmp_path / "nope"), "SELECT title FROM MOVIES"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_strategy_errors(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["query", "--db", str(tmp_path), "--strategy", "warp", "SELECT title FROM MOVIES"]) == 1
+
+
+class TestSubprocess:
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "demo"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "demo query" in completed.stdout
+
+    def test_repl_pipe(self, tmp_path):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "--scale", "0.0005", "--out", str(tmp_path)],
+            capture_output=True,
+            timeout=120,
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "repl", "--db", str(tmp_path)],
+            input="SELECT title FROM MOVIES TOP 2 BY conf\nbroken sql here\n\\q\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "MOVIES.title" in completed.stdout
+        assert "error" in completed.stdout  # the broken statement is reported
+
+
+class TestSessionExplain:
+    def test_explain_text(self, movie_db, example_preferences):
+        from repro.query.session import Session
+
+        session = Session(movie_db)
+        session.register(example_preferences["p1"])
+        text = session.explain(
+            "SELECT genre FROM GENRES PREFERRING p1 TOP 2 BY score"
+        )
+        assert "extended query plan" in text
+        assert "optimized plan (gbu)" in text
+        assert "λ[p1]" in text
+
+    def test_explain_non_optimizing_strategy(self, movie_db):
+        from repro.query.session import Session
+
+        session = Session(movie_db)
+        text = session.explain("SELECT title FROM MOVIES", strategy="ftp")
+        assert "prepared plan (ftp)" in text

@@ -1,0 +1,77 @@
+"""Optimizer-configuration × strategy matrix: every combination is correct.
+
+GBU and BU run whatever plan the preference optimizer hands them, so each
+rule subset must compose soundly with each strategy.  The oracle never goes
+through the optimizer, making it a fixed point of comparison.
+"""
+
+import pytest
+
+from repro.core.aggregates import F_MAX, F_S
+from repro.core.preference import Preference
+from repro.engine.expressions import cmp, eq
+from repro.optimizer import OptimizerConfig
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+
+CONFIGS = {
+    "all": OptimizerConfig(),
+    "none": OptimizerConfig.none(),
+    "no-selections": OptimizerConfig(push_selections=False),
+    "no-projections": OptimizerConfig(push_projections=False),
+    "no-prefers": OptimizerConfig(push_prefers=False),
+    "no-reorder": OptimizerConfig(reorder_prefers=False),
+    "no-join-order": OptimizerConfig(match_join_order=False),
+    "no-left-deep": OptimizerConfig(left_deep=False),
+}
+
+
+def build_plan(db, p):
+    return (
+        scan("MOVIES")
+        .natural_join(scan("GENRES"), db.catalog)
+        .natural_join(scan("DIRECTORS"), db.catalog)
+        .select(cmp("year", ">=", 2005))
+        .prefer(p["p1"])
+        .prefer(p["p2"])
+        .prefer(Preference("pm", "MOVIES", cmp("duration", "<", 130), 0.6, 0.7))
+        .project(["title", "director", "genre"])
+        .top(4, by="score")
+        .build()
+    )
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("strategy", ["gbu", "bu"])
+def test_config_strategy_matrix(movie_db, example_preferences, config_name, strategy):
+    plan = build_plan(movie_db, example_preferences)
+    oracle = ExecutionEngine(movie_db).run(plan, "reference")
+    engine = ExecutionEngine(movie_db, optimizer_config=CONFIGS[config_name])
+    result = engine.run(plan, strategy)
+    assert result.relation.same_contents(oracle.relation), (config_name, strategy)
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_config_matrix_with_set_operations(movie_db, example_preferences, config_name):
+    pm = Preference("pm", "MOVIES", cmp("year", ">", 2006), 0.9, 0.6)
+    left = (
+        scan("MOVIES").select(cmp("year", ">=", 2005)).prefer(pm).project(["title", "MOVIES.m_id"])
+    )
+    right = (
+        scan("MOVIES").select(cmp("duration", ">=", 120)).prefer(pm).project(["title", "MOVIES.m_id"])
+    )
+    plan = left.union(right).select(cmp("conf", ">", 0.0)).build()
+    oracle = ExecutionEngine(movie_db).run(plan, "reference")
+    engine = ExecutionEngine(movie_db, optimizer_config=CONFIGS[config_name])
+    for strategy in ("gbu", "bu"):
+        result = engine.run(plan, strategy)
+        assert result.relation.same_contents(oracle.relation), (config_name, strategy)
+
+
+@pytest.mark.parametrize("aggregate", [F_S, F_MAX], ids=["F_S", "F_max"])
+@pytest.mark.parametrize("strategy", ["gbu", "bu", "ftp", "plugin-rma", "plugin-shared"])
+def test_aggregate_strategy_matrix(movie_db, example_preferences, aggregate, strategy):
+    plan = build_plan(movie_db, example_preferences)
+    oracle = ExecutionEngine(movie_db, aggregate).run(plan, "reference")
+    result = ExecutionEngine(movie_db, aggregate).run(plan, strategy)
+    assert result.relation.same_contents(oracle.relation)

@@ -1,0 +1,107 @@
+"""Tests for context-dependent preferences (external, ephemeral context)."""
+
+import pytest
+
+from repro.core.context import ContextualPreference, active_preferences
+from repro.core.preference import Preference
+from repro.engine.expressions import eq
+from repro.errors import PreferenceError
+from repro.query.session import Session
+
+
+@pytest.fixture
+def comedies():
+    return Preference("ctx_comedy", "GENRES", eq("genre", "Comedy"), 0.9, 0.9)
+
+
+@pytest.fixture
+def horror():
+    return Preference("ctx_horror", "GENRES", eq("genre", "Horror"), 0.9, 0.9)
+
+
+class TestActivation:
+    def test_mapping_match(self, comedies):
+        cp = ContextualPreference(comedies, {"company": "alone"})
+        assert cp.is_active({"company": "alone"})
+        assert cp.is_active({"company": "alone", "daytime": "evening"})
+        assert not cp.is_active({"company": "friends"})
+        assert not cp.is_active({})
+
+    def test_mapping_with_alternatives(self, comedies):
+        cp = ContextualPreference(comedies, {"daytime": ("morning", "noon")})
+        assert cp.is_active({"daytime": "noon"})
+        assert not cp.is_active({"daytime": "night"})
+
+    def test_callable_predicate(self, comedies):
+        cp = ContextualPreference(comedies, lambda ctx: ctx.get("age", 0) >= 18)
+        assert cp.is_active({"age": 30})
+        assert not cp.is_active({"age": 12})
+
+    def test_invalid_condition_rejected(self, comedies):
+        with pytest.raises(PreferenceError):
+            ContextualPreference(comedies, 42)
+
+    def test_name_delegates(self, comedies):
+        cp = ContextualPreference(comedies, {})
+        assert cp.name == "ctx_comedy"
+
+
+class TestActivePreferences:
+    def test_mixed_resolution(self, comedies, horror):
+        plain = Preference("always", "GENRES", eq("genre", "Drama"), 0.5, 0.5)
+        candidates = [
+            plain,
+            ContextualPreference(comedies, {"company": "alone"}),
+            ContextualPreference(horror, {"company": "friends"}),
+        ]
+        alone = active_preferences(candidates, {"company": "alone"})
+        assert [p.name for p in alone] == ["always", "ctx_comedy"]
+        friends = active_preferences(candidates, {"company": "friends"})
+        assert [p.name for p in friends] == ["always", "ctx_horror"]
+
+
+class TestSessionIntegration:
+    """The paper's example: comedies alone, horror with friends."""
+
+    SQL = (
+        "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES "
+        "WHERE conf > 0 PREFERRING ctx_comedy, ctx_horror"
+    )
+
+    def _session(self, movie_db, comedies, horror):
+        session = Session(movie_db)
+        session.register(ContextualPreference(comedies, {"company": "alone"}))
+        session.register(ContextualPreference(horror, {"company": "friends"}))
+        return session
+
+    def test_alone_gets_comedies(self, movie_db, comedies, horror):
+        session = self._session(movie_db, comedies, horror)
+        session.set_context(company="alone")
+        rows = session.rows(self.SQL)
+        assert rows
+        assert all(genre == "Comedy" for _, genre, _, _ in rows)
+
+    def test_friends_get_horror(self, movie_db, comedies, horror):
+        session = self._session(movie_db, comedies, horror)
+        session.set_context(company="friends")
+        rows = session.rows(self.SQL)
+        assert rows == []  # the example database has no horror movies
+
+    def test_no_context_no_preferences(self, movie_db, comedies, horror):
+        session = self._session(movie_db, comedies, horror)
+        rows = session.rows(self.SQL)
+        assert rows == []  # neither preference active → conf stays 0
+
+    def test_clear_context(self, movie_db, comedies, horror):
+        session = self._session(movie_db, comedies, horror)
+        session.set_context(company="alone")
+        session.clear_context()
+        assert session.rows(self.SQL) == []
+
+    def test_context_change_recompiles(self, movie_db, comedies, horror):
+        session = self._session(movie_db, comedies, horror)
+        session.set_context(company="alone")
+        first = session.rows(self.SQL)
+        session.set_context(company="friends")
+        second = session.rows(self.SQL)
+        assert first and not second

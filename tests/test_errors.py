@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy and error surfaces."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ExpressionError,
+    OptimizerError,
+    ParseError,
+    PlanError,
+    PreferenceError,
+    ReproError,
+    SchemaError,
+    TypeError_,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            CatalogError,
+            TypeError_,
+            ExpressionError,
+            PlanError,
+            OptimizerError,
+            ExecutionError,
+            PreferenceError,
+            ParseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_single_catch_at_api_boundary(self, movie_db):
+        """One except clause suffices for any library failure."""
+        from repro.query.session import Session
+
+        session = Session(movie_db)
+        failures = 0
+        for bad in (
+            "not sql at all",
+            "SELECT missing_attr FROM MOVIES",
+            "SELECT title FROM NO_SUCH_TABLE",
+            "SELECT title FROM MOVIES PREFERRING unknown_pref",
+        ):
+            try:
+                session.execute(bad)
+            except ReproError:
+                failures += 1
+        assert failures == 4
+
+
+class TestParseErrorLocation:
+    def test_carries_line_and_column(self):
+        err = ParseError("boom", line=3, column=7)
+        assert err.line == 3 and err.column == 7
+        assert "line 3" in str(err) and "column 7" in str(err)
+
+    def test_location_optional(self):
+        err = ParseError("boom")
+        assert err.line is None
+        assert "line" not in str(err)
+
+    def test_line_without_column(self):
+        err = ParseError("boom", line=2)
+        assert "line 2" in str(err)
+        assert "column" not in str(err)

@@ -1,0 +1,240 @@
+"""Unit tests for the expression AST and compiler."""
+
+import pytest
+
+from repro.engine.expressions import (
+    TRUE,
+    And,
+    Arithmetic,
+    Attr,
+    Between,
+    Comparison,
+    Func,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    cmp,
+    col,
+    conjoin,
+    conjuncts,
+    eq,
+    is_true,
+    lit,
+    map_attributes,
+)
+from repro.engine.schema import make_schema
+from repro.engine.types import DataType
+from repro.errors import ExpressionError
+
+SCHEMA = make_schema(
+    "R",
+    [("a", DataType.INT), ("b", DataType.FLOAT), ("name", DataType.TEXT)],
+    primary_key=["a"],
+)
+
+
+def run(expr, row):
+    return expr.compile(SCHEMA)(row)
+
+
+class TestLeaves:
+    def test_literal(self):
+        assert run(lit(42), (1, 2.0, "x")) == 42
+
+    def test_attr(self):
+        assert run(col("b"), (1, 2.5, "x")) == 2.5
+
+    def test_qualified_attr(self):
+        assert run(col("R.name"), (1, 2.5, "x")) == "x"
+
+    def test_unknown_attr_raises_at_compile(self):
+        with pytest.raises(Exception):
+            col("missing").compile(SCHEMA)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_all_operators(self, op, expected):
+        expr = Comparison(op, col("a"), lit(5))
+        assert run(expr, (3, 0.0, "")) is expected
+
+    def test_equality(self):
+        assert run(eq("name", "x"), (1, 0.0, "x")) is True
+        assert run(eq("name", "y"), (1, 0.0, "x")) is False
+
+    def test_null_never_compares(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = Comparison(op, col("a"), lit(5))
+            assert run(expr, (None, 0.0, "")) is False
+
+    def test_null_on_right_side(self):
+        expr = Comparison("<", lit(5), col("a"))
+        assert run(expr, (None, 0.0, "")) is False
+
+    def test_attr_to_attr(self):
+        expr = Comparison("<", col("a"), col("b"))
+        assert run(expr, (1, 2.0, "")) is True
+        assert run(expr, (3, 2.0, "")) is False
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", col("a"), lit(1))
+
+    def test_negate(self):
+        assert cmp("a", "<", 5).negate().op == ">="
+
+
+class TestBooleans:
+    def test_and(self):
+        expr = And(cmp("a", ">", 1), cmp("a", "<", 5))
+        assert run(expr, (3, 0.0, "")) is True
+        assert run(expr, (7, 0.0, "")) is False
+
+    def test_or(self):
+        expr = Or(eq("a", 1), eq("a", 2))
+        assert run(expr, (2, 0.0, "")) is True
+        assert run(expr, (3, 0.0, "")) is False
+
+    def test_not(self):
+        assert run(Not(eq("a", 1)), (2, 0.0, "")) is True
+
+    def test_operator_overloads(self):
+        expr = eq("a", 1) | (eq("a", 2) & ~eq("name", "no"))
+        assert run(expr, (2, 0.0, "yes")) is True
+        assert run(expr, (2, 0.0, "no")) is False
+
+    def test_and_flattens(self):
+        expr = And(And(eq("a", 1), eq("a", 2)), eq("a", 3))
+        assert len(expr.operands) == 3
+
+    def test_three_way_and(self):
+        expr = And(cmp("a", ">", 0), cmp("a", "<", 10), eq("name", "x"))
+        assert run(expr, (5, 0.0, "x")) is True
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ExpressionError):
+            And()
+
+
+class TestSpecialPredicates:
+    def test_in_list(self):
+        expr = InList(col("a"), [1, 2, 3])
+        assert run(expr, (2, 0.0, "")) is True
+        assert run(expr, (9, 0.0, "")) is False
+
+    def test_in_list_null(self):
+        assert run(InList(col("a"), [1]), (None, 0.0, "")) is False
+
+    def test_between(self):
+        expr = Between(col("a"), 2, 8)
+        assert run(expr, (2, 0.0, "")) is True
+        assert run(expr, (8, 0.0, "")) is True
+        assert run(expr, (9, 0.0, "")) is False
+        assert run(expr, (None, 0.0, "")) is False
+
+    def test_is_null(self):
+        assert run(IsNull(col("a")), (None, 0.0, "")) is True
+        assert run(IsNull(col("a")), (1, 0.0, "")) is False
+        assert run(IsNull(col("a"), negated=True), (1, 0.0, "")) is True
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert run(Arithmetic("+", col("a"), lit(1)), (2, 0.0, "")) == 3
+        assert run(Arithmetic("-", col("a"), lit(1)), (2, 0.0, "")) == 1
+        assert run(Arithmetic("*", col("a"), lit(3)), (2, 0.0, "")) == 6
+        assert run(Arithmetic("/", col("a"), lit(4)), (2, 0.0, "")) == 0.5
+
+    def test_null_propagates(self):
+        assert run(Arithmetic("+", col("a"), lit(1)), (None, 0.0, "")) is None
+
+    def test_division_by_zero_is_null(self):
+        assert run(Arithmetic("/", col("a"), lit(0)), (2, 0.0, "")) is None
+
+    def test_func_abs(self):
+        expr = Func("abs", Arithmetic("-", col("a"), lit(10)))
+        assert run(expr, (3, 0.0, "")) == 7
+
+    def test_func_null_propagates(self):
+        assert run(Func("abs", col("a")), (None, 0.0, "")) is None
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ExpressionError):
+            Func("sqrt", col("a"))
+
+
+class TestScoreAttributes:
+    def test_score_requires_flag(self):
+        expr = cmp("score", ">=", 0.5)
+        with pytest.raises(ExpressionError):
+            expr.compile(SCHEMA)
+
+    def test_score_resolves_with_flag(self):
+        expr = cmp("score", ">=", 0.5)
+        fn = expr.compile(SCHEMA, with_score=True)
+        assert fn((1, 0.0, "x", 0.7, 0.2)) is True
+        assert fn((1, 0.0, "x", 0.3, 0.2)) is False
+
+    def test_bottom_score_fails_thresholds(self):
+        fn = cmp("score", ">=", 0.0).compile(SCHEMA, with_score=True)
+        assert fn((1, 0.0, "x", None, 0.0)) is False
+
+    def test_conf_resolves(self):
+        fn = cmp("conf", ">", 0.1).compile(SCHEMA, with_score=True)
+        assert fn((1, 0.0, "x", None, 0.5)) is True
+
+    def test_references_score(self):
+        assert cmp("score", ">", 0.5).references_score()
+        assert (eq("a", 1) & cmp("conf", ">", 0)).references_score()
+        assert not eq("a", 1).references_score()
+
+
+class TestHelpers:
+    def test_conjuncts_splits_ands(self):
+        parts = conjuncts(And(eq("a", 1), And(eq("a", 2), eq("a", 3))))
+        assert len(parts) == 3
+
+    def test_conjuncts_atom(self):
+        assert conjuncts(eq("a", 1)) == [eq("a", 1)]
+
+    def test_conjoin_drops_true(self):
+        assert conjoin([TRUE, eq("a", 1)]) == eq("a", 1)
+        assert is_true(conjoin([]))
+        assert is_true(conjoin([TRUE, TRUE]))
+
+    def test_attributes_collection(self):
+        expr = And(eq("a", 1), Comparison("<", col("R.b"), col("a")))
+        assert expr.attributes() == {"a", "r.b"}
+
+    def test_structural_equality(self):
+        assert eq("a", 1) == eq("a", 1)
+        assert eq("a", 1) != eq("a", 2)
+        assert hash(eq("a", 1)) == hash(eq("A", 1))
+
+    def test_and_equality_is_order_insensitive(self):
+        assert And(eq("a", 1), eq("a", 2)) == And(eq("a", 2), eq("a", 1))
+
+
+class TestMapAttributes:
+    def test_qualifies_attrs(self):
+        expr = And(eq("a", 1), Comparison("<", col("b"), lit(2)))
+        mapped = map_attributes(expr, lambda name: f"R.{name}")
+        assert mapped.attributes() == {"r.a", "r.b"}
+
+    def test_identity_mapping_returns_equal_tree(self):
+        expr = InList(col("a"), [1, 2])
+        assert map_attributes(expr, lambda n: n) == expr
+
+    def test_deep_structures(self):
+        expr = Or(
+            Not(Between(col("a"), 1, 2)),
+            IsNull(Func("abs", Arithmetic("*", col("b"), lit(2.0)))),
+        )
+        mapped = map_attributes(expr, str.upper)
+        assert mapped.attributes() == {"a", "b"}  # attributes() lowercases
+        assert repr(mapped).count("A") >= 1

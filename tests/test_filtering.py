@@ -1,0 +1,169 @@
+"""Unit tests for filtering preferred tuples (Section V flavours)."""
+
+import pytest
+
+from repro.core.prelation import PRelation
+from repro.core.preference import Preference
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.engine.expressions import cmp, eq
+from repro.engine.schema import make_schema
+from repro.engine.types import DataType
+from repro.errors import ExecutionError
+from repro.filtering import (
+    conf_at_least,
+    matched_any,
+    ranked,
+    satisfies_at_least,
+    score_at_least,
+    skyline,
+    skyline_pairs,
+    topk,
+)
+
+SCHEMA = make_schema(
+    "R",
+    [("id", DataType.INT), ("x", DataType.INT), ("y", DataType.INT)],
+    primary_key=["id"],
+)
+
+
+def rel(entries):
+    rows = [e[0] for e in entries]
+    pairs = [ScorePair(e[1], e[2]) for e in entries]
+    return PRelation(SCHEMA, rows, pairs)
+
+
+@pytest.fixture
+def sample():
+    return rel(
+        [
+            ((1, 10, 1), 0.9, 0.5),
+            ((2, 20, 2), 0.7, 0.9),
+            ((3, 30, 3), None, 0.0),
+            ((4, 40, 4), 0.7, 0.3),
+            ((5, 50, 5), 0.2, 1.5),
+        ]
+    )
+
+
+class TestTopK:
+    def test_by_score(self, sample):
+        out = topk(sample, 2, by="score")
+        assert [r[0] for r in out.rows] == [1, 2]
+
+    def test_by_conf(self, sample):
+        out = topk(sample, 2, by="conf")
+        assert [r[0] for r in out.rows] == [5, 2]
+
+    def test_bottom_ranks_last(self, sample):
+        out = topk(sample, 5, by="score")
+        assert out.rows[-1][0] == 3
+
+    def test_k_larger_than_input(self, sample):
+        assert len(topk(sample, 100)) == 5
+
+    def test_deterministic_tie_break(self):
+        tied = rel([((2, 9, 9), 0.5, 0.5), ((1, 9, 9), 0.5, 0.5)])
+        out = topk(tied, 1)
+        assert out.rows[0][0] == 1  # smaller id wins the tie
+
+    def test_tie_break_is_column_order_invariant(self):
+        """Permuting columns must not change who survives the cut."""
+        a = rel([((1, 7, 100), 0.5, 0.5), ((2, 3, 1), 0.5, 0.5)])
+        permuted_schema = SCHEMA.project(["y", "x", "id"])
+        b = PRelation(
+            permuted_schema,
+            [(100, 7, 1), (1, 3, 2)],
+            [ScorePair(0.5, 0.5), ScorePair(0.5, 0.5)],
+        )
+        kept_a = topk(a, 1).rows[0][0]        # id column is first
+        kept_b = topk(b, 1).rows[0][2]        # id column is last
+        assert kept_a == kept_b
+
+    def test_invalid_arguments(self, sample):
+        with pytest.raises(ExecutionError):
+            topk(sample, 0)
+        with pytest.raises(ExecutionError):
+            topk(sample, 3, by="id")
+
+
+class TestRanked:
+    def test_full_ordering(self, sample):
+        out = ranked(sample, by="score")
+        assert [r[0] for r in out.rows] == [1, 2, 4, 5, 3]
+
+    def test_size_preserved(self, sample):
+        assert len(ranked(sample, "conf")) == 5
+
+    def test_invalid_key(self, sample):
+        with pytest.raises(ExecutionError):
+            ranked(sample, "x")
+
+
+class TestThresholds:
+    def test_score_at_least(self, sample):
+        out = score_at_least(sample, 0.7)
+        assert {r[0] for r in out.rows} == {1, 2, 4}
+
+    def test_bottom_fails_score_threshold(self, sample):
+        out = score_at_least(sample, 0.0)
+        assert 3 not in {r[0] for r in out.rows}
+
+    def test_conf_at_least(self, sample):
+        out = conf_at_least(sample, 0.9)
+        assert {r[0] for r in out.rows} == {2, 5}
+
+    def test_matched_any(self, sample):
+        out = matched_any(sample)
+        assert {r[0] for r in out.rows} == {1, 2, 4, 5}
+
+
+class TestSatisfiesAtLeast:
+    def test_counts_preferences(self, sample):
+        prefs = [
+            Preference("a", "R", cmp("x", ">=", 20), 0.5, 0.5),
+            Preference("b", "R", cmp("y", ">=", 4), 0.5, 0.5),
+        ]
+        out = satisfies_at_least(sample, prefs, 2)
+        assert {r[0] for r in out.rows} == {4, 5}
+        out1 = satisfies_at_least(sample, prefs, 1)
+        assert {r[0] for r in out1.rows} == {2, 3, 4, 5}
+
+    def test_foreign_preferences_ignored(self, sample):
+        prefs = [Preference("c", "S", eq("unknown_attr", 1), 0.5, 0.5)]
+        out = satisfies_at_least(sample, prefs, 1)
+        assert len(out) == 0
+
+
+class TestSkyline:
+    def test_pair_skyline(self, sample):
+        out = skyline_pairs(sample)
+        # ⟨0.9,0.5⟩, ⟨0.7,0.9⟩ and ⟨0.2,1.5⟩ are mutually incomparable;
+        # ⟨0.7,0.3⟩ is dominated by ⟨0.7,0.9⟩, ⟨⊥,0⟩ by everything.
+        assert {r[0] for r in out.rows} == {1, 2, 5}
+
+    def test_attribute_skyline(self):
+        data = rel(
+            [
+                ((1, 5, 5), None, 0.0),
+                ((2, 3, 9), None, 0.0),
+                ((3, 2, 2), None, 0.0),   # dominated by (5,5)
+                ((4, 9, 1), None, 0.0),
+            ]
+        )
+        out = skyline(data, ["x", "y"])
+        assert {r[0] for r in out.rows} == {1, 2, 4}
+
+    def test_skyline_nulls_dropped(self):
+        data = rel([((1, 5, 5), None, 0.0), ((2, None, 9), None, 0.0)])
+        out = skyline(data, ["x", "y"])
+        assert {r[0] for r in out.rows} == {1}
+
+    def test_skyline_requires_dimensions(self, sample):
+        with pytest.raises(ExecutionError):
+            skyline(sample, [])
+
+    def test_equal_points_both_survive(self):
+        data = rel([((1, 5, 5), None, 0.0), ((2, 5, 5), None, 0.0)])
+        out = skyline(data, ["x", "y"])
+        assert len(out) == 2

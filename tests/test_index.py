@@ -1,0 +1,94 @@
+"""Unit tests for hash and ordered indexes."""
+
+import pytest
+
+from repro.engine.index import HashIndex, OrderedIndex, build_index
+from repro.engine.schema import make_schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = make_schema(
+        "T",
+        [("id", DataType.INT), ("k", DataType.INT), ("g", DataType.TEXT)],
+        primary_key=["id"],
+    )
+    t = Table(schema)
+    t.insert_many(
+        [
+            (1, 10, "a"),
+            (2, 20, "b"),
+            (3, 10, "a"),
+            (4, 30, None),
+            (5, None, "c"),
+        ]
+    )
+    return t
+
+
+class TestHashIndex:
+    def test_lookup(self, table):
+        index = HashIndex(table, ["k"])
+        assert {r[0] for r in index.lookup(10)} == {1, 3}
+        assert index.lookup(99) == []
+
+    def test_null_keys_are_searchable(self, table):
+        index = HashIndex(table, ["k"])
+        assert [r[0] for r in index.lookup(None)] == [5]
+
+    def test_composite(self, table):
+        index = HashIndex(table, ["k", "g"])
+        assert [r[0] for r in index.lookup((10, "a"))] == [1, 3]
+
+    def test_distinct_keys(self, table):
+        assert HashIndex(table, ["g"]).distinct_keys() == 4  # a, b, None, c
+
+
+class TestOrderedIndex:
+    def test_equality_lookup(self, table):
+        index = OrderedIndex(table, ["k"])
+        assert {r[0] for r in index.lookup(10)} == {1, 3}
+
+    def test_null_excluded(self, table):
+        index = OrderedIndex(table, ["k"])
+        assert index.lookup(None) == []
+
+    def test_range_inclusive(self, table):
+        index = OrderedIndex(table, ["k"])
+        assert {r[0] for r in index.range(low=10, high=20)} == {1, 2, 3}
+
+    def test_range_exclusive(self, table):
+        index = OrderedIndex(table, ["k"])
+        assert {r[0] for r in index.range(low=10, low_inclusive=False)} == {2, 4}
+
+    def test_open_bounds(self, table):
+        index = OrderedIndex(table, ["k"])
+        assert {r[0] for r in index.range()} == {1, 2, 3, 4}
+        assert {r[0] for r in index.range(high=10)} == {1, 3}
+
+    def test_distinct_keys(self, table):
+        assert OrderedIndex(table, ["k"]).distinct_keys() == 3
+
+
+class TestBuildIndex:
+    def test_factory_kinds(self, table):
+        assert isinstance(build_index(table, "k", "hash"), HashIndex)
+        assert isinstance(build_index(table, "k", "btree"), OrderedIndex)
+
+    def test_string_attr_accepted(self, table):
+        index = build_index(table, "g")
+        assert index.attrs == ("g",)
+
+    def test_unknown_kind_rejected(self, table):
+        with pytest.raises(CatalogError):
+            build_index(table, "k", "bitmap")
+
+    def test_empty_attrs_rejected(self, table):
+        with pytest.raises(CatalogError):
+            build_index(table, [], "hash")
+
+    def test_name(self, table):
+        assert build_index(table, "k").name == "hash:T(k)"

@@ -1,0 +1,98 @@
+"""Tests for the index-nested-loop join access path."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.expressions import Attr, Comparison, cmp, eq
+from repro.engine.iosim import CostModel
+from repro.engine.physical import execute_native
+from repro.engine.types import DataType
+from repro.plan.nodes import Join, Relation, Select
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "SMALL", [("id", DataType.INT), ("fk", DataType.INT)], primary_key=["id"]
+    )
+    database.create_table(
+        "BIG", [("k", DataType.INT), ("payload", DataType.TEXT)], primary_key=["k"]
+    )
+    database.insert_many("SMALL", [(i, i * 10) for i in range(5)])
+    database.insert_many("BIG", [(i, f"row{i}") for i in range(2000)])
+    database.create_index("BIG", "k")
+    database.analyze()
+    return database
+
+
+def join_plan(db):
+    return Join(
+        Relation("SMALL"),
+        Relation("BIG"),
+        Comparison("=", Attr("SMALL.fk"), Attr("BIG.k")),
+    )
+
+
+class TestChoice:
+    def test_inl_chosen_for_small_outer(self, db):
+        cost = CostModel()
+        _, rows = execute_native(join_plan(db), db.catalog, cost)
+        assert len(rows) == 5
+        assert cost.operator_calls.get("index-nested-loop") == 1
+        # The 2000-row inner table was never scanned.
+        assert cost.tuples_scanned == 5
+        assert cost.index_lookups == 5
+
+    def test_hash_join_without_index(self, db):
+        database = db
+        database.catalog._indexes[database.catalog._key("BIG")] = []  # drop index
+        cost = CostModel()
+        _, rows = execute_native(join_plan(database), database.catalog, cost)
+        assert len(rows) == 5
+        assert "index-nested-loop" not in cost.operator_calls
+        assert cost.tuples_scanned == 2005  # full scan of both sides
+
+    def test_hash_join_for_large_outer(self, db):
+        db.insert_many("SMALL", [(i, i) for i in range(10, 1900)])
+        db.analyze("SMALL")
+        cost = CostModel()
+        execute_native(join_plan(db), db.catalog, cost)
+        assert "index-nested-loop" not in cost.operator_calls
+
+    def test_results_identical_to_hash_join(self, db):
+        _, inl_rows = execute_native(join_plan(db), db.catalog, CostModel())
+        db.catalog._indexes[db.catalog._key("BIG")] = []
+        _, hash_rows = execute_native(join_plan(db), db.catalog, CostModel())
+        assert sorted(inl_rows) == sorted(hash_rows)
+
+    def test_null_probe_keys_skipped(self, db):
+        db.insert("SMALL", (100, None))
+        db.analyze("SMALL")
+        cost = CostModel()
+        _, rows = execute_native(join_plan(db), db.catalog, cost)
+        assert all(r[0] != 100 for r in rows)
+
+    def test_composite_equi_falls_back(self, db):
+        condition = (
+            Comparison("=", Attr("SMALL.fk"), Attr("BIG.k"))
+            & Comparison("=", Attr("SMALL.id"), Attr("BIG.k"))
+        )
+        cost = CostModel()
+        execute_native(
+            Join(Relation("SMALL"), Relation("BIG"), condition), db.catalog, cost
+        )
+        assert "index-nested-loop" not in cost.operator_calls
+
+    def test_selective_filter_then_join_end_to_end(self, db):
+        """The motivating case: σ(small) ⋈ indexed(big) costs O(matches)."""
+        plan = Join(
+            Select(Relation("SMALL"), eq("id", 3)),
+            Relation("BIG"),
+            Comparison("=", Attr("SMALL.fk"), Attr("BIG.k")),
+        )
+        cost = CostModel()
+        _, rows = execute_native(plan, db.catalog, cost)
+        assert len(rows) == 1
+        assert cost.index_lookups >= 1
+        assert cost.tuples_scanned <= 5

@@ -1,0 +1,96 @@
+"""End-to-end integration scenarios stitching all subsystems together."""
+
+import pytest
+
+from repro import ContextualPreference, Preference, eq
+from repro.engine.persist import load_database, save_database
+from repro.learning import atomic_preferences_from_ratings, mine_categorical_preferences
+from repro.pexec.engine import STRATEGIES, ExecutionEngine
+from repro.query import PreferenceStore, Session
+from repro.workloads import generate_imdb
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_imdb(scale=0.0005, seed=99)
+
+
+class TestFullPipeline:
+    """generate → persist → reload → learn → store → query → explain."""
+
+    def test_persisted_database_round_trips_through_queries(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        reloaded = load_database(str(tmp_path))
+
+        sql = (
+            "SELECT title FROM MOVIES NATURAL JOIN GENRES "
+            "PREFERRING (genre = 'Drama') SCORE 0.7 CONFIDENCE 0.8 ON GENRES "
+            "TOP 5 BY score"
+        )
+        original_rows = Session(db).rows(sql)
+        reloaded_rows = Session(reloaded).rows(sql)
+        assert original_rows == reloaded_rows
+
+    def test_learnt_preferences_through_store_and_strategies(self, db):
+        movies = db.table("MOVIES").rows
+        ratings = [(movies[i][0], 9.0 if i % 2 == 0 else 2.0) for i in range(10)]
+
+        store = PreferenceStore(db)
+        store.add_all("user", atomic_preferences_from_ratings("MOVIES", "m_id", ratings))
+        store.add_all(
+            "user",
+            mine_categorical_preferences(
+                db, ratings, "MOVIES", "m_id", "GENRES", "genre", min_support=1
+            ),
+        )
+        assert store.preferences_of("user")
+
+        session = store.session_for("user")
+        names = ", ".join(
+            p.name for p in store.preferences_of("user") if p.name.startswith("mined")
+        )
+        sql = (
+            "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES "
+            f"PREFERRING {names} TOP 5 BY score"
+        )
+        reference = session.execute(sql, strategy="reference")
+        for strategy in STRATEGIES:
+            result = session.execute(sql, strategy=strategy)
+            assert result.relation.same_contents(reference.relation), strategy
+
+    def test_contextual_blend_with_explanations(self, db):
+        store = PreferenceStore(db)
+        store.add("alice", Preference("likes_drama", "GENRES", eq("genre", "Drama"), 0.8, 0.9))
+        store.add(
+            "alice",
+            ContextualPreference(
+                Preference("late_comedy", "GENRES", eq("genre", "Comedy"), 0.9, 0.8),
+                {"daytime": "night"},
+            ),
+        )
+        session = store.session_for("alice", context={"daytime": "night"})
+        result = session.execute(
+            "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES "
+            "WHERE conf > 0 PREFERRING likes_drama, late_comedy ORDER BY score"
+        )
+        assert result.stats.rows > 0
+        explanation = session.why(result, 0)
+        assert explanation.matched
+        assert explanation.combined.approx_equal(result.relation.pairs[0])
+
+    def test_cross_strategy_agreement_on_persisted_db(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        reloaded = load_database(str(tmp_path))
+        engine = ExecutionEngine(reloaded)
+        from repro.plan.builder import scan
+
+        p = Preference("pp", "GENRES", eq("genre", "Comedy"), 0.9, 0.9)
+        plan = (
+            scan("MOVIES")
+            .natural_join(scan("GENRES").prefer(p), reloaded.catalog)
+            .top(5, by="score")
+            .build()
+        )
+        reference = engine.run(plan, "reference")
+        for strategy in STRATEGIES:
+            assert engine.run(plan, strategy).relation.same_contents(reference.relation)

@@ -1,0 +1,174 @@
+"""Tests for the preference-learning subpackage."""
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.errors import PreferenceError
+from repro.learning import (
+    atomic_preferences_from_ratings,
+    fit_linear_scoring,
+    mine_categorical_preferences,
+    mine_numeric_preference,
+)
+
+
+class TestAtomicFromRatings:
+    def test_example1(self):
+        """Alice's 8/10 and 3/10 ratings (paper Example 1)."""
+        prefs = atomic_preferences_from_ratings("MOVIES", "m_id", [(3, 8), (1, 3)])
+        assert len(prefs) == 2
+        by_score = sorted(prefs, key=lambda p: p.scoring.value)
+        assert by_score[0].scoring.value == pytest.approx(0.3)
+        assert by_score[1].scoring.value == pytest.approx(0.8)
+        assert all(p.confidence == 1.0 for p in prefs)
+
+    def test_later_rating_wins(self):
+        prefs = atomic_preferences_from_ratings("MOVIES", "m_id", [(1, 2), (1, 9)])
+        assert len(prefs) == 1
+        assert prefs[0].scoring.value == pytest.approx(0.9)
+
+    def test_scale_validated(self):
+        with pytest.raises(PreferenceError):
+            atomic_preferences_from_ratings("MOVIES", "m_id", [(1, 11)])
+        with pytest.raises(PreferenceError):
+            atomic_preferences_from_ratings("MOVIES", "m_id", [], rating_scale=0)
+
+    def test_preferences_are_usable(self, movie_db):
+        from repro.pexec.engine import ExecutionEngine
+        from repro.plan.builder import scan
+
+        prefs = atomic_preferences_from_ratings("MOVIES", "m_id", [(3, 8), (1, 3)])
+        plan = scan("MOVIES").prefer_all(prefs).top(2, by="score").build()
+        result = ExecutionEngine(movie_db).run(plan, "gbu")
+        titles = [row[1] for row in result.relation.rows]
+        assert titles[0] == "Million Dollar Baby"
+
+
+class TestMineCategorical:
+    RATINGS = [(4, 9), (5, 8), (1, 3), (2, 4), (3, 5)]  # likes the comedies
+
+    def test_genre_preference_emerges(self, movie_db):
+        prefs = mine_categorical_preferences(
+            movie_db, self.RATINGS, "MOVIES", "m_id", "GENRES", "genre"
+        )
+        by_value = {p.name: p for p in prefs}
+        comedy = next(p for p in prefs if "Comedy" in p.name)
+        drama = next(p for p in prefs if "Drama" in p.name)
+        assert comedy.scoring.value > drama.scoring.value
+        assert comedy.scoring.value == pytest.approx(0.85)  # (0.9 + 0.8) / 2
+
+    def test_confidence_grows_with_support(self, movie_db):
+        prefs = mine_categorical_preferences(
+            movie_db, self.RATINGS, "MOVIES", "m_id", "GENRES", "genre"
+        )
+        comedy = next(p for p in prefs if "Comedy" in p.name)
+        drama = next(p for p in prefs if "Drama" in p.name)
+        # Drama has 4 rated movies, Comedy 2: more support, more confidence.
+        assert drama.confidence > comedy.confidence
+        assert all(p.confidence < 1.0 for p in prefs)
+
+    def test_min_support(self, movie_db):
+        prefs = mine_categorical_preferences(
+            movie_db, [(4, 9)], "MOVIES", "m_id", "GENRES", "genre", min_support=2
+        )
+        assert prefs == []
+
+    def test_mined_preferences_run_in_queries(self, movie_db):
+        from repro.pexec.engine import ExecutionEngine
+        from repro.plan.builder import scan
+
+        prefs = mine_categorical_preferences(
+            movie_db, self.RATINGS, "MOVIES", "m_id", "GENRES", "genre"
+        )
+        plan = (
+            scan("MOVIES")
+            .natural_join(scan("GENRES").prefer_all(prefs), movie_db.catalog)
+            .top(3, by="score")
+            .build()
+        )
+        engine = ExecutionEngine(movie_db)
+        gbu = engine.run(plan, "gbu")
+        ref = engine.run(plan, "reference")
+        assert gbu.relation.same_contents(ref.relation)
+
+    def test_invalid_rating_rejected(self, movie_db):
+        with pytest.raises(PreferenceError):
+            mine_categorical_preferences(
+                movie_db, [(4, 99)], "MOVIES", "m_id", "GENRES", "genre"
+            )
+
+
+class TestMineNumeric:
+    def test_recency_preference_emerges(self, movie_db):
+        # Likes the recent movies (2008, 2010), dislikes the old ones.
+        ratings = [(1, 9), (2, 8), (3, 2), (4, 3), (5, 4)]
+        pref = mine_numeric_preference(
+            movie_db, ratings, "MOVIES", "m_id", "year", min_support=2
+        )
+        assert pref is not None
+        assert pref.condition.op == ">="
+        assert pref.confidence < 1.0
+
+    def test_dislike_direction(self, movie_db):
+        # Likes the *old* movies: threshold comparison flips.
+        ratings = [(3, 9), (4, 8), (1, 2), (2, 1)]
+        pref = mine_numeric_preference(
+            movie_db, ratings, "MOVIES", "m_id", "year", min_support=2
+        )
+        assert pref.condition.op == "<="
+
+    def test_insufficient_support(self, movie_db):
+        assert (
+            mine_numeric_preference(movie_db, [(1, 9)], "MOVIES", "m_id", "year")
+            is None
+        )
+
+
+class TestFitLinear:
+    def test_perfect_fit(self):
+        observations = [(2000, 0.0), (2010, 1.0), (2005, 0.5)]
+        fitted = fit_linear_scoring("year", observations)
+        assert fitted.r_squared == pytest.approx(1.0)
+        assert fitted.slope == pytest.approx(0.1)
+        assert fitted.suggested_confidence == pytest.approx(0.95)
+
+    def test_scoring_evaluates(self, movie_db):
+        observations = [(2000, 0.0), (2010, 1.0)]
+        fitted = fit_linear_scoring("year", observations)
+        fn = fitted.scoring.compile(movie_db.table("MOVIES").schema)
+        row = movie_db.table("MOVIES").rows[0]  # Gran Torino, 2008
+        assert fn(row) == pytest.approx(0.8)
+
+    def test_clamping(self, movie_db):
+        fitted = fit_linear_scoring("year", [(2000, 0.0), (2001, 1.0)])
+        fn = fitted.scoring.compile(movie_db.table("MOVIES").schema)
+        assert fn(movie_db.table("MOVIES").rows[1]) == 1.0  # 2010 ≫ fit range
+
+    def test_noisy_fit_has_lower_confidence(self):
+        noisy = [(0, 0.1), (1, 0.9), (2, 0.2), (3, 0.8)]
+        fitted = fit_linear_scoring("x", noisy)
+        assert fitted.r_squared < 0.5
+
+    def test_constant_attribute_degenerates(self):
+        fitted = fit_linear_scoring("x", [(5, 0.2), (5, 0.8)])
+        assert fitted.slope == 0.0
+        assert fitted.r_squared == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PreferenceError):
+            fit_linear_scoring("x", [(1, 0.5)])
+        with pytest.raises(PreferenceError):
+            fit_linear_scoring("x", [(1, 0.5), (2, 1.5)])
+
+    def test_usable_in_preference(self, movie_db):
+        from repro.core.preference import Preference
+        from repro.core.prefer import prefer
+        from repro.core.prelation import PRelation
+        from repro.engine.expressions import TRUE
+
+        fitted = fit_linear_scoring("year", [(2000, 0.0), (2010, 1.0)])
+        p = Preference(
+            "learnt", "MOVIES", TRUE, fitted.scoring, fitted.suggested_confidence
+        )
+        out = prefer(PRelation.from_table(movie_db.table("MOVIES")), p)
+        assert all(pr.conf == pytest.approx(0.95) for pr in out.pairs)

@@ -1,0 +1,224 @@
+"""Tests for the LEFT OUTER JOIN extension (non-restrictive membership)."""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.preference import Preference
+from repro.core.prelation import PRelation
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.engine.expressions import Attr, Comparison, IsNull, cmp, eq
+from repro.engine.physical import execute_native
+from repro.pexec.engine import STRATEGIES, ExecutionEngine
+from repro.plan.builder import scan
+from repro.plan.nodes import LeftJoin, Prefer, Relation, Select
+
+
+def on_m_id(left="MOVIES.m_id", right="AWARDS.m_id"):
+    return Comparison("=", Attr(left), Attr(right))
+
+
+class TestAlgebra:
+    def test_unmatched_rows_padded(self, movie_db):
+        movies = PRelation.from_table(movie_db.table("MOVIES"))
+        awards = PRelation.from_table(movie_db.table("AWARDS"))
+        out = algebra.left_join(movies, awards, on_m_id())
+        assert len(out) == 5  # 2 matched + 3 padded
+        padded = [row for row in out.rows if row[5] is None]
+        assert len(padded) == 3
+        assert all(row[5:] == (None, None, None) for row in padded)
+
+    def test_matched_pairs_combine(self, movie_db):
+        movies = PRelation.from_table(movie_db.table("MOVIES"))
+        movies.pairs[0] = ScorePair(0.5, 1.0)  # Gran Torino (has an award)
+        awards = PRelation.from_table(movie_db.table("AWARDS"))
+        awards.pairs[1] = ScorePair(0.9, 1.0)  # Gran Torino's Golden Globe
+        out = algebra.left_join(movies, awards, on_m_id())
+        gran = next(pair for row, pair in out if row[0] == 1 and row[5] is not None)
+        assert gran.score == pytest.approx(0.7)
+        assert gran.conf == pytest.approx(2.0)
+
+    def test_padded_rows_keep_left_pair(self, movie_db):
+        movies = PRelation.from_table(movie_db.table("MOVIES"))
+        movies.pairs[1] = ScorePair(0.4, 0.4)  # Wall Street (no award)
+        awards = PRelation.from_table(movie_db.table("AWARDS"))
+        out = algebra.left_join(movies, awards, on_m_id())
+        wall = next(pair for row, pair in out if row[0] == 2)
+        assert wall == ScorePair(0.4, 0.4)
+
+    def test_duplicate_left_rows_each_padded(self, movie_db):
+        schema = movie_db.table("DIRECTORS").schema
+        left = PRelation(schema, [(9, "Dup"), (9, "Dup")], [IDENTITY, ScorePair(0.1, 0.1)])
+        right = PRelation(schema.rename("R2"), [])
+        out = algebra.left_join(
+            left, right, Comparison("=", Attr("DIRECTORS.d_id"), Attr("R2.d_id"))
+        )
+        assert len(out) == 2
+
+    def test_null_left_key_padded(self, movie_db):
+        movie_db.insert("MOVIES", (9, "No Director", 2000, 100, None))
+        movies = PRelation.from_table(movie_db.table("MOVIES"))
+        directors = PRelation.from_table(movie_db.table("DIRECTORS"))
+        out = algebra.left_join(
+            movies,
+            directors,
+            Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id")),
+        )
+        orphan = [row for row in out.rows if row[0] == 9]
+        assert len(orphan) == 1
+        assert orphan[0][5] is None
+
+
+class TestNativeExecutor:
+    def test_hash_left_join(self, movie_db):
+        plan = LeftJoin(Relation("MOVIES"), Relation("AWARDS"), on_m_id())
+        _, rows = execute_native(plan, movie_db.catalog)
+        assert len(rows) == 5
+
+    def test_theta_left_join(self, movie_db):
+        condition = Comparison("<", Attr("MOVIES.year"), Attr("AWARDS.year"))
+        plan = LeftJoin(Relation("MOVIES"), Relation("AWARDS"), condition)
+        _, rows = execute_native(plan, movie_db.catalog)
+        matched = [r for r in rows if r[5] is not None]
+        padded = [r for r in rows if r[5] is None]
+        assert len(matched) == 5 and len(padded) == 1  # 2010 movie matches nothing
+
+
+class TestStrategies:
+    def test_all_strategies_agree(self, movie_db):
+        p7 = Preference.membership_outer(
+            ("MOVIES", "AWARDS"), "AWARDS.m_id", 1.0, 0.9, name="p7"
+        )
+        plan = (
+            scan("MOVIES")
+            .left_join(scan("AWARDS"), on=on_m_id())
+            .prefer(p7)
+            .top(5, by="score")
+            .build()
+        )
+        engine = ExecutionEngine(movie_db)
+        reference = engine.run(plan, "reference")
+        assert reference.stats.rows == 5
+        for strategy in STRATEGIES:
+            result = engine.run(plan, strategy)
+            assert result.relation.same_contents(reference.relation), strategy
+
+    def test_membership_outer_is_not_restrictive(self, movie_db):
+        """The point of the extension: every movie stays, awarded ones win."""
+        p7 = Preference.membership_outer(
+            ("MOVIES", "AWARDS"), "AWARDS.m_id", 1.0, 0.9, name="p7"
+        )
+        plan = (
+            scan("MOVIES")
+            .left_join(scan("AWARDS"), on=on_m_id())
+            .prefer(p7)
+            .build()
+        )
+        result = ExecutionEngine(movie_db).run(plan, "gbu").relation
+        awarded = {row[0] for row, pair in result if pair.conf > 0}
+        unawarded = {row[0] for row, pair in result if pair.is_default}
+        assert awarded == {1, 3}
+        assert unawarded == {2, 4, 5}
+
+    def test_prefer_on_left_side_pushes(self, movie_db, example_preferences):
+        from repro.optimizer import optimize
+        from repro.plan.analysis import qualify_preferences
+
+        pm = Preference("pm", "MOVIES", cmp("year", ">", 2005), 0.7, 0.8)
+        plan = (
+            scan("MOVIES")
+            .left_join(scan("AWARDS"), on=on_m_id())
+            .prefer(pm)
+            .build()
+        )
+        optimized = optimize(qualify_preferences(plan, movie_db.catalog), movie_db.catalog)
+        prefer_node = next(n for n in optimized.walk() if isinstance(n, Prefer))
+        assert isinstance(prefer_node.child, Relation)
+        assert prefer_node.child.name == "MOVIES"
+
+    def test_prefer_on_right_side_stays_above(self, movie_db):
+        from repro.optimizer import optimize
+        from repro.plan.analysis import qualify_preferences
+
+        pa = Preference("pa", "AWARDS", eq("award", "Academy Award"), 0.9, 0.9)
+        plan = (
+            scan("MOVIES")
+            .left_join(scan("AWARDS"), on=on_m_id())
+            .prefer(pa)
+            .build()
+        )
+        optimized = optimize(qualify_preferences(plan, movie_db.catalog), movie_db.catalog)
+        assert isinstance(optimized, Prefer)
+        assert isinstance(optimized.child, LeftJoin)
+
+    def test_selection_on_right_attr_stays_above(self, movie_db):
+        from repro.engine.native_optimizer import push_selections
+
+        plan = Select(
+            LeftJoin(Relation("MOVIES"), Relation("AWARDS"), on_m_id()),
+            IsNull(Attr("AWARDS.award")),
+        )
+        pushed = push_selections(plan, movie_db.catalog)
+        assert isinstance(pushed, Select)
+        assert isinstance(pushed.child, LeftJoin)
+
+    def test_selection_on_left_attr_pushes(self, movie_db):
+        from repro.engine.native_optimizer import push_selections
+
+        plan = Select(
+            LeftJoin(Relation("MOVIES"), Relation("AWARDS"), on_m_id()),
+            cmp("year", ">", 2005),
+        )
+        pushed = push_selections(plan, movie_db.catalog)
+        assert isinstance(pushed, LeftJoin)
+        assert isinstance(pushed.left, Select)
+
+    def test_optimizer_preserves_semantics(self, movie_db):
+        from tests.conftest import assert_plans_equivalent
+        from repro.optimizer import optimize
+        from repro.plan.analysis import qualify_preferences
+
+        p7 = Preference.membership_outer(("MOVIES", "AWARDS"), "AWARDS.m_id", 1.0, 0.9)
+        pm = Preference("pm", "MOVIES", cmp("year", ">", 2005), 0.7, 0.8)
+        plan = (
+            scan("MOVIES")
+            .select(cmp("duration", ">", 100))
+            .left_join(scan("AWARDS"), on=on_m_id())
+            .prefer(p7)
+            .prefer(pm)
+            .build()
+        )
+        qualified = qualify_preferences(plan, movie_db.catalog)
+        optimized = optimize(qualified, movie_db.catalog)
+        assert_plans_equivalent(movie_db, qualified, optimized)
+
+
+class TestSQL:
+    def test_left_join_parses_and_runs(self, movie_db):
+        from repro.query.session import Session
+
+        session = Session(movie_db)
+        session.register(
+            Preference.membership_outer(
+                ("MOVIES", "AWARDS"), "AWARDS.m_id", 1.0, 0.9, name="awarded"
+            )
+        )
+        rows = session.rows(
+            """
+            SELECT title, award FROM MOVIES
+              LEFT OUTER JOIN AWARDS ON MOVIES.m_id = AWARDS.m_id
+            PREFERRING awarded
+            ORDER BY score
+            """
+        )
+        assert len(rows) == 5
+        assert rows[0][1] is not None      # awarded movies first
+        assert rows[-1][1] is None         # unawarded still present
+
+    def test_left_keyword_without_outer(self, movie_db):
+        from repro.query.session import Session
+
+        session = Session(movie_db)
+        rows = session.rows(
+            "SELECT title FROM MOVIES LEFT JOIN AWARDS ON MOVIES.m_id = AWARDS.m_id"
+        )
+        assert len(rows) == 5

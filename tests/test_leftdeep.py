@@ -1,0 +1,67 @@
+"""Tests for left-deep restructuring of commutative set operations."""
+
+import pytest
+
+from repro.engine.expressions import cmp
+from repro.optimizer.leftdeep import left_deepen
+from repro.pexec.reference import evaluate_reference
+from repro.plan.analysis import is_left_deep
+from repro.plan.builder import scan
+from repro.plan.nodes import Difference, Intersect, Join, Relation, Select, Union
+
+
+def branch(db, condition):
+    return Select(Relation("MOVIES"), condition)
+
+
+def deep_branch(db):
+    return (
+        scan("MOVIES")
+        .natural_join(scan("DIRECTORS"), db.catalog)
+        .project(["title", "MOVIES.m_id"])
+        .build()
+    )
+
+
+def flat_branch(db):
+    return scan("MOVIES").project(["title", "MOVIES.m_id"]).build()
+
+
+class TestLeftDeepen:
+    def test_union_swaps_binary_right_child(self, movie_db):
+        plan = Union(flat_branch(movie_db), deep_branch(movie_db))
+        assert not is_left_deep(plan)
+        deepened = left_deepen(plan)
+        assert is_left_deep(deepened)
+        # The join-bearing branch moved to the left child.
+        assert any(isinstance(n, Join) for n in deepened.children()[0].walk())
+        assert not any(isinstance(n, Join) for n in deepened.children()[1].walk())
+
+    def test_union_swap_preserves_semantics(self, movie_db):
+        plan = Union(flat_branch(movie_db), deep_branch(movie_db))
+        deepened = left_deepen(plan)
+        before = evaluate_reference(plan, movie_db.catalog)
+        after = evaluate_reference(deepened, movie_db.catalog)
+        assert before.same_contents(after)
+
+    def test_intersect_swaps(self, movie_db):
+        plan = Intersect(flat_branch(movie_db), deep_branch(movie_db))
+        deepened = left_deepen(plan)
+        assert is_left_deep(deepened)
+        before = evaluate_reference(plan, movie_db.catalog)
+        after = evaluate_reference(deepened, movie_db.catalog)
+        assert before.same_contents(after)
+
+    def test_difference_never_swaps(self, movie_db):
+        plan = Difference(flat_branch(movie_db), deep_branch(movie_db))
+        deepened = left_deepen(plan)
+        # Difference is not commutative: the tree shape must be preserved.
+        assert deepened == plan
+
+    def test_already_left_deep_untouched(self, movie_db):
+        plan = Union(deep_branch(movie_db), flat_branch(movie_db))
+        assert left_deepen(plan) == plan
+
+    def test_both_sides_binary_untouched(self, movie_db):
+        plan = Union(deep_branch(movie_db), deep_branch(movie_db))
+        assert left_deepen(plan) == plan

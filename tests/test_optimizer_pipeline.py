@@ -1,0 +1,121 @@
+"""Tests for the full preference-optimizer pipeline (Fig. 7's transformation)."""
+
+import pytest
+
+from tests.conftest import assert_plans_equivalent
+
+from repro.core.preference import Preference
+from repro.engine.expressions import And, cmp, eq
+from repro.optimizer import OptimizerConfig, PreferenceOptimizer, optimize
+from repro.pexec.reference import evaluate_reference
+from repro.plan.analysis import is_left_deep, qualify_preferences
+from repro.plan.builder import scan
+from repro.plan.nodes import Join, Prefer, Project, Relation, Select
+
+
+def example12_plan(db, example_preferences):
+    """A plan in the spirit of Fig. 7(a): prefers and selects at the top."""
+    return qualify_preferences(
+        (
+            scan("MOVIES")
+            .natural_join(scan("DIRECTORS"), db.catalog)
+            .natural_join(scan("GENRES"), db.catalog)
+            .select(And(eq("year", 2008), eq("genre", "Drama")))
+            .prefer(example_preferences["p1"])
+            .prefer(example_preferences["p2"])
+            .build()
+        ),
+        db.catalog,
+    )
+
+
+class TestPipeline:
+    def test_example12_shape(self, movie_db, example_preferences):
+        """Selections and prefers end up on their relations (Fig. 7(b))."""
+        plan = example12_plan(movie_db, example_preferences)
+        optimized = optimize(plan, movie_db.catalog)
+        for node in optimized.walk():
+            if isinstance(node, Prefer):
+                # Each prefer sits on a leaf-ish unit, not above a join.
+                assert not isinstance(node.child, Join)
+            if isinstance(node, Select):
+                assert isinstance(node.child, Relation)
+
+    def test_result_is_left_deep(self, movie_db, example_preferences):
+        plan = example12_plan(movie_db, example_preferences)
+        optimized = optimize(plan, movie_db.catalog)
+        assert is_left_deep(optimized)
+
+    def test_semantics_preserved(self, movie_db, example_preferences):
+        plan = example12_plan(movie_db, example_preferences)
+        optimized = optimize(plan, movie_db.catalog)
+        assert_plans_equivalent(movie_db, plan, optimized)
+
+    def test_projection_plan_preserved(self, movie_db, example_preferences):
+        plan = qualify_preferences(
+            (
+                scan("MOVIES")
+                .natural_join(scan("DIRECTORS"), movie_db.catalog)
+                .prefer(example_preferences["p2"])
+                .project(["title", "director"])
+                .build()
+            ),
+            movie_db.catalog,
+        )
+        optimized = optimize(plan, movie_db.catalog)
+        assert_plans_equivalent(movie_db, plan, optimized)
+
+    def test_disabled_config_is_identity(self, movie_db, example_preferences):
+        plan = example12_plan(movie_db, example_preferences)
+        optimizer = PreferenceOptimizer(movie_db.catalog, OptimizerConfig.none())
+        assert optimizer.optimize(plan) == plan
+
+    @pytest.mark.parametrize(
+        "disabled",
+        [
+            "push_selections",
+            "push_projections",
+            "push_prefers",
+            "reorder_prefers",
+            "match_join_order",
+            "left_deep",
+        ],
+    )
+    def test_each_rule_alone_preserves_semantics(
+        self, movie_db, example_preferences, disabled
+    ):
+        """Every rule subset yields an equivalent plan (ablation soundness)."""
+        config = OptimizerConfig(**{disabled: False})
+        plan = example12_plan(movie_db, example_preferences)
+        optimized = PreferenceOptimizer(movie_db.catalog, config).optimize(plan)
+        assert_plans_equivalent(movie_db, plan, optimized)
+
+    def test_topk_plan_optimization(self, movie_db, example_preferences):
+        plan = qualify_preferences(
+            (
+                scan("MOVIES")
+                .natural_join(scan("GENRES"), movie_db.catalog)
+                .prefer(example_preferences["p1"])
+                .top(3, by="score")
+                .build()
+            ),
+            movie_db.catalog,
+        )
+        optimized = optimize(plan, movie_db.catalog)
+        assert_plans_equivalent(movie_db, plan, optimized)
+
+    def test_score_filter_stays_above_prefers(self, movie_db, example_preferences):
+        plan = qualify_preferences(
+            (
+                scan("GENRES")
+                .prefer(example_preferences["p1"])
+                .select(cmp("conf", ">", 0.5))
+                .build()
+            ),
+            movie_db.catalog,
+        )
+        optimized = optimize(plan, movie_db.catalog)
+        top = optimized
+        assert isinstance(top, Select)
+        assert top.condition.references_score()
+        assert_plans_equivalent(movie_db, plan, optimized)

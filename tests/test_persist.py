@@ -1,0 +1,117 @@
+"""Tests for database save/load and CSV import."""
+
+import os
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.persist import load_csv_table, load_database, save_database
+from repro.engine.types import DataType
+from repro.errors import CatalogError, ReproError
+
+
+class TestRoundTrip:
+    def test_schema_and_data_survive(self, movie_db, tmp_path):
+        save_database(movie_db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.catalog.table_names() == movie_db.catalog.table_names()
+        for name in movie_db.catalog.table_names():
+            assert loaded.table(name).rows == movie_db.table(name).rows
+            assert loaded.table(name).schema.primary_key == (
+                movie_db.table(name).schema.primary_key
+            )
+
+    def test_indexes_survive(self, movie_db_indexed, tmp_path):
+        save_database(movie_db_indexed, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.catalog.find_index("GENRES", "genre") is not None
+        assert loaded.catalog.find_index("MOVIES", "year", kind="btree") is not None
+
+    def test_nulls_survive(self, tmp_path):
+        db = Database()
+        db.create_table("N", [("id", DataType.INT), ("v", DataType.TEXT)], primary_key=["id"])
+        db.insert_many("N", [(1, None), (2, "x")])
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path), analyze=False)
+        assert loaded.table("N").rows == [(1, None), (2, "x")]
+
+    def test_loaded_database_answers_queries(self, movie_db, tmp_path):
+        from repro.core.preference import Preference
+        from repro.engine.expressions import eq
+        from repro.pexec.engine import ExecutionEngine
+        from repro.plan.builder import scan
+
+        save_database(movie_db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        p = Preference("p", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+        plan = scan("GENRES").prefer(p).top(2, by="score").build()
+        result = ExecutionEngine(loaded).run(plan, "gbu")
+        assert result.stats.rows == 2
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_database(str(tmp_path))
+
+    def test_bad_format_raises(self, tmp_path):
+        (tmp_path / "schema.json").write_text('{"format": 99, "tables": []}')
+        with pytest.raises(ReproError):
+            load_database(str(tmp_path))
+
+
+class TestCsvImport:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.create_table(
+            "T",
+            [
+                ("id", DataType.INT),
+                ("name", DataType.TEXT),
+                ("v", DataType.FLOAT),
+                ("flag", DataType.BOOL),
+            ],
+            primary_key=["id"],
+        )
+        return database
+
+    def test_with_header(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,v,flag\n1,alpha,1.5,true\n2,beta,2.0,0\n")
+        assert load_csv_table(db, "T", str(path)) == 2
+        assert db.table("T").rows == [(1, "alpha", 1.5, True), (2, "beta", 2.0, False)]
+
+    def test_header_reorders_columns(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("name,id,flag,v\nalpha,1,false,0.5\n")
+        load_csv_table(db, "T", str(path))
+        assert db.table("T").rows == [(1, "alpha", 0.5, False)]
+
+    def test_without_header(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,alpha,1.5,true\n")
+        assert load_csv_table(db, "T", str(path), has_header=False) == 1
+
+    def test_null_token(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,v,flag\n1,,1.0,true\n")
+        load_csv_table(db, "T", str(path))
+        assert db.table("T").rows[0][1] is None
+
+    def test_bad_bool_raises(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,v,flag\n1,a,1.0,maybe\n")
+        with pytest.raises(CatalogError):
+            load_csv_table(db, "T", str(path))
+
+    def test_field_count_checked(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,v,flag\n1,a\n")
+        with pytest.raises(CatalogError):
+            load_csv_table(db, "T", str(path))
+
+    def test_indexes_rebuilt(self, db, tmp_path):
+        db.create_index("T", "name")
+        path = tmp_path / "t.csv"
+        path.write_text("id,name,v,flag\n1,alpha,1.0,true\n")
+        load_csv_table(db, "T", str(path))
+        assert db.catalog.find_index("T", "name").lookup("alpha")

@@ -1,0 +1,189 @@
+"""Unit tests for the native physical executor."""
+
+import pytest
+
+from repro.engine.expressions import TRUE, And, cmp, eq
+from repro.engine.iosim import CostModel
+from repro.engine.physical import execute_native
+from repro.errors import ExecutionError
+from repro.plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    Materialized,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from repro.core.preference import Preference
+
+
+def run(plan, db):
+    return execute_native(plan, db.catalog, CostModel())
+
+
+class TestLeaves:
+    def test_relation_scan(self, movie_db):
+        schema, rows = run(Relation("MOVIES"), movie_db)
+        assert len(rows) == 5
+        assert schema.has("title")
+
+    def test_alias_renames(self, movie_db):
+        schema, _ = run(Relation("MOVIES", alias="M"), movie_db)
+        assert schema.has("M.title")
+        assert not schema.has("MOVIES.title")
+
+    def test_materialized(self, movie_db):
+        base = movie_db.table("MOVIES")
+        node = Materialized(base.schema, list(base.rows))
+        _, rows = run(node, movie_db)
+        assert len(rows) == 5
+
+
+class TestSelect:
+    def test_filter(self, movie_db):
+        _, rows = run(Select(Relation("MOVIES"), cmp("year", ">=", 2006)), movie_db)
+        assert {r[0] for r in rows} == {1, 2, 5}
+
+    def test_score_condition_rejected(self, movie_db):
+        plan = Select(Relation("MOVIES"), cmp("score", ">", 0.5))
+        with pytest.raises(ExecutionError):
+            run(plan, movie_db)
+
+    def test_index_equality_access(self, movie_db_indexed):
+        cost = CostModel()
+        plan = Select(Relation("GENRES"), eq("genre", "Comedy"))
+        _, rows = execute_native(plan, movie_db_indexed.catalog, cost)
+        assert {r[0] for r in rows} == {4, 5}
+        assert cost.index_lookups == 1
+        assert cost.tuples_scanned == 0
+
+    def test_index_range_access(self, movie_db_indexed):
+        cost = CostModel()
+        plan = Select(Relation("MOVIES"), cmp("year", ">", 2005))
+        _, rows = execute_native(plan, movie_db_indexed.catalog, cost)
+        assert {r[0] for r in rows} == {1, 2, 5}
+        assert cost.index_lookups == 1
+
+    def test_index_with_residual_condition(self, movie_db_indexed):
+        plan = Select(
+            Relation("MOVIES"),
+            And(cmp("year", ">", 2004), cmp("duration", "<", 120)),
+        )
+        _, rows = run(plan, movie_db_indexed)
+        assert {r[0] for r in rows} == {1, 5}
+
+    def test_no_index_falls_back_to_scan(self, movie_db):
+        cost = CostModel()
+        plan = Select(Relation("MOVIES"), eq("year", 2008))
+        _, rows = execute_native(plan, movie_db.catalog, cost)
+        assert len(rows) == 1
+        assert cost.index_lookups == 0
+
+
+class TestProject:
+    def test_projection(self, movie_db):
+        schema, rows = run(Project(Relation("MOVIES"), ["title", "year"]), movie_db)
+        assert schema.attribute_names == ("MOVIES.title", "MOVIES.year")
+        assert ("Scoop", 2006) in rows
+
+
+class TestJoin:
+    def test_hash_join(self, movie_db):
+        plan = Join(
+            Relation("MOVIES"),
+            Relation("DIRECTORS"),
+            eq("MOVIES.d_id", 0) | TRUE,  # dummy to check next test separately
+        )
+
+    def test_equi_join(self, movie_db):
+        from repro.engine.expressions import Comparison, Attr
+
+        plan = Join(
+            Relation("MOVIES"),
+            Relation("DIRECTORS"),
+            Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id")),
+        )
+        schema, rows = run(plan, movie_db)
+        assert len(rows) == 5
+        director = schema.index_of("director")
+        title = schema.index_of("title")
+        pairs = {(r[title], r[director]) for r in rows}
+        assert ("Gran Torino", "C. Eastwood") in pairs
+
+    def test_cross_product(self, movie_db):
+        plan = Join(Relation("MOVIES"), Relation("DIRECTORS"), TRUE)
+        _, rows = run(plan, movie_db)
+        assert len(rows) == 15
+
+    def test_theta_join(self, movie_db):
+        from repro.engine.expressions import Comparison, Attr
+
+        plan = Join(
+            Relation("MOVIES"),
+            Relation("AWARDS"),
+            Comparison("<", Attr("MOVIES.year"), Attr("AWARDS.year")),
+        )
+        _, rows = run(plan, movie_db)
+        # award years: 2005 (1 earlier movie) and 2009 (4 earlier movies)
+        assert len(rows) == 5
+
+    def test_join_null_keys_do_not_match(self, movie_db):
+        movie_db.insert("MOVIES", (9, "No Director", 2000, 100, None))
+        from repro.engine.expressions import Comparison, Attr
+
+        plan = Join(
+            Relation("MOVIES"),
+            Relation("DIRECTORS"),
+            Comparison("=", Attr("MOVIES.d_id"), Attr("DIRECTORS.d_id")),
+        )
+        _, rows = run(plan, movie_db)
+        assert all(r[0] != 9 for r in rows)
+
+
+class TestSetOps:
+    def _titles(self, db, condition):
+        return Project(Select(Relation("MOVIES"), condition), ["title"])
+
+    def test_union_dedups(self, movie_db):
+        plan = Union(
+            self._titles(movie_db, cmp("year", ">=", 2005)),
+            self._titles(movie_db, cmp("year", "<=", 2006)),
+        )
+        _, rows = run(plan, movie_db)
+        assert len(rows) == 5
+
+    def test_intersect(self, movie_db):
+        plan = Intersect(
+            self._titles(movie_db, cmp("year", ">=", 2005)),
+            self._titles(movie_db, cmp("year", "<=", 2006)),
+        )
+        _, rows = run(plan, movie_db)
+        assert {r[0] for r in rows} == {"Match Point", "Scoop"}
+
+    def test_difference(self, movie_db):
+        plan = Difference(
+            self._titles(movie_db, TRUE),
+            self._titles(movie_db, cmp("year", ">=", 2005)),
+        )
+        _, rows = run(plan, movie_db)
+        assert {r[0] for r in rows} == {"Million Dollar Baby"}
+
+    def test_incompatible_inputs_rejected(self, movie_db):
+        plan = Union(Relation("MOVIES"), Relation("DIRECTORS"))
+        with pytest.raises(ExecutionError):
+            run(plan, movie_db)
+
+
+class TestPreferenceNodesRejected:
+    def test_prefer_rejected(self, movie_db, example_preferences):
+        plan = Prefer(Relation("GENRES"), example_preferences["p1"])
+        with pytest.raises(ExecutionError):
+            run(plan, movie_db)
+
+    def test_topk_rejected(self, movie_db):
+        with pytest.raises(ExecutionError):
+            run(TopK(Relation("MOVIES"), 3), movie_db)

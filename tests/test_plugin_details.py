@@ -1,0 +1,96 @@
+"""White-box tests for the plug-in baselines and strategy cost profiles."""
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.engine.expressions import cmp, eq
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+from repro.workloads import preference_pool
+
+
+def run_and_count(db, plan, strategy):
+    engine = ExecutionEngine(db)
+    before = dict(db.cost.operator_calls)
+    result = engine.run(plan, strategy)
+    after = db.cost.operator_calls
+    delta = {k: after.get(k, 0) - before.get(k, 0) for k in after}
+    return result, delta
+
+
+@pytest.fixture
+def three_pref_plan(movie_db, example_preferences):
+    return (
+        scan("MOVIES")
+        .natural_join(scan("GENRES").prefer(example_preferences["p1"]), movie_db.catalog)
+        .natural_join(scan("DIRECTORS").prefer(example_preferences["p2"]), movie_db.catalog)
+        .prefer(Preference("pm", "MOVIES", cmp("year", ">", 2005), 0.7, 0.8))
+        .build()
+    )
+
+
+class TestPluginCostProfile:
+    def test_rma_issues_one_query_per_preference(self, movie_db, three_pref_plan):
+        _, delta = run_and_count(movie_db, three_pref_plan, "plugin-rma")
+        assert delta.get("plugin-query", 0) == 3
+
+    def test_shared_also_counts_per_preference(self, movie_db, three_pref_plan):
+        _, delta = run_and_count(movie_db, three_pref_plan, "plugin-shared")
+        assert delta.get("plugin-query", 0) == 3
+
+    def _join_plan(self, db, preferences):
+        return (
+            scan("MOVIES")
+            .natural_join(scan("GENRES"), db.catalog)
+            .natural_join(scan("DIRECTORS"), db.catalog)
+            .prefer_all(preferences)
+            .build()
+        )
+
+    def _extra_prefs(self):
+        return [
+            Preference("a", "GENRES", eq("genre", "Drama"), 0.5, 0.5),
+            Preference("b", "MOVIES", cmp("year", ">", 2005), 0.5, 0.5),
+        ]
+
+    def test_rma_join_work_scales_with_preferences(self, movie_db, example_preferences):
+        """Each rewritten query re-runs the join: materializations scale with |λ|."""
+        engine = ExecutionEngine(movie_db)
+        p1 = example_preferences["p1"]
+        one = engine.run(self._join_plan(movie_db, [p1]), "plugin-rma").stats.cost
+        three = engine.run(
+            self._join_plan(movie_db, [p1] + self._extra_prefs()), "plugin-rma"
+        ).stats.cost
+        assert three["tuples_materialized"] > 1.8 * one["tuples_materialized"]
+
+    def test_ftp_join_work_stays_flat(self, movie_db, example_preferences):
+        """FtP runs the join once; extra preferences only add in-memory folds."""
+        engine = ExecutionEngine(movie_db)
+        p1 = example_preferences["p1"]
+        one = engine.run(self._join_plan(movie_db, [p1]), "ftp").stats.cost
+        three = engine.run(
+            self._join_plan(movie_db, [p1] + self._extra_prefs()), "ftp"
+        ).stats.cost
+        assert three["tuples_materialized"] == one["tuples_materialized"]
+
+
+class TestMaterializationProfile:
+    def test_gbu_materializes_less_than_bu(self, imdb_tiny):
+        """The Fig.-14 claim at test scale: fewer intermediate tuples."""
+        pool = preference_pool(imdb_tiny, 3)
+        movie_prefs = [p for p in pool if p.relations == ("MOVIES",)]
+        plan = (
+            scan("MOVIES")
+            .natural_join(scan("GENRES"), imdb_tiny.catalog)
+            .natural_join(scan("DIRECTORS"), imdb_tiny.catalog)
+            .prefer_all(pool[:3])
+            .build()
+        )
+        engine = ExecutionEngine(imdb_tiny)
+        bu = engine.run(plan, "bu").stats.cost["tuples_materialized"]
+        gbu = engine.run(plan, "gbu").stats.cost["tuples_materialized"]
+        assert gbu < bu
+
+    def test_prefer_counted_per_operator(self, movie_db, three_pref_plan):
+        _, delta = run_and_count(movie_db, three_pref_plan, "gbu")
+        assert delta.get("prefer", 0) == 3

@@ -1,0 +1,117 @@
+"""Unit tests for the preference triple (Definition 1)."""
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.core.scoring import ConstantScore, recency_score
+from repro.engine.expressions import TRUE, cmp, eq
+from repro.errors import PreferenceError
+
+
+class TestConstruction:
+    def test_example1_atomic(self):
+        """p1[MOVIES] = (σ_{m_id=m3}, 0.8, 1) — an explicit user rating."""
+        p = Preference.atomic("MOVIES", "m_id", 3, 0.8)
+        assert p.relations == ("MOVIES",)
+        assert p.confidence == 1.0
+        assert isinstance(p.scoring, ConstantScore)
+        assert p.scoring.value == 0.8
+        assert not p.is_multi_relational
+
+    def test_example2_generic(self):
+        """p3[GENRES] = (σ_{genre='Comedy'}, 1, 0.8)."""
+        p = Preference("p3", "GENRES", eq("genre", "Comedy"), 1.0, 0.8)
+        assert p.condition == eq("genre", "Comedy")
+        assert p.confidence == 0.8
+
+    def test_float_scoring_shorthand(self):
+        p = Preference("x", "R", TRUE, 0.5, 0.5)
+        assert isinstance(p.scoring, ConstantScore)
+
+    def test_confidence_range_validated(self):
+        with pytest.raises(PreferenceError):
+            Preference("x", "R", TRUE, 0.5, 1.5)
+        with pytest.raises(PreferenceError):
+            Preference("x", "R", TRUE, 0.5, -0.1)
+
+    def test_relations_required(self):
+        with pytest.raises(PreferenceError):
+            Preference("x", [], TRUE, 0.5, 0.5)
+
+    def test_relation_names_uppercased(self):
+        p = Preference("x", "movies", TRUE, 0.5, 0.5)
+        assert p.relations == ("MOVIES",)
+
+
+class TestFlavours:
+    def test_multi_relational_p6(self):
+        """p6[MOVIES × GENRES] = (σ_{genre='Action'}, S_m(year,2011), 0.8)."""
+        p = Preference(
+            "p6", ("MOVIES", "GENRES"), eq("genre", "Action"), recency_score(), 0.8
+        )
+        assert p.is_multi_relational
+        assert not p.is_membership
+
+    def test_membership_p7(self):
+        """p7[MOVIES × AWARDS] = (σ_true, 1, 0.9)."""
+        p = Preference.membership(("MOVIES", "AWARDS"), 1.0, 0.9, name="p7")
+        assert p.is_membership
+        assert p.is_multi_relational
+        assert p.confidence == 0.9
+
+    def test_single_relation_true_condition_is_not_membership(self):
+        p = Preference("x", "MOVIES", TRUE, 1.0, 1.0)
+        assert not p.is_membership
+
+
+class TestIntrospection:
+    def test_attributes_union_condition_and_scoring(self):
+        p = Preference(
+            "p", "MOVIES", cmp("duration", "<", 120), recency_score("year"), 0.5
+        )
+        assert p.attributes() == {"duration", "year"}
+        assert p.condition_attributes() == {"duration"}
+
+    def test_describe_mentions_parts(self):
+        p = Preference("p9", "GENRES", eq("genre", "Horror"), 0.0, 0.7)
+        text = p.describe()
+        assert "p9" in text and "GENRES" in text and "0.7" in text
+
+    def test_equality_and_hash(self):
+        a = Preference("p", "R", eq("x", 1), 0.5, 0.5)
+        b = Preference("p", "R", eq("x", 1), 0.5, 0.5)
+        assert a == b and hash(a) == hash(b)
+        assert a != Preference("p", "R", eq("x", 2), 0.5, 0.5)
+
+
+class TestQualification:
+    def test_bare_attrs_qualified(self, movie_db):
+        p = Preference("p", "DIRECTORS", eq("d_id", 1), 0.9, 0.8)
+        q = p.qualify(movie_db.catalog)
+        assert q.condition_attributes() == {"directors.d_id"}
+
+    def test_scoring_attrs_qualified(self, movie_db):
+        p = Preference("p", "MOVIES", TRUE, recency_score("year"), 0.9)
+        q = p.qualify(movie_db.catalog)
+        assert q.attributes() == {"movies.year"}
+
+    def test_already_qualified_untouched(self, movie_db):
+        p = Preference("p", "MOVIES", eq("MOVIES.year", 2008), 0.9, 0.8)
+        assert p.qualify(movie_db.catalog) == p
+
+    def test_multi_relational_resolution(self, movie_db):
+        p = Preference(
+            "p", ("MOVIES", "GENRES"), eq("genre", "Action"), recency_score("year"), 0.8
+        )
+        q = p.qualify(movie_db.catalog)
+        assert q.attributes() == {"genres.genre", "movies.year"}
+
+    def test_shared_attr_left_bare(self, movie_db):
+        # m_id exists in both MOVIES and GENRES: no unique owner, stays bare.
+        p = Preference("p", ("MOVIES", "GENRES"), eq("m_id", 1), 0.9, 0.8)
+        q = p.qualify(movie_db.catalog)
+        assert "m_id" in q.condition_attributes()
+
+    def test_unknown_relation_tolerated(self, movie_db):
+        p = Preference("p", "NOT_A_TABLE", eq("x", 1), 0.9, 0.8)
+        assert p.qualify(movie_db.catalog) == p

@@ -1,0 +1,84 @@
+"""Tests for preference generation with controlled selectivity."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.workloads.prefgen import (
+    equality_preference,
+    measured_selectivity,
+    preference_pool,
+    range_preference,
+)
+
+
+class TestEqualityPreference:
+    @pytest.mark.parametrize("target", [0.05, 0.2, 0.5])
+    def test_hits_target_roughly(self, imdb_tiny, target):
+        p = equality_preference(imdb_tiny, "GENRES", "genre", target)
+        measured = measured_selectivity(imdb_tiny, p)
+        # Categorical attributes quantize: allow a generous band.
+        assert target * 0.4 <= measured <= min(1.0, target * 2.5)
+
+    def test_invalid_selectivity(self, imdb_tiny):
+        with pytest.raises(PreferenceError):
+            equality_preference(imdb_tiny, "GENRES", "genre", 0.0)
+        with pytest.raises(PreferenceError):
+            equality_preference(imdb_tiny, "GENRES", "genre", 1.5)
+
+    def test_confidence_and_score_carried(self, imdb_tiny):
+        p = equality_preference(
+            imdb_tiny, "GENRES", "genre", 0.1, score=0.3, confidence=0.4
+        )
+        assert p.confidence == 0.4
+
+
+class TestRangePreference:
+    @pytest.mark.parametrize("target", [0.1, 0.3, 0.7])
+    def test_hits_target(self, imdb_tiny, target):
+        p = range_preference(imdb_tiny, "MOVIES", "year", target)
+        measured = measured_selectivity(imdb_tiny, p)
+        assert measured == pytest.approx(target, abs=0.12)
+
+    def test_condition_is_range(self, imdb_tiny):
+        p = range_preference(imdb_tiny, "MOVIES", "year", 0.2)
+        from repro.engine.expressions import Comparison
+
+        assert isinstance(p.condition, Comparison)
+        assert p.condition.op == ">="
+
+
+class TestPreferencePool:
+    def test_requested_count(self, imdb_tiny):
+        pool = preference_pool(imdb_tiny, 8)
+        assert len(pool) == 8
+
+    def test_distinct_names(self, imdb_tiny):
+        pool = preference_pool(imdb_tiny, 10)
+        assert len({p.name for p in pool}) == 10
+
+    def test_conditions_have_bounded_selectivity(self, imdb_tiny):
+        pool = preference_pool(imdb_tiny, 6, selectivity=0.05)
+        for p in pool:
+            measured = measured_selectivity(imdb_tiny, p)
+            assert 0.0 < measured <= 0.4
+
+    def test_pool_usable_in_queries(self, imdb_tiny):
+        from repro.pexec.engine import ExecutionEngine
+        from repro.plan.builder import scan
+
+        pool = preference_pool(imdb_tiny, 4)
+        movie_prefs = [p for p in pool if p.relations == ("MOVIES",)]
+        plan = scan("MOVIES").prefer_all(movie_prefs).build()
+        engine = ExecutionEngine(imdb_tiny)
+        gbu = engine.run(plan, "gbu")
+        ref = engine.run(plan, "reference")
+        assert gbu.relation.same_contents(ref.relation)
+
+
+class TestMeasuredSelectivity:
+    def test_multi_relational_rejected(self, imdb_tiny):
+        from repro.core.preference import Preference
+
+        p = Preference.membership(("MOVIES", "AWARDS"))
+        with pytest.raises(PreferenceError):
+            measured_selectivity(imdb_tiny, p)

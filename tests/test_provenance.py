@@ -1,0 +1,89 @@
+"""Tests for answer provenance (why was this tuple recommended?)."""
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.core.scorepair import ScorePair
+from repro.engine.expressions import cmp, eq
+from repro.errors import ExecutionError
+from repro.pexec.provenance import explain_relation, explain_tuple
+from repro.query.session import Session
+
+
+@pytest.fixture
+def session(movie_db, example_preferences):
+    s = Session(movie_db)
+    s.register_all(example_preferences.values())
+    return s
+
+
+class TestExplainTuple:
+    def test_matched_and_unmatched(self, session):
+        result = session.execute(
+            "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES "
+            "NATURAL JOIN DIRECTORS PREFERRING p1, p2 ORDER BY score"
+        )
+        explanation = session.why(result, index=0)
+        by_name = {c.preference.name: c for c in explanation.contributions}
+        assert set(by_name) == {"p1", "p2"}
+        assert explanation.matched  # the top tuple matched something
+
+    def test_combined_pair_matches_actual(self, session):
+        result = session.execute(
+            "SELECT title FROM MOVIES NATURAL JOIN GENRES "
+            "NATURAL JOIN DIRECTORS PREFERRING p1, p2"
+        )
+        for index, (row, pair) in enumerate(result.relation):
+            explanation = session.why(result, index)
+            assert explanation.combined.approx_equal(pair, 1e-9), row
+
+    def test_comedy_explanation(self, session):
+        result = session.execute(
+            "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES PREFERRING p1"
+        )
+        comedy_index = next(
+            i for i, row in enumerate(result.relation.rows) if "Comedy" in row
+        )
+        explanation = session.why(result, comedy_index)
+        (contribution,) = explanation.matched
+        assert contribution.preference.name == "p1"
+        assert contribution.score == pytest.approx(0.8)
+        assert contribution.confidence == pytest.approx(0.9)
+        assert "matched" in contribution.describe()
+
+    def test_describe_renders(self, session):
+        result = session.execute(
+            "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING p1"
+        )
+        text = session.why(result, 0).describe()
+        assert "p1" in text
+        assert "tuple" in text
+
+    def test_unmatched_tuple_has_identity_pair(self, session):
+        result = session.execute(
+            "SELECT title, genre FROM MOVIES NATURAL JOIN GENRES PREFERRING p1"
+        )
+        drama_index = next(
+            i for i, row in enumerate(result.relation.rows) if "Drama" in row
+        )
+        explanation = session.why(result, drama_index)
+        assert explanation.matched == ()
+        assert explanation.combined.is_default
+
+
+class TestExplainRelation:
+    def test_limit(self, session):
+        result = session.execute(
+            "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING p1"
+        )
+        preferences = [p.qualify(session.db.catalog) for p in result.plan.preferences()]
+        explanations = explain_relation(result.relation, preferences, limit=3)
+        assert len(explanations) == 3
+
+    def test_missing_attribute_raises(self, movie_db):
+        from repro.core.prelation import PRelation
+
+        relation = PRelation.from_table(movie_db.table("DIRECTORS"))
+        foreign = Preference("odd", "MOVIES", eq("title", "x"), 0.5, 0.5)
+        with pytest.raises(ExecutionError, match="cannot explain"):
+            explain_tuple(relation.schema, relation.rows[0], [foreign])

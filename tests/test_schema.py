@@ -1,0 +1,135 @@
+"""Unit tests for schemas and attribute resolution."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema, make_schema
+from repro.engine.types import DataType
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def movies_schema() -> TableSchema:
+    return make_schema(
+        "MOVIES",
+        [
+            ("m_id", DataType.INT),
+            ("title", DataType.TEXT),
+            ("year", DataType.INT),
+            ("d_id", DataType.INT),
+        ],
+        primary_key=["m_id"],
+    )
+
+
+@pytest.fixture
+def directors_schema() -> TableSchema:
+    return make_schema(
+        "DIRECTORS",
+        [("d_id", DataType.INT), ("director", DataType.TEXT)],
+        primary_key=["d_id"],
+    )
+
+
+class TestResolution:
+    def test_bare_name(self, movies_schema):
+        assert movies_schema.index_of("year") == 2
+
+    def test_qualified_name(self, movies_schema):
+        assert movies_schema.index_of("MOVIES.year") == 2
+
+    def test_case_insensitive(self, movies_schema):
+        assert movies_schema.index_of("YEAR") == 2
+        assert movies_schema.index_of("movies.YEAR") == 2
+
+    def test_unknown_raises(self, movies_schema):
+        with pytest.raises(SchemaError):
+            movies_schema.index_of("genre")
+
+    def test_unknown_qualified_raises(self, movies_schema):
+        with pytest.raises(SchemaError):
+            movies_schema.index_of("OTHERS.year")
+
+    def test_ambiguous_bare_name(self, movies_schema, directors_schema):
+        joined = movies_schema.join(directors_schema)
+        with pytest.raises(SchemaError, match="ambiguous"):
+            joined.index_of("d_id")
+
+    def test_ambiguity_resolved_by_qualification(self, movies_schema, directors_schema):
+        joined = movies_schema.join(directors_schema)
+        assert joined.index_of("MOVIES.d_id") == 3
+        assert joined.index_of("DIRECTORS.d_id") == 4
+
+    def test_has(self, movies_schema):
+        assert movies_schema.has("title")
+        assert not movies_schema.has("votes")
+
+    def test_column(self, movies_schema):
+        column = movies_schema.column("title")
+        assert column.name == "title"
+        assert column.dtype is DataType.TEXT
+
+
+class TestConstruction:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("X", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "X",
+                [Column("a", DataType.INT, "X"), Column("a", DataType.INT, "X")],
+            )
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(SchemaError, match="reserved"):
+            make_schema("X", [("score", DataType.FLOAT)])
+        with pytest.raises(SchemaError, match="reserved"):
+            make_schema("X", [("conf", DataType.FLOAT)])
+
+    def test_primary_key_validated(self):
+        with pytest.raises(SchemaError):
+            make_schema("X", [("a", DataType.INT)], primary_key=["b"])
+
+
+class TestDerivation:
+    def test_project_keeps_requested(self, movies_schema):
+        projected = movies_schema.project(["title", "year"])
+        assert projected.attribute_names == ("MOVIES.title", "MOVIES.year")
+
+    def test_project_keeps_key_only_if_fully_present(self, movies_schema):
+        with_key = movies_schema.project(["m_id", "title"])
+        assert with_key.primary_key == ("m_id",)
+        without_key = movies_schema.project(["title"])
+        assert without_key.primary_key == ()
+
+    def test_rename_requalifies(self, movies_schema):
+        renamed = movies_schema.rename("M")
+        assert renamed.index_of("M.year") == 2
+        assert not renamed.has("MOVIES.year")
+
+    def test_join_concatenates(self, movies_schema, directors_schema):
+        joined = movies_schema.join(directors_schema)
+        assert len(joined) == 6
+        assert joined.primary_key == ("MOVIES.m_id", "DIRECTORS.d_id")
+
+    def test_union_compatibility(self, movies_schema, directors_schema):
+        assert movies_schema.union_compatible(movies_schema.rename("M"))
+        assert not movies_schema.union_compatible(directors_schema)
+
+    def test_equality_and_hash(self, movies_schema):
+        clone = make_schema(
+            "MOVIES",
+            [
+                ("m_id", DataType.INT),
+                ("title", DataType.TEXT),
+                ("year", DataType.INT),
+                ("d_id", DataType.INT),
+            ],
+            primary_key=["m_id"],
+        )
+        assert clone == movies_schema
+        assert hash(clone) == hash(movies_schema)
+
+    def test_primary_key_indexes(self, movies_schema):
+        assert movies_schema.primary_key_indexes() == (0,)

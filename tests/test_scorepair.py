@@ -1,0 +1,55 @@
+"""Unit tests for score/confidence pairs."""
+
+import pytest
+
+from repro.core.scorepair import BOTTOM, IDENTITY, ScorePair, pair
+
+
+class TestBasics:
+    def test_identity_is_default(self):
+        assert IDENTITY.is_default
+        assert IDENTITY.is_bottom
+        assert IDENTITY.score is BOTTOM
+        assert IDENTITY.conf == 0.0
+
+    def test_known_pair(self):
+        p = pair(0.8, 0.9)
+        assert not p.is_default
+        assert not p.is_bottom
+
+    def test_bottom_with_confidence_not_default(self):
+        p = ScorePair(None, 0.5)
+        assert p.is_bottom and not p.is_default
+
+    def test_zero_score_is_known(self):
+        p = pair(0.0, 1.0)
+        assert not p.is_bottom
+
+    def test_negative_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            pair(0.5, -0.1)
+
+
+class TestApproxEqual:
+    def test_exact(self):
+        assert pair(0.5, 0.5).approx_equal(pair(0.5, 0.5))
+
+    def test_tolerance(self):
+        assert pair(0.5, 0.5).approx_equal(pair(0.5 + 1e-12, 0.5))
+
+    def test_bottom_vs_known(self):
+        assert not ScorePair(None, 0.5).approx_equal(pair(0.0, 0.5))
+
+    def test_both_bottom(self):
+        assert ScorePair(None, 0.1).approx_equal(ScorePair(None, 0.1))
+
+    def test_conf_differs(self):
+        assert not pair(0.5, 0.5).approx_equal(pair(0.5, 0.6))
+
+
+class TestRepr:
+    def test_bottom_renders_as_bottom(self):
+        assert "⊥" in repr(IDENTITY)
+
+    def test_values_render(self):
+        assert repr(pair(0.5, 1.0)) == "⟨0.5,1⟩"

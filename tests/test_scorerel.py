@@ -1,0 +1,191 @@
+"""Unit tests for the physical score-relation machinery (Intermediate)."""
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.engine.expressions import TRUE, cmp, eq
+from repro.errors import ExecutionError
+from repro.pexec import scorerel
+from repro.pexec.scorerel import Intermediate
+
+
+@pytest.fixture
+def movies_inter(movie_db):
+    return Intermediate.from_table(movie_db.table("MOVIES"))
+
+
+@pytest.fixture
+def directors_inter(movie_db):
+    inter = Intermediate.from_table(movie_db.table("DIRECTORS"))
+    inter.scores[(1,)] = ScorePair(0.8, 1.0)
+    inter.scores[(2,)] = ScorePair(0.9, 0.9)
+    return inter
+
+
+class TestIntermediate:
+    def test_from_table_keys_on_pk(self, movies_inter):
+        assert movies_inter.key_attrs == ("MOVIES.m_id",)
+        assert movies_inter.key_fn()((7, "T", 2000, 100, 1)) == (7,)
+
+    def test_from_rows_defaults_to_full_row(self, movie_db):
+        schema = movie_db.table("DIRECTORS").schema
+        inter = Intermediate.from_rows(schema, [(1, "A")])
+        assert len(inter.key_attrs) == 2
+
+    def test_key_attr_must_exist(self, movie_db):
+        schema = movie_db.table("DIRECTORS").schema
+        with pytest.raises(ExecutionError, match="widened"):
+            Intermediate(schema, [], ["missing_key"])
+
+    def test_pair_of(self, directors_inter):
+        assert directors_inter.pair_of((1, "C. Eastwood")) == ScorePair(0.8, 1.0)
+        assert directors_inter.pair_of((3, "O. Stone")) == IDENTITY
+
+    def test_to_prelation(self, directors_inter):
+        prel = directors_inter.to_prelation()
+        assert len(prel) == 3
+        assert prel.pairs[0] == ScorePair(0.8, 1.0)
+        assert prel.pairs[2] == IDENTITY
+
+
+class TestApplyPrefer:
+    def test_inserts_and_updates(self, movies_inter):
+        p = Preference("p", "MOVIES", cmp("year", ">", 2005), 0.5, 0.6)
+        out = scorerel.apply_prefer(movies_inter, p)
+        assert len(out.scores) == 3  # 2008, 2010, 2006
+        again = scorerel.apply_prefer(out, p)
+        assert again.scores[(1,)].conf == pytest.approx(1.2)
+
+    def test_sparse_storage_invariant(self, movies_inter):
+        """Only non-default pairs are stored: |R_P| ≤ |R| (§VI)."""
+        p = Preference("p", "MOVIES", eq("m_id", 1), 1.0, 1.0)
+        out = scorerel.apply_prefer(movies_inter, p)
+        assert len(out.scores) == 1
+        assert len(out.rows) == 5
+
+    def test_input_not_mutated(self, movies_inter):
+        p = Preference("p", "MOVIES", TRUE, 0.5, 0.5)
+        scorerel.apply_prefer(movies_inter, p)
+        assert movies_inter.scores == {}
+
+    def test_apply_prefer_to_rows_equivalent(self, movies_inter, movie_db):
+        p = Preference("p", "MOVIES", cmp("year", ">", 2005), 0.5, 0.6)
+        full = scorerel.apply_prefer(movies_inter, p)
+        qualifying = [r for r in movie_db.table("MOVIES").rows if r[2] > 2005]
+        via_rows = scorerel.apply_prefer_to_rows(movies_inter, p, qualifying)
+        assert full.scores == via_rows.scores
+
+
+class TestFilterAndProject:
+    def test_filter_rows_prunes_scores(self, directors_inter):
+        out = scorerel.filter_rows(directors_inter, [(1, "C. Eastwood")])
+        assert len(out.rows) == 1
+        assert set(out.scores) == {(1,)}
+
+    def test_project_keeps_keys(self, directors_inter, movie_db):
+        schema = movie_db.table("DIRECTORS").schema.project(["d_id"])
+        out = scorerel.project_rows(
+            directors_inter, schema, ["d_id"], [(1,), (2,), (3,)]
+        )
+        assert out.key_attrs == ("DIRECTORS.d_id",)
+        assert out.scores == directors_inter.scores
+
+    def test_project_dropping_keys_rejected(self, directors_inter, movie_db):
+        schema = movie_db.table("DIRECTORS").schema.project(["director"])
+        with pytest.raises(ExecutionError, match="widen"):
+            scorerel.project_rows(
+                directors_inter, schema, ["director"], [("A",)]
+            )
+
+
+class TestCombineJoin:
+    def test_composite_keys_and_pairs(self, movies_inter, directors_inter, movie_db):
+        movies_schema = movie_db.table("MOVIES").schema
+        directors_schema = movie_db.table("DIRECTORS").schema
+        out_schema = movies_schema.join(directors_schema)
+        rows = [
+            m + d
+            for m in movie_db.table("MOVIES").rows
+            for d in movie_db.table("DIRECTORS").rows
+            if m[4] == d[0]
+        ]
+        out = scorerel.combine_join(movies_inter, directors_inter, out_schema, rows)
+        assert out.key_attrs == ("MOVIES.m_id", "DIRECTORS.d_id")
+        assert out.scores[(1, 1)] == ScorePair(0.8, 1.0)
+        assert (2, 3) not in out.scores  # Stone has no pair
+
+    def test_empty_score_relations_short_circuit(self, movies_inter, movie_db):
+        other = Intermediate.from_table(movie_db.table("DIRECTORS"))
+        out_schema = movie_db.table("MOVIES").schema.join(
+            movie_db.table("DIRECTORS").schema
+        )
+        out = scorerel.combine_join(movies_inter, other, out_schema, [])
+        assert out.scores == {}
+
+
+class TestCombineSetop:
+    def _inter(self, movie_db, rows, scores):
+        schema = movie_db.table("DIRECTORS").schema
+        inter = Intermediate.from_rows(schema, rows)
+        inter.scores.update(scores)
+        return inter
+
+    def test_union_combines_common_rows(self, movie_db):
+        a = self._inter(movie_db, [(1, "A"), (2, "B")], {(1, "A"): ScorePair(0.8, 1.0)})
+        b = self._inter(movie_db, [(1, "A")], {(1, "A"): ScorePair(0.4, 1.0)})
+        rows = [(1, "A"), (2, "B")]
+        out = scorerel.combine_setop("union", a, b, rows)
+        assert out.scores[(1, "A")].score == pytest.approx(0.6)
+        assert (2, "B") not in out.scores
+
+    def test_intersect(self, movie_db):
+        a = self._inter(movie_db, [(1, "A")], {(1, "A"): ScorePair(0.8, 1.0)})
+        b = self._inter(movie_db, [(1, "A")], {})
+        out = scorerel.combine_setop("intersect", a, b, [(1, "A")])
+        assert out.scores[(1, "A")] == ScorePair(0.8, 1.0)
+
+    def test_difference_keeps_left(self, movie_db):
+        a = self._inter(movie_db, [(1, "A"), (2, "B")], {(2, "B"): ScorePair(0.3, 0.3)})
+        b = self._inter(movie_db, [(1, "A")], {(1, "A"): ScorePair(0.9, 0.9)})
+        out = scorerel.combine_setop("difference", a, b, [(2, "B")])
+        assert out.scores[(2, "B")] == ScorePair(0.3, 0.3)
+
+
+class TestScoreSelectAndTopK:
+    def test_score_select(self, directors_inter):
+        out = scorerel.apply_score_select(directors_inter, cmp("conf", ">=", 0.95))
+        assert [r[0] for r in out.rows] == [1]
+
+    def test_topk(self, directors_inter):
+        out = scorerel.apply_topk(directors_inter, 1, "score")
+        assert [r[0] for r in out.rows] == [2]  # Allen: highest score 0.9
+
+
+class TestMergeEmbedded:
+    def test_pairs_resolved_by_name(self, movies_inter, directors_inter, movie_db):
+        out_schema = movie_db.table("MOVIES").schema.join(
+            movie_db.table("DIRECTORS").schema
+        )
+        rows = [
+            m + d
+            for m in movie_db.table("MOVIES").rows
+            for d in movie_db.table("DIRECTORS").rows
+            if m[4] == d[0]
+        ]
+        out = scorerel.merge_embedded(
+            out_schema, rows, [directors_inter], ["MOVIES.m_id"]
+        )
+        assert "MOVIES.m_id" in out.key_attrs
+        key = out.key_fn()(rows[0])
+        assert out.scores  # Eastwood/Allen pairs survived
+        # Every scored entry corresponds to an Eastwood or Allen movie.
+        d_id_pos = out_schema.index_of("DIRECTORS.d_id")
+        scored_rows = [r for r in rows if out.key_fn()(r) in out.scores]
+        assert all(r[d_id_pos] in (1, 2) for r in scored_rows)
+
+    def test_no_embedded_means_empty_scores(self, movie_db):
+        schema = movie_db.table("MOVIES").schema
+        out = scorerel.merge_embedded(schema, list(movie_db.table("MOVIES").rows), [], ["MOVIES.m_id"])
+        assert out.scores == {}
+        assert out.key_attrs == ("MOVIES.m_id",)

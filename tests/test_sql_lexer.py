@@ -1,0 +1,78 @@
+"""Unit tests for the SQL dialect tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT from WhErE") == [
+            ("keyword", "select"),
+            ("keyword", "from"),
+            ("keyword", "where"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("MOVIES title_2")[0] == ("name", "MOVIES")
+        assert kinds("MOVIES title_2")[1] == ("name", "title_2")
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5") == [
+            ("number", "42"),
+            ("number", "3.14"),
+            ("number", ".5"),
+        ]
+
+    def test_qualified_name_not_a_float(self):
+        assert kinds("t.a") == [("name", "t"), ("symbol", "."), ("name", "a")]
+
+    def test_strings(self):
+        assert kinds("'Comedy'") == [("string", "Comedy")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'O''Brien'") == [("string", "O'Brien")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert kinds("<= >= != <> = < >") == [
+            ("symbol", "<="),
+            ("symbol", ">="),
+            ("symbol", "!="),
+            ("symbol", "!="),  # <> normalized
+            ("symbol", "="),
+            ("symbol", "<"),
+            ("symbol", ">"),
+        ]
+
+    def test_arithmetic_symbols(self):
+        assert [k for k, _ in kinds("a + b * c / d - e")] == [
+            "name", "symbol", "name", "symbol", "name", "symbol", "name", "symbol", "name",
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- a comment\n title") == [
+            ("keyword", "select"),
+            ("name", "title"),
+        ]
+
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("select\n  title")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == "eof"

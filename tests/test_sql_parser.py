@@ -1,0 +1,202 @@
+"""Unit tests for the SQL dialect parser."""
+
+import pytest
+
+from repro.engine.expressions import And, Arithmetic, Attr, Between, Comparison, InList
+from repro.errors import ParseError
+from repro.query.sql.ast import InlinePreference, SelectBlock, SetStatement
+from repro.query.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        block = parse("SELECT * FROM MOVIES")
+        assert block.attrs == ()
+
+    def test_attrs(self):
+        block = parse("SELECT title, MOVIES.year FROM MOVIES")
+        assert block.attrs == ("title", "MOVIES.year")
+
+
+class TestFrom:
+    def test_single_table(self):
+        block = parse("SELECT * FROM MOVIES")
+        assert block.tables[0].name == "MOVIES"
+
+    def test_alias(self):
+        block = parse("SELECT * FROM MOVIES AS M")
+        assert block.tables[0].alias == "M"
+
+    def test_implicit_alias(self):
+        block = parse("SELECT * FROM MOVIES M")
+        assert block.tables[0].alias == "M"
+
+    def test_join_on(self):
+        block = parse(
+            "SELECT * FROM MOVIES JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id"
+        )
+        ref = block.tables[1]
+        assert ref.name == "DIRECTORS"
+        assert isinstance(ref.join_condition, Comparison)
+
+    def test_natural_join(self):
+        block = parse("SELECT * FROM MOVIES NATURAL JOIN DIRECTORS")
+        assert block.tables[1].natural
+
+    def test_comma_cross(self):
+        block = parse("SELECT * FROM MOVIES, DIRECTORS")
+        assert block.tables[1].join_condition is None
+        assert not block.tables[1].natural
+
+
+class TestWhere:
+    def test_comparison(self):
+        block = parse("SELECT * FROM MOVIES WHERE year >= 2005")
+        assert isinstance(block.where, Comparison)
+        assert block.where.op == ">="
+
+    def test_boolean_precedence(self):
+        block = parse("SELECT * FROM MOVIES WHERE a = 1 OR b = 2 AND c = 3")
+        from repro.engine.expressions import Or
+
+        assert isinstance(block.where, Or)  # AND binds tighter
+
+    def test_parentheses(self):
+        block = parse("SELECT * FROM MOVIES WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(block.where, And)
+
+    def test_in_list(self):
+        block = parse("SELECT * FROM G WHERE genre IN ('Comedy', 'Drama')")
+        assert isinstance(block.where, InList)
+        assert block.where.values == frozenset({"Comedy", "Drama"})
+
+    def test_between(self):
+        block = parse("SELECT * FROM M WHERE year BETWEEN 2000 AND 2010")
+        assert isinstance(block.where, Between)
+
+    def test_is_null(self):
+        block = parse("SELECT * FROM M WHERE d_id IS NULL")
+        from repro.engine.expressions import IsNull
+
+        assert isinstance(block.where, IsNull)
+
+    def test_is_not_null(self):
+        block = parse("SELECT * FROM M WHERE d_id IS NOT NULL")
+        assert block.where.negated
+
+    def test_not(self):
+        block = parse("SELECT * FROM M WHERE NOT year = 2005")
+        from repro.engine.expressions import Not
+
+        assert isinstance(block.where, Not)
+
+    def test_arithmetic_in_comparison(self):
+        block = parse("SELECT * FROM M WHERE year + 1 > 2005")
+        assert isinstance(block.where.left, Arithmetic)
+
+    def test_unary_minus(self):
+        block = parse("SELECT * FROM M WHERE x > -5")
+        assert isinstance(block.where.right, Arithmetic)
+
+    def test_score_pseudo_attribute(self):
+        block = parse("SELECT * FROM M WHERE score >= 0.5 AND conf > 0")
+        assert block.where.references_score()
+
+    def test_confidence_keyword_maps_to_conf(self):
+        block = parse("SELECT * FROM M WHERE confidence > 0.5")
+        assert "conf" in block.where.attributes()
+
+
+class TestPreferring:
+    def test_named_preferences(self):
+        block = parse("SELECT * FROM M PREFERRING p1, p2")
+        assert block.preferring == ("p1", "p2")
+
+    def test_inline_preference(self):
+        block = parse(
+            "SELECT * FROM G PREFERRING (genre = 'Comedy') SCORE 0.8 CONFIDENCE 0.9 ON GENRES"
+        )
+        (pref,) = block.preferring
+        assert isinstance(pref, InlinePreference)
+        assert pref.confidence == 0.9
+        assert pref.relations == ("GENRES",)
+
+    def test_inline_score_expression(self):
+        block = parse("SELECT * FROM M PREFERRING (year > 2000) SCORE year / 2011")
+        (pref,) = block.preferring
+        assert isinstance(pref.score_expr, Arithmetic)
+
+    def test_inline_default_confidence(self):
+        block = parse("SELECT * FROM M PREFERRING (x = 1) SCORE 0.5")
+        assert block.preferring[0].confidence == 1.0
+
+    def test_inline_multi_relation_on(self):
+        block = parse(
+            "SELECT * FROM M PREFERRING (x = 1) SCORE 0.5 ON MOVIES DIRECTORS, p2"
+        )
+        assert block.preferring[0].relations == ("MOVIES", "DIRECTORS")
+        assert block.preferring[1] == "p2"
+
+    def test_mixed_named_and_inline(self):
+        block = parse("SELECT * FROM M PREFERRING p1, (x = 1) SCORE 0.5, p2")
+        assert len(block.preferring) == 3
+
+
+class TestSuffixes:
+    def test_top_by_score(self):
+        block = parse("SELECT * FROM M TOP 10 BY score")
+        assert block.top_k == 10 and block.top_by == "score"
+
+    def test_top_by_conf(self):
+        block = parse("SELECT * FROM M TOP 5 BY conf")
+        assert block.top_by == "conf"
+
+    def test_top_by_confidence_keyword(self):
+        block = parse("SELECT * FROM M TOP 5 BY confidence")
+        assert block.top_by == "conf"
+
+    def test_order_by(self):
+        block = parse("SELECT * FROM M ORDER BY score DESC")
+        assert block.order_by == "score"
+
+    def test_order_by_invalid_attr(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM M ORDER BY title")
+
+
+class TestSetStatements:
+    def test_union(self):
+        stmt = parse("SELECT * FROM A UNION SELECT * FROM B")
+        assert isinstance(stmt, SetStatement)
+        assert stmt.op == "union"
+
+    def test_left_associative_chain(self):
+        stmt = parse("SELECT * FROM A UNION SELECT * FROM B EXCEPT SELECT * FROM C")
+        assert stmt.op == "except"
+        assert isinstance(stmt.left, SetStatement)
+
+    def test_intersect(self):
+        stmt = parse("SELECT * FROM A INTERSECT SELECT * FROM B")
+        assert stmt.op == "intersect"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT title")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT * FROM M extra stuff ,")
+
+    def test_bad_preference_entry(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM M PREFERRING 42")
+
+    def test_error_carries_location(self):
+        try:
+            parse("SELECT *\nFROM")
+        except ParseError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a ParseError")

@@ -1,0 +1,130 @@
+"""Unit tests for statistics and selectivity estimation."""
+
+import pytest
+
+from repro.engine.expressions import And, Between, InList, IsNull, Not, Or, cmp, col, eq, lit
+from repro.engine.schema import make_schema
+from repro.engine.stats import (
+    DEFAULT_SELECTIVITY,
+    analyze_table,
+    estimate_selectivity,
+)
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = make_schema(
+        "T",
+        [("id", DataType.INT), ("v", DataType.INT), ("g", DataType.TEXT)],
+        primary_key=["id"],
+    )
+    t = Table(schema)
+    # v is uniform 0..99 over 1000 rows; g is skewed: 'hot' 50%, rest spread.
+    rows = []
+    for i in range(1000):
+        g = "hot" if i % 2 == 0 else f"g{i % 20}"
+        rows.append((i, i % 100, g))
+    t.insert_many(rows)
+    return t
+
+
+@pytest.fixture
+def stats(table):
+    return analyze_table(table)
+
+
+class TestColumnStats:
+    def test_row_and_distinct_counts(self, stats):
+        assert stats.n_rows == 1000
+        assert stats.column("v").n_distinct == 100
+        assert stats.column("id").n_distinct == 1000
+
+    def test_min_max(self, stats):
+        v = stats.column("v")
+        assert v.min_value == 0 and v.max_value == 99
+
+    def test_mcv_catches_skew(self, stats):
+        g = stats.column("g")
+        assert "hot" in g.mcv
+        assert g.mcv["hot"] == pytest.approx(0.5)
+
+    def test_histogram_built_for_numeric(self, stats):
+        assert stats.column("v").histogram is not None
+        assert stats.column("g").histogram is None
+
+    def test_null_fraction(self):
+        schema = make_schema("N", [("x", DataType.INT)])
+        t = Table(schema)
+        t.insert_many([(1,), (None,), (None,), (4,)])
+        s = analyze_table(t)
+        assert s.column("x").null_fraction == pytest.approx(0.5)
+
+    def test_missing_column_is_none(self, stats):
+        assert stats.column("nope") is None
+
+
+class TestSelectivity:
+    def test_equality_mcv(self, table, stats):
+        s = estimate_selectivity(eq("g", "hot"), table.schema, stats)
+        assert s == pytest.approx(0.5)
+
+    def test_equality_uniform(self, table, stats):
+        s = estimate_selectivity(eq("v", 17), table.schema, stats)
+        assert s == pytest.approx(0.01, rel=0.5)
+
+    def test_equality_null_value(self, table, stats):
+        assert estimate_selectivity(eq("v", None), table.schema, stats) == 0.0
+
+    def test_range(self, table, stats):
+        s = estimate_selectivity(cmp("v", "<", 50), table.schema, stats)
+        assert 0.35 <= s <= 0.65
+
+    def test_range_extremes(self, table, stats):
+        assert estimate_selectivity(cmp("v", "<", -5), table.schema, stats) == 0.0
+        assert estimate_selectivity(cmp("v", ">=", -5), table.schema, stats) == pytest.approx(1.0)
+
+    def test_and_multiplies(self, table, stats):
+        single = estimate_selectivity(eq("g", "hot"), table.schema, stats)
+        double = estimate_selectivity(
+            And(eq("g", "hot"), cmp("v", "<", 50)), table.schema, stats
+        )
+        assert double < single
+
+    def test_or_inclusion_exclusion(self, table, stats):
+        s = estimate_selectivity(
+            Or(eq("g", "hot"), eq("g", "hot")), table.schema, stats
+        )
+        assert s == pytest.approx(0.75)  # independence assumption
+
+    def test_not(self, table, stats):
+        s = estimate_selectivity(Not(eq("g", "hot")), table.schema, stats)
+        assert s == pytest.approx(0.5)
+
+    def test_in_list_sums(self, table, stats):
+        one = estimate_selectivity(eq("v", 1), table.schema, stats)
+        three = estimate_selectivity(InList(col("v"), [1, 2, 3]), table.schema, stats)
+        assert three == pytest.approx(3 * one, rel=0.01)
+
+    def test_between(self, table, stats):
+        s = estimate_selectivity(Between(col("v"), 25, 74), table.schema, stats)
+        assert 0.35 <= s <= 0.65
+
+    def test_is_null(self, table, stats):
+        assert estimate_selectivity(IsNull(col("v")), table.schema, stats) == 0.0
+        assert estimate_selectivity(
+            IsNull(col("v"), negated=True), table.schema, stats
+        ) == pytest.approx(1.0)
+
+    def test_literal_conditions(self, table, stats):
+        assert estimate_selectivity(lit(True), table.schema, stats) == 1.0
+        assert estimate_selectivity(lit(False), table.schema, stats) == 0.0
+
+    def test_unknown_attr_defaults(self, table, stats):
+        s = estimate_selectivity(eq("nonexistent", 1), table.schema, None)
+        assert s == DEFAULT_SELECTIVITY
+
+    def test_without_stats_defaults(self, table):
+        s = estimate_selectivity(eq("v", 1), table.schema, None)
+        assert s == DEFAULT_SELECTIVITY

@@ -1,0 +1,87 @@
+"""Tests for the per-user preference store."""
+
+import pytest
+
+from repro.core.context import ContextualPreference
+from repro.core.preference import Preference
+from repro.engine.expressions import eq
+from repro.errors import PreferenceError
+from repro.query.store import PreferenceStore
+
+
+@pytest.fixture
+def store(movie_db, example_preferences):
+    s = PreferenceStore(movie_db)
+    s.add_all("alice", [example_preferences["p1"], example_preferences["p2"]])
+    s.add_all("bob", [example_preferences["p4"], example_preferences["p5"]])
+    return s
+
+
+class TestBookkeeping:
+    def test_users(self, store):
+        assert store.users() == ["alice", "bob"]
+
+    def test_preferences_of(self, store):
+        assert {p.name for p in store.preferences_of("alice")} == {"p1", "p2"}
+        assert store.preferences_of("nobody") == []
+
+    def test_duplicate_name_rejected(self, store, example_preferences):
+        with pytest.raises(PreferenceError):
+            store.add("alice", example_preferences["p1"])
+
+    def test_same_name_for_other_user_ok(self, store, example_preferences):
+        store.add("carol", example_preferences["p1"])
+        assert len(store.preferences_of("carol")) == 1
+
+    def test_remove(self, store):
+        store.remove("alice", "P1")
+        assert {p.name for p in store.preferences_of("alice")} == {"p2"}
+
+
+class TestSessions:
+    def test_session_for_registers_preferences(self, store):
+        session = store.session_for("alice")
+        rows = session.rows(
+            "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING p1 TOP 2 BY score"
+        )
+        assert len(rows) == 2
+
+    def test_session_with_context(self, store, movie_db, example_preferences):
+        store.add(
+            "dave",
+            ContextualPreference(
+                Preference("night", "GENRES", eq("genre", "Comedy"), 0.9, 0.9),
+                {"daytime": "night"},
+            ),
+        )
+        day = store.session_for("dave", context={"daytime": "noon"})
+        night = store.session_for("dave", context={"daytime": "night"})
+        sql = "SELECT title FROM MOVIES NATURAL JOIN GENRES WHERE conf > 0 PREFERRING night"
+        assert day.rows(sql) == []
+        assert len(night.rows(sql)) == 2
+
+    def test_blended_session_example11(self, store):
+        """Alice's preferences enriched with Bob's (Q3 flavour)."""
+        session = store.blended_session(["alice", "bob"])
+        assert {"p1", "p2", "p4", "p5"} <= set(session.preferences)
+        rows = session.rows(
+            "SELECT title FROM MOVIES NATURAL JOIN DIRECTORS "
+            "WHERE conf > 0 PREFERRING p2, p4, p5 ORDER BY score"
+        )
+        titles = [r[0] for r in rows]
+        assert "Gran Torino" in titles
+        assert {"Match Point", "Scoop"} <= set(titles)
+
+    def test_blending_disambiguates_clashes(self, store, example_preferences):
+        store.add("carol", example_preferences["p1"])  # clashes with alice's p1
+        session = store.blended_session(["alice", "carol"])
+        assert "p1" in session.preferences
+        assert "carol.p1" in session.preferences
+
+    def test_blending_renames_contextual_wrappers(self, store, movie_db):
+        inner = Preference("cp", "GENRES", eq("genre", "Drama"), 0.5, 0.5)
+        store.add("alice", ContextualPreference(inner, {"x": 1}))
+        store.add("bob", ContextualPreference(inner, {"x": 2}))
+        session = store.blended_session(["alice", "bob"])
+        assert "cp" in session.preferences
+        assert "bob.cp" in session.preferences

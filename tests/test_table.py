@@ -1,0 +1,91 @@
+"""Unit tests for heap tables."""
+
+import pytest
+
+from repro.engine.schema import make_schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import CatalogError, SchemaError, TypeError_
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = make_schema(
+        "T",
+        [("id", DataType.INT), ("name", DataType.TEXT), ("v", DataType.FLOAT)],
+        primary_key=["id"],
+    )
+    return Table(schema)
+
+
+class TestInsert:
+    def test_positional(self, table):
+        row = table.insert((1, "a", 1.5))
+        assert row == (1, "a", 1.5)
+        assert len(table) == 1
+
+    def test_mapping(self, table):
+        row = table.insert({"id": 2, "name": "b", "v": 0.5})
+        assert row == (2, "b", 0.5)
+
+    def test_mapping_missing_columns_become_null(self, table):
+        row = table.insert({"id": 3, "name": "c"})
+        assert row == (3, "c", None)
+
+    def test_mapping_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 4, "oops": 1})
+
+    def test_arity_checked(self, table):
+        with pytest.raises(SchemaError):
+            table.insert((1, "a"))
+
+    def test_types_validated(self, table):
+        with pytest.raises(TypeError_):
+            table.insert(("x", "a", 1.0))
+
+    def test_int_widens_to_float_column(self, table):
+        row = table.insert((1, "a", 2))
+        assert row[2] == 2.0 and isinstance(row[2], float)
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert((1, "a", 0.0))
+        with pytest.raises(CatalogError):
+            table.insert((1, "b", 0.0))
+
+    def test_null_pk_rejected(self, table):
+        with pytest.raises(TypeError_):
+            table.insert((None, "a", 0.0))
+
+    def test_insert_many_counts(self, table):
+        n = table.insert_many([(i, f"r{i}", 0.0) for i in range(5)])
+        assert n == 5
+        assert len(table) == 5
+
+
+class TestAccess:
+    def test_scan_order(self, table):
+        table.insert_many([(2, "b", 0.0), (1, "a", 0.0)])
+        assert [r[0] for r in table.scan()] == [2, 1]
+
+    def test_point_lookup(self, table):
+        table.insert_many([(1, "a", 0.0), (2, "b", 0.0)])
+        assert table.get((2,)) == (2, "b", 0.0)
+        assert table.get((9,)) is None
+
+    def test_primary_key_of(self, table):
+        row = table.insert((7, "x", 0.0))
+        assert table.primary_key_of(row) == (7,)
+
+    def test_lookup_without_pk_raises(self):
+        schema = make_schema("NOPK", [("a", DataType.INT)])
+        t = Table(schema)
+        with pytest.raises(CatalogError):
+            t.get((1,))
+
+    def test_anonymous_schema_rejected(self):
+        from repro.engine.schema import Column, TableSchema
+
+        schema = TableSchema(None, [Column("a", DataType.INT)])
+        with pytest.raises(SchemaError):
+            Table(schema)

@@ -1,0 +1,76 @@
+"""Unit tests for engine data types."""
+
+import pytest
+
+from repro.engine.types import DataType, infer_type
+from repro.errors import TypeError_
+
+
+class TestValidate:
+    def test_int_accepts_int(self):
+        assert DataType.INT.validate(7) == 7
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            DataType.INT.validate(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeError_):
+            DataType.INT.validate(1.5)
+
+    def test_float_widens_int(self):
+        value = DataType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            DataType.FLOAT.validate(False)
+
+    def test_text_accepts_str(self):
+        assert DataType.TEXT.validate("abc") == "abc"
+
+    def test_text_rejects_number(self):
+        with pytest.raises(TypeError_):
+            DataType.TEXT.validate(5)
+
+    def test_bool_accepts_bool(self):
+        assert DataType.BOOL.validate(True) is True
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeError_):
+            DataType.BOOL.validate(1)
+
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_null_is_accepted_everywhere(self, dtype):
+        assert dtype.validate(None) is None
+
+
+class TestProperties:
+    def test_numeric_flags(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.TEXT.is_numeric
+        assert not DataType.BOOL.is_numeric
+
+    def test_python_types(self):
+        assert DataType.INT.python_type is int
+        assert DataType.TEXT.python_type is str
+
+
+class TestInfer:
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOL
+
+    def test_int(self):
+        assert infer_type(3) is DataType.INT
+
+    def test_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_text(self):
+        assert infer_type("x") is DataType.TEXT
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError_):
+            infer_type(object())

@@ -1,0 +1,75 @@
+"""Tests for the USING <aggregate> clause of the SQL dialect."""
+
+import pytest
+
+from repro.errors import ParseError, PreferenceError
+from repro.query.session import Session
+from repro.query.sql.parser import parse
+
+
+@pytest.fixture
+def session(movie_db, example_preferences):
+    s = Session(movie_db)
+    s.register_all(example_preferences.values())
+    return s
+
+
+class TestParsing:
+    def test_using_parsed(self):
+        block = parse("SELECT * FROM M PREFERRING p1 USING F_max TOP 3 BY score")
+        assert block.aggregate == "F_max"
+
+    def test_default_is_none(self):
+        block = parse("SELECT * FROM M PREFERRING p1")
+        assert block.aggregate is None
+
+    def test_using_before_order_by(self):
+        block = parse("SELECT * FROM M PREFERRING p1 USING f_min ORDER BY conf")
+        assert block.aggregate == "f_min"
+        assert block.order_by == "conf"
+
+
+class TestExecution:
+    SQL = (
+        "SELECT title FROM MOVIES NATURAL JOIN GENRES NATURAL JOIN DIRECTORS "
+        "PREFERRING p1, p2, (genre = 'Drama') SCORE 0.4 CONFIDENCE 0.5 ON GENRES "
+        "{using} ORDER BY score"
+    )
+
+    def test_f_max_changes_pairs(self, session):
+        default = session.rows(self.SQL.format(using=""))
+        f_max = session.rows(self.SQL.format(using="USING F_max"))
+        # F_S sums confidences across the join (p-relations pass pairs on),
+        # so some rows exceed 1 under the default; F_max never does.
+        assert any(row[2] > 1.0 for row in default)
+        assert all(row[2] <= 1.0 for row in f_max)
+
+    def test_matches_engine_level_aggregate(self, session, movie_db, example_preferences):
+        from repro.core.aggregates import F_MAX
+        from repro.pexec.engine import ExecutionEngine
+
+        compiled = session.compile(self.SQL.format(using="USING F_max"))
+        via_sql = session.execute(compiled)
+        engine = ExecutionEngine(movie_db, F_MAX)
+        via_engine = engine.run(compiled.plan, "gbu")
+        assert via_sql.relation.same_contents(via_engine.relation)
+
+    def test_unknown_aggregate_rejected(self, session):
+        with pytest.raises(PreferenceError):
+            session.execute("SELECT title FROM MOVIES PREFERRING p1 USING median")
+
+    def test_union_blocks_must_agree(self, session):
+        sql = (
+            "SELECT title FROM MOVIES PREFERRING p5 USING F_max "
+            "UNION SELECT title FROM MOVIES PREFERRING p5"
+        )
+        with pytest.raises(ParseError, match="USING"):
+            session.execute(sql)
+
+    def test_union_blocks_agreeing_ok(self, session):
+        sql = (
+            "SELECT title FROM MOVIES PREFERRING p5 USING F_max "
+            "UNION SELECT title FROM MOVIES PREFERRING p5 USING F_max"
+        )
+        result = session.execute(sql)
+        assert result.stats.rows == 5

@@ -1,0 +1,110 @@
+"""Tests for the qualitative winnow operator and preference relations."""
+
+import pytest
+
+from repro.core.prelation import PRelation
+from repro.engine.schema import make_schema
+from repro.engine.types import DataType
+from repro.errors import PreferenceError
+from repro.filtering import PreferenceRelation, winnow
+
+SCHEMA = make_schema(
+    "CARS",
+    [("id", DataType.INT), ("make", DataType.TEXT), ("color", DataType.TEXT)],
+    primary_key=["id"],
+)
+
+
+def cars(rows):
+    return PRelation(SCHEMA, rows)
+
+
+class TestPreferenceRelation:
+    def test_direct_preference(self):
+        order = PreferenceRelation("make", [("BMW", "Ford")])
+        assert order.prefers("BMW", "Ford")
+        assert not order.prefers("Ford", "BMW")
+        assert not order.prefers("BMW", "BMW")
+
+    def test_transitive_closure(self):
+        order = PreferenceRelation("make", [("BMW", "Audi"), ("Audi", "Ford")])
+        assert order.prefers("BMW", "Ford")
+
+    def test_closure_through_later_additions(self):
+        order = PreferenceRelation("make")
+        order.add("Audi", "Ford")
+        order.add("BMW", "Audi")
+        assert order.prefers("BMW", "Ford")
+
+    def test_cycle_rejected(self):
+        order = PreferenceRelation("make", [("BMW", "Audi")])
+        with pytest.raises(PreferenceError, match="cycle"):
+            order.add("Audi", "BMW")
+
+    def test_self_preference_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceRelation("make", [("BMW", "BMW")])
+
+    def test_unmentioned_values_incomparable(self):
+        order = PreferenceRelation("make", [("BMW", "Ford")])
+        assert not order.prefers("BMW", "Tesla")
+        assert not order.prefers("Tesla", "Ford")
+
+
+class TestWinnow:
+    MAKE = PreferenceRelation("make", [("BMW", "Ford"), ("Audi", "Ford")])
+    COLOR = PreferenceRelation("color", [("red", "blue")])
+
+    def test_single_order(self):
+        data = cars([(1, "BMW", "red"), (2, "Ford", "red"), (3, "Tesla", "blue")])
+        out = winnow(data, self.MAKE)
+        # Ford is dominated by the BMW; Tesla is incomparable and survives.
+        assert {r[0] for r in out.rows} == {1, 3}
+
+    def test_pareto_composition(self):
+        data = cars(
+            [
+                (1, "BMW", "red"),
+                (2, "BMW", "blue"),   # dominated: same make, worse color
+                (3, "Ford", "red"),   # dominated on make, equal color
+                (4, "Ford", "blue"),  # dominated on both
+            ]
+        )
+        out = winnow(data, [self.MAKE, self.COLOR])
+        assert {r[0] for r in out.rows} == {1}
+
+    def test_pareto_incomparable_mix_survives(self):
+        data = cars([(1, "BMW", "blue"), (2, "Ford", "red")])
+        # 1 better on make but worse on color; 2 vice versa: both stay.
+        out = winnow(data, [self.MAKE, self.COLOR])
+        assert len(out) == 2
+
+    def test_prioritized_composition(self):
+        data = cars([(1, "BMW", "blue"), (2, "Ford", "red")])
+        out = winnow(data, [self.MAKE, self.COLOR], prioritized=True)
+        assert {r[0] for r in out.rows} == {1}  # make outranks color
+
+    def test_prioritized_ties_fall_through(self):
+        data = cars([(1, "BMW", "blue"), (2, "BMW", "red")])
+        out = winnow(data, [self.MAKE, self.COLOR], prioritized=True)
+        assert {r[0] for r in out.rows} == {2}
+
+    def test_null_values_incomparable(self):
+        data = cars([(1, "BMW", "red"), (2, None, "red")])
+        out = winnow(data, self.MAKE)
+        assert len(out) == 2
+
+    def test_pairs_preserved(self):
+        from repro.core.scorepair import ScorePair
+
+        data = PRelation(
+            SCHEMA,
+            [(1, "BMW", "red"), (2, "Ford", "red")],
+            [ScorePair(0.9, 0.9), ScorePair(0.1, 0.1)],
+        )
+        out = winnow(data, self.MAKE)
+        assert out.pairs == [ScorePair(0.9, 0.9)]
+
+    def test_requires_orders(self):
+        with pytest.raises(PreferenceError):
+            winnow(cars([]), [])

@@ -1,0 +1,119 @@
+"""Tests for the synthetic data generators and the experiment workload."""
+
+import pytest
+
+from repro.workloads import (
+    DblpConfig,
+    ImdbConfig,
+    all_queries,
+    dblp_queries,
+    generate_dblp,
+    generate_imdb,
+    imdb_queries,
+)
+from repro.workloads.dblp import TABLE1_SIZES as DBLP_SIZES
+from repro.workloads.imdb import TABLE1_SIZES as IMDB_SIZES
+
+
+class TestImdbGenerator:
+    def test_table1_ratios(self, imdb_tiny):
+        """Row counts scale with the Table I ratios."""
+        scale = 0.0005
+        for table in ("MOVIES", "DIRECTORS", "GENRES", "CAST", "RATINGS"):
+            expected = int(IMDB_SIZES[table] * scale)
+            actual = len(imdb_tiny.table(table))
+            assert actual == pytest.approx(expected, rel=0.02), table
+
+    def test_deterministic(self):
+        a = generate_imdb(scale=0.0002, seed=5, build_indexes=False, analyze=False)
+        b = generate_imdb(scale=0.0002, seed=5, build_indexes=False, analyze=False)
+        assert a.table("MOVIES").rows == b.table("MOVIES").rows
+        assert a.table("GENRES").rows == b.table("GENRES").rows
+
+    def test_seed_changes_data(self):
+        a = generate_imdb(scale=0.0002, seed=5, build_indexes=False, analyze=False)
+        b = generate_imdb(scale=0.0002, seed=6, build_indexes=False, analyze=False)
+        assert a.table("MOVIES").rows != b.table("MOVIES").rows
+
+    def test_referential_integrity(self, imdb_tiny):
+        movies = {r[0] for r in imdb_tiny.table("MOVIES").rows}
+        directors = {r[0] for r in imdb_tiny.table("DIRECTORS").rows}
+        actors = {r[0] for r in imdb_tiny.table("ACTORS").rows}
+        assert all(r[4] in directors for r in imdb_tiny.table("MOVIES").rows)
+        assert all(r[0] in movies for r in imdb_tiny.table("GENRES").rows)
+        assert all(
+            r[0] in movies and r[1] in actors for r in imdb_tiny.table("CAST").rows
+        )
+        assert all(r[0] in movies for r in imdb_tiny.table("RATINGS").rows)
+
+    def test_year_range(self, imdb_tiny):
+        years = [r[2] for r in imdb_tiny.table("MOVIES").rows]
+        assert min(years) >= 1920 and max(years) <= 2011
+
+    def test_genre_skew(self, imdb_tiny):
+        from collections import Counter
+
+        counts = Counter(r[1] for r in imdb_tiny.table("GENRES").rows)
+        ranked = [c for _, c in counts.most_common()]
+        assert ranked[0] > 2 * ranked[-1]  # zipf-ish skew
+
+    def test_indexes_and_stats_present(self, imdb_tiny):
+        assert imdb_tiny.catalog.find_index("GENRES", "genre") is not None
+        assert imdb_tiny.catalog.stats("MOVIES") is not None
+
+
+class TestDblpGenerator:
+    def test_table1_ratios(self, dblp_tiny):
+        scale = 0.0005
+        for table in ("PUBLICATIONS", "AUTHORS", "PUB_AUTHORS", "CONFERENCES", "JOURNALS"):
+            expected = int(DBLP_SIZES[table] * scale)
+            assert len(dblp_tiny.table(table)) == pytest.approx(expected, rel=0.02), table
+
+    def test_conferences_and_journals_partition(self, dblp_tiny):
+        pubs = dblp_tiny.table("PUBLICATIONS")
+        conf_ids = {r[0] for r in dblp_tiny.table("CONFERENCES").rows}
+        jour_ids = {r[0] for r in dblp_tiny.table("JOURNALS").rows}
+        assert not conf_ids & jour_ids
+        type_by_id = {r[0]: r[2] for r in pubs.rows}
+        assert all(type_by_id[p] == "conference" for p in conf_ids)
+        assert all(type_by_id[p] == "journal" for p in jour_ids)
+
+    def test_citations_have_no_self_loops(self, dblp_tiny):
+        assert all(r[0] != r[1] for r in dblp_tiny.table("CITATIONS").rows)
+
+    def test_deterministic(self):
+        a = generate_dblp(scale=0.0002, seed=3, build_indexes=False, analyze=False)
+        b = generate_dblp(scale=0.0002, seed=3, build_indexes=False, analyze=False)
+        assert a.table("PUBLICATIONS").rows == b.table("PUBLICATIONS").rows
+
+
+class TestWorkloadQueries:
+    def test_six_queries(self):
+        queries = all_queries()
+        assert len(queries) == 6
+        assert [q.dataset for q in queries] == ["imdb"] * 3 + ["dblp"] * 3
+
+    def test_names_unique(self):
+        names = [q.name for q in all_queries()]
+        assert len(set(names)) == 6
+
+    @pytest.mark.parametrize("query", imdb_queries(), ids=lambda q: q.name)
+    def test_imdb_queries_compile(self, imdb_tiny, query):
+        session = query.session(imdb_tiny)
+        compiled = session.compile(query.sql)
+        assert compiled.plan.contains_prefer()
+
+    @pytest.mark.parametrize("query", dblp_queries(), ids=lambda q: q.name)
+    def test_dblp_queries_run(self, dblp_tiny, query):
+        session = query.session(dblp_tiny)
+        result = session.execute(query.sql)
+        assert result.stats.rows >= 0
+
+    def test_queries_produce_nonempty_results(self, imdb_tiny, dblp_tiny):
+        dbs = {"imdb": imdb_tiny, "dblp": dblp_tiny}
+        nonempty = 0
+        for q in all_queries():
+            session = q.session(dbs[q.dataset])
+            if session.execute(q.sql).stats.rows > 0:
+                nonempty += 1
+        assert nonempty >= 4  # the workload is not vacuous at tiny scale
