@@ -2,10 +2,13 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--scale 0.002] [--repeats 3]
+    python benchmarks/run_all.py [--scale 0.002] [--repeats 3] [--quick]
 
 Each report is also printed as it completes.  This is the driver behind the
-tables recorded in EXPERIMENTS.md.
+tables recorded in EXPERIMENTS.md.  ``--quick`` is the CI smoke mode: a tiny
+scale, one repeat, a subset of reports, plus a traced run of the workload
+queries whose JSONL trace lands in ``results/traces.jsonl`` (uploaded as a
+CI artifact).
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ REPORTS = [
     "bench_extension_outer_membership",
 ]
 
+#: CI smoke subset (--quick): one table and the headline strategy figure.
+QUICK_REPORTS = [
+    "bench_table1_datasets",
+    "bench_fig9_strategies",
+]
+
 
 def load(name: str):
     spec = importlib.util.spec_from_file_location(name, HERE / f"{name}.py")
@@ -43,12 +52,47 @@ def load(name: str):
     return module
 
 
+def trace_workload(out_dir: str, scale: float = 0.0005) -> str:
+    """Run the IMDB workload queries under a collecting tracer.
+
+    Every (query, strategy) trace is appended to ``<out_dir>/traces.jsonl``
+    together with the traced-vs-untraced wall times — the artifact CI
+    uploads so regressions in operator behaviour are diffable.
+    """
+    from repro.bench.harness import compare_strategies
+    from repro.obs import JsonlSink
+    from repro.workloads import generate_imdb
+    from repro.workloads.queries import all_queries
+
+    path = os.path.join(out_dir, "traces.jsonl")
+    if os.path.exists(path):
+        os.remove(path)
+    sink = JsonlSink(path)
+    db = generate_imdb(scale=scale, seed=42)
+    for workload_query in all_queries():
+        if workload_query.dataset != "imdb":
+            continue
+        compare_strategies(
+            db, workload_query, repeats=1, trace=True, trace_sink=sink
+        )
+    return path
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float)
     parser.add_argument("--repeats", type=int)
     parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny scale, 1 repeat, report subset, traced "
+        "workload run written to <out>/traces.jsonl",
+    )
     args = parser.parse_args()
+    if args.quick:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.0005")
+        os.environ.setdefault("REPRO_BENCH_REPEATS", "1")
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
     if args.repeats is not None:
@@ -59,7 +103,8 @@ def main() -> int:
     from contextlib import redirect_stdout
     import io
 
-    for name in REPORTS:
+    reports = QUICK_REPORTS if args.quick else REPORTS
+    for name in reports:
         started = time.perf_counter()
         module = load(name)
         buffer = io.StringIO()
@@ -72,6 +117,11 @@ def main() -> int:
         elapsed = time.perf_counter() - started
         print(f"### {name}  ({elapsed:.1f}s → {path})")
         print(text)
+    if args.quick:
+        started = time.perf_counter()
+        trace_path = trace_workload(args.out)
+        elapsed = time.perf_counter() - started
+        print(f"### traced workload  ({elapsed:.1f}s → {trace_path})")
     return 0
 
 

@@ -71,6 +71,7 @@ from .filtering import (
     topk,
     winnow,
 )
+from .obs import Tracer, current_tracer, use_tracer
 from .optimizer import OptimizerConfig, PreferenceOptimizer, optimize
 from .pexec import STRATEGIES, ExecutionEngine, QueryResult, evaluate_reference
 from .plan import PlanBuilder, explain, scan
@@ -138,4 +139,8 @@ __all__ = [
     "Session",
     "ContextualPreference",
     "active_preferences",
+    # observability
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
 ]

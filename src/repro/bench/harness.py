@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..engine.database import Database
+from ..obs import Tracer
 from ..plan.nodes import PlanNode
 from ..query.session import Session
 from ..workloads.queries import WorkloadQuery
@@ -36,7 +37,14 @@ def bench_repeats(default: int = 3) -> int:
 
 @dataclass
 class Measurement:
-    """One (query, strategy) cell."""
+    """One (query, strategy) cell.
+
+    ``traced`` records whether the timed runs executed under a collecting
+    tracer, so persisted BENCH_*.json numbers state whether instrumentation
+    was on.  When a trace was additionally collected (outside the timed
+    runs), ``trace`` holds its root span and ``trace_overhead_pct`` the
+    measured traced-vs-untraced wall-time delta.
+    """
 
     query: str
     strategy: str
@@ -44,6 +52,9 @@ class Measurement:
     total_io: int
     rows: int
     runs: list[float] = field(default_factory=list)
+    traced: bool = False
+    trace: object | None = None
+    trace_overhead_pct: float | None = None
 
 
 def measure(
@@ -52,8 +63,16 @@ def measure(
     strategy: str,
     repeats: int = 3,
     label: str = "",
+    trace: bool = False,
+    trace_sink=None,
 ) -> Measurement:
-    """Median-of-*repeats* timing of one query under one strategy."""
+    """Median-of-*repeats* timing of one query under one strategy.
+
+    The timed runs always execute with the default no-op tracer.  With
+    ``trace=True`` one extra *untimed* traced run is performed afterwards;
+    its trace is attached to the measurement (and written to *trace_sink*
+    if given) together with the traced-vs-untraced overhead.
+    """
     session.execute(query, strategy=strategy)  # warm-up (compilation, imports)
     times: list[float] = []
     last = None
@@ -62,14 +81,75 @@ def measure(
         last = session.execute(query, strategy=strategy)
         times.append((time.perf_counter() - started) * 1e3)
     assert last is not None
-    return Measurement(
-        query=label or (query if isinstance(query, str) else "plan"),
+    name = label or (query if isinstance(query, str) else "plan")
+    measurement = Measurement(
+        query=name,
         strategy=strategy,
         wall_ms=statistics.median(times),
         total_io=last.stats.cost.get("total_io", 0),
         rows=last.stats.rows,
         runs=times,
     )
+    if trace:
+        tracer = Tracer()
+        traced_times: list[float] = []
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            traced_result = session.execute(query, strategy=strategy, tracer=tracer)
+            traced_times.append((time.perf_counter() - started) * 1e3)
+        measurement.trace = traced_result.stats.trace
+        untraced = measurement.wall_ms
+        traced_ms = statistics.median(traced_times)
+        if untraced > 0:
+            measurement.trace_overhead_pct = round(
+                (traced_ms - untraced) / untraced * 100.0, 2
+            )
+        if trace_sink is not None:
+            trace_sink.write(
+                measurement.trace,
+                meta={
+                    "query": name,
+                    "strategy": strategy,
+                    "rows": measurement.rows,
+                    "wall_ms_untraced": round(untraced, 3),
+                    "wall_ms_traced": round(traced_ms, 3),
+                },
+            )
+    return measurement
+
+
+def tracer_overhead(
+    session: Session,
+    query: "str | PlanNode",
+    strategy: str = "gbu",
+    repeats: int = 5,
+) -> dict:
+    """Measure the collecting tracer's overhead on one query.
+
+    Returns ``{"untraced_ms", "traced_ms", "overhead_pct"}`` using the
+    median of *repeats* runs each way (untraced runs use the no-op tracer
+    path, i.e. the default production configuration).
+    """
+    session.execute(query, strategy=strategy)  # warm-up
+    untraced: list[float] = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        session.execute(query, strategy=strategy)
+        untraced.append(time.perf_counter() - started)
+    traced: list[float] = []
+    for _ in range(max(1, repeats)):
+        tracer = Tracer()
+        started = time.perf_counter()
+        session.execute(query, strategy=strategy, tracer=tracer)
+        traced.append(time.perf_counter() - started)
+    untraced_ms = statistics.median(untraced) * 1e3
+    traced_ms = statistics.median(traced) * 1e3
+    overhead = (traced_ms - untraced_ms) / untraced_ms * 100.0 if untraced_ms else 0.0
+    return {
+        "untraced_ms": round(untraced_ms, 3),
+        "traced_ms": round(traced_ms, 3),
+        "overhead_pct": round(overhead, 2),
+    }
 
 
 def compare_strategies(
@@ -77,11 +157,21 @@ def compare_strategies(
     workload_query: WorkloadQuery,
     strategies=DEFAULT_STRATEGIES,
     repeats: int = 3,
+    trace: bool = False,
+    trace_sink=None,
 ) -> list[Measurement]:
     """All strategy cells for one workload query."""
     session = workload_query.session(db)
     return [
-        measure(session, workload_query.sql, strategy, repeats, label=workload_query.name)
+        measure(
+            session,
+            workload_query.sql,
+            strategy,
+            repeats,
+            label=workload_query.name,
+            trace=trace,
+            trace_sink=trace_sink,
+        )
         for strategy in strategies
     ]
 

@@ -27,7 +27,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("demo", help="run the built-in movie demo")
+    demo = commands.add_parser("demo", help="run the built-in movie demo")
+    demo.add_argument(
+        "--trace",
+        action="store_true",
+        help="print an EXPLAIN ANALYZE-style per-operator trace per strategy",
+    )
 
     generate = commands.add_parser("generate", help="generate a synthetic database")
     generate.add_argument("--dataset", choices=("imdb", "dblp"), default="imdb")
@@ -37,8 +42,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="run one SQL statement")
     query.add_argument("--db", required=True, help="database directory")
-    query.add_argument("--strategy", default="gbu")
+    query.add_argument(
+        "--strategy",
+        default="gbu",
+        help="execution strategy; a comma-separated list runs each in turn "
+        "(e.g. --strategy ftp,bu,gbu)",
+    )
     query.add_argument("--explain", action="store_true", help="print plans too")
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="run under a collecting tracer and print the per-operator "
+        "EXPLAIN ANALYZE breakdown (rows, time, aggregate applications)",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a flat per-operator profile table (calls, wall/CPU ms, rows)",
+    )
+    query.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="append the collected trace(s) to FILE as JSONL",
+    )
     query.add_argument("--limit", type=int, default=20, help="rows to print")
     query.add_argument("sql", help="preferential SQL text")
 
@@ -53,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "demo":
-            return _demo()
+            return _demo(trace=args.trace)
         if args.command == "generate":
             return _generate(args)
         if args.command == "query":
@@ -66,7 +92,7 @@ def main(argv: list[str] | None = None) -> int:
     return 0  # pragma: no cover - argparse enforces a command
 
 
-def _demo() -> int:
+def _demo(trace: bool = False) -> int:
     from .engine.database import Database
     from .engine.types import DataType
     from .core.preference import Preference
@@ -121,6 +147,9 @@ def _demo() -> int:
         result = session.execute(sql, strategy=strategy)
         print(f"-- {strategy}")
         _print_result(session, result, limit=5)
+        if trace:
+            print()
+            print(session.explain_analyze(sql, strategy))
         print()
     return 0
 
@@ -140,12 +169,48 @@ def _generate(args) -> int:
 
 def _query(args) -> int:
     db = load_database(args.db)
-    session = Session(db, strategy=args.strategy)
-    if args.explain:
-        print(session.explain(args.sql))
-        print()
-    result = session.execute(args.sql)
-    _print_result(session, result, args.limit)
+    strategies = [s.strip() for s in args.strategy.split(",") if s.strip()]
+    if not strategies:
+        raise ReproError(f"--strategy {args.strategy!r} names no strategy")
+    session = Session(db, strategy=strategies[0])
+    want_trace = args.trace or args.profile or args.trace_out
+    sink = None
+    if args.trace_out:
+        from .obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out)
+    for index, strategy in enumerate(strategies):
+        if len(strategies) > 1:
+            if index:
+                print()
+            print(f"-- {strategy}")
+        if args.explain:
+            print(session.explain(args.sql, strategy=strategy))
+            print()
+        tracer = None
+        if want_trace:
+            from .obs import Tracer
+
+            tracer = Tracer()
+        result = session.execute(args.sql, strategy=strategy, tracer=tracer)
+        _print_result(session, result, args.limit)
+        if args.trace:
+            from .plan.printer import explain_analyze
+
+            print()
+            print(explain_analyze(result.executed_plan, result.stats.trace))
+        if args.profile:
+            from .obs import render_profile
+
+            print()
+            print(render_profile(result.stats.trace))
+        if sink is not None:
+            sink.write(
+                result.stats.trace,
+                meta={"sql": args.sql, "strategy": strategy, "rows": result.stats.rows},
+            )
+    if sink is not None:
+        print(f"traces appended to {args.trace_out}", file=sys.stderr)
     return 0
 
 

@@ -14,6 +14,7 @@ from ..engine.schema import TableSchema
 from ..engine.table import Row
 from typing import Callable
 
+from ..obs import current_tracer
 from .aggregates import F_S, AggregateFunction
 from .preference import Preference
 from .prelation import PRelation
@@ -32,7 +33,17 @@ def prefer(
     ``⟨S(row), C⟩`` through *aggregate*.
     """
     combiner = make_combiner(relation.schema, preference, aggregate)
-    pairs = [combiner(row, pair) for row, pair in zip(relation.rows, relation.pairs)]
+    applied = 0
+    pairs = []
+    for row, pair in zip(relation.rows, relation.pairs):
+        fresh = combiner(row, pair)
+        if fresh is not pair:  # the combiner returns the input pair untouched
+            applied += 1      # unless the conditional part matched
+        pairs.append(fresh)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("rows_in", len(relation.rows))
+        tracer.count("aggregate.combine", applied)
     return PRelation(relation.schema, list(relation.rows), pairs)
 
 

@@ -59,6 +59,16 @@ class CostModel:
     def total_io(self) -> int:
         return self.pages_read + self.pages_written
 
+    def merge(self, other: "CostModel") -> None:
+        """Fold *other*'s counters into this model (per-query → global)."""
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.tuples_scanned += other.tuples_scanned
+        self.tuples_materialized += other.tuples_materialized
+        self.index_lookups += other.index_lookups
+        for name, calls in other.operator_calls.items():
+            self.operator_calls[name] = self.operator_calls.get(name, 0) + calls
+
     def reset(self) -> None:
         self.pages_read = 0
         self.pages_written = 0

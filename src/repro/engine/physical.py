@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
+from ..obs import current_tracer, traced_rows
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -40,21 +41,37 @@ from .table import Row
 
 
 def execute_native(
-    plan: PlanNode, catalog: Catalog, cost: CostModel | None = None
+    plan: PlanNode, catalog: Catalog, cost: CostModel | None = None, tracer=None
 ) -> tuple[TableSchema, list[Row]]:
     """Run a preference-free *plan*; returns its schema and materialized rows."""
     cost = cost if cost is not None else CostModel()
-    schema, rows = _Executor(catalog, cost).run(plan)
+    schema, rows = _Executor(catalog, cost, tracer).run(plan)
     return schema, list(rows)
 
 
 class _Executor:
-    def __init__(self, catalog: Catalog, cost: CostModel):
+    def __init__(self, catalog: Catalog, cost: CostModel, tracer=None):
         self.catalog = catalog
         self.cost = cost
+        self.tracer = tracer if tracer is not None else current_tracer()
 
     def run(self, plan: PlanNode) -> tuple[TableSchema, Iterator[Row]]:
         self.cost.count_operator(plan.kind)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._dispatch(plan)
+        # One span per operator; its wall time is inclusive — open through
+        # last output row — because the iterator model interleaves parents
+        # and children (the EXPLAIN ANALYZE convention).
+        span = tracer.span(f"native.{plan.kind}", label=plan.label())
+        tracer.push(span)
+        try:
+            schema, rows = self._dispatch(plan)
+        finally:
+            tracer.pop(span)
+        return schema, traced_rows(rows, span)
+
+    def _dispatch(self, plan: PlanNode) -> tuple[TableSchema, Iterator[Row]]:
         if isinstance(plan, Relation):
             return self._relation(plan)
         if isinstance(plan, Materialized):

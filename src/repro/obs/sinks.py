@@ -1,0 +1,68 @@
+"""Trace sinks: where finished span trees go.
+
+Three consumers are provided:
+
+* :class:`InMemorySink` — keeps ``(meta, Span)`` records in a list; the
+  programmatic sink for tests and ad-hoc analysis.
+* :class:`JsonlSink` — appends one JSON object per trace to a file
+  (``{"meta": {...}, "trace": {...}}``); the artifact format uploaded by CI
+  and written by ``repro query --trace-out`` / the benchmark harness.
+* :func:`read_jsonl` — loads a JSONL trace file back into ``(meta, Span)``
+  pairs, so recorded traces round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from .tracer import Span
+
+
+class InMemorySink:
+    """Collects ``(meta, root_span)`` records in memory."""
+
+    def __init__(self) -> None:
+        self.records: list[tuple[dict, Span]] = []
+
+    def write(self, root: Span, meta: "dict[str, Any] | None" = None) -> None:
+        self.records.append((dict(meta or {}), root))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+class JsonlSink:
+    """Appends traces to *path*, one JSON document per line.
+
+    Each line is ``{"meta": {...}, "trace": <span tree>}`` with the span
+    tree in :meth:`repro.obs.tracer.Span.to_dict` form.  Opening is lazy and
+    appending, so several runs can share one artifact file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def write(self, root: Span, meta: "dict[str, Any] | None" = None) -> None:
+        record = {"meta": dict(meta or {}), "trace": root.to_dict()}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, ensure_ascii=False, default=str) + "\n")
+
+
+def read_jsonl(path: str) -> list[tuple[dict, Span]]:
+    """Load a :class:`JsonlSink` file back into ``(meta, Span)`` pairs."""
+    records: list[tuple[dict, Span]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            records.append((data.get("meta", {}), Span.from_dict(data["trace"])))
+    return records

@@ -10,10 +10,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine.cardinality import estimate_cardinality
 from ..engine.catalog import Catalog
+from ..obs import current_tracer
 from ..plan.nodes import PlanNode
 from .leftdeep import left_deepen, match_native_join_order
 from .rules import push_prefers, push_projections, push_selections, reorder_prefers
+
+
+def estimated_plan_cost(plan: PlanNode, catalog: Catalog) -> float:
+    """Crude plan cost: summed estimated cardinality of every node.
+
+    The paper argues (§VI-A) that intermediate-relation sizes drive query
+    cost; summing each operator's estimated output size is exactly that.
+    Used only for observability (per-rule cost deltas), never for planning.
+    """
+    return sum(estimate_cardinality(node, catalog) for node in plan.walk())
 
 
 @dataclass(frozen=True)
@@ -40,20 +52,46 @@ class PreferenceOptimizer:
         self.catalog = catalog
         self.config = config or OptimizerConfig()
 
-    def optimize(self, plan: PlanNode) -> PlanNode:
+    def optimize(self, plan: PlanNode, tracer=None) -> PlanNode:
+        """Apply the enabled rules in order.
+
+        Under a collecting tracer every rule gets an ``optimize.rule`` span
+        recording whether it fired (changed the plan), node counts, and the
+        estimated-cost delta; fired rules also bump the global
+        ``optimizer.rule_fired`` counter.  The no-op tracer path skips all
+        of that, including the tree comparisons.
+        """
         config = self.config
-        if config.push_selections:
-            plan = push_selections(plan, self.catalog)
-        if config.push_projections:
-            plan = push_projections(plan, self.catalog)
-        if config.push_prefers:
-            plan = push_prefers(plan, self.catalog)
-        if config.reorder_prefers:
-            plan = reorder_prefers(plan, self.catalog)
-        if config.match_join_order:
-            plan = match_native_join_order(plan, self.catalog)
-        if config.left_deep:
-            plan = left_deepen(plan)
+        rules = (
+            ("push_selections", config.push_selections, push_selections),
+            ("push_projections", config.push_projections, push_projections),
+            ("push_prefers", config.push_prefers, push_prefers),
+            ("reorder_prefers", config.reorder_prefers, reorder_prefers),
+            ("match_join_order", config.match_join_order, match_native_join_order),
+            ("left_deep", config.left_deep, lambda p, _catalog: left_deepen(p)),
+        )
+        if tracer is None:
+            tracer = current_tracer()
+        if not tracer.enabled:
+            for _name, enabled, rule in rules:
+                if enabled:
+                    plan = rule(plan, self.catalog)
+            return plan
+        for name, enabled, rule in rules:
+            if not enabled:
+                continue
+            with tracer.span("optimize.rule", label=name) as span:
+                cost_before = estimated_plan_cost(plan, self.catalog)
+                rewritten = rule(plan, self.catalog)
+                fired = rewritten != plan
+                span.set("fired", fired)
+                if fired:
+                    tracer.count("optimizer.rule_fired")
+                    cost_after = estimated_plan_cost(rewritten, self.catalog)
+                    span.set("cost_before", round(cost_before, 1))
+                    span.set("cost_after", round(cost_after, 1))
+                    span.set("cost_delta", round(cost_after - cost_before, 1))
+                plan = rewritten
         return plan
 
 

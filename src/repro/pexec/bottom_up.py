@@ -15,6 +15,7 @@ from ..core.prelation import PRelation
 from ..engine.database import Database
 from ..engine.physical import execute_native
 from ..errors import ExecutionError
+from ..obs import current_tracer
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -44,11 +45,23 @@ class _Evaluator:
     def __init__(self, db: Database, aggregate: AggregateFunction):
         self.db = db
         self.aggregate = aggregate
+        self.tracer = current_tracer()
 
     # Each operator is executed through the native engine as its own query
     # over Materialized inputs, mirroring BU's one-query-per-operator shape.
 
     def evaluate(self, plan: PlanNode) -> Intermediate:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._evaluate(plan)
+        with tracer.span(f"bu.{plan.kind}", label=plan.label()) as span:
+            result = self._evaluate(plan)
+            if result.rows is not None:
+                span.add("rows_out", len(result.rows))
+            span.add("scores", len(result.scores))
+            return result
+
+    def _evaluate(self, plan: PlanNode) -> Intermediate:
         if isinstance(plan, Relation):
             table = self.db.table(plan.name)
             inter = Intermediate.from_table(table, plan.schema(self.db.catalog))

@@ -28,7 +28,9 @@ from dataclasses import dataclass, field
 from ..core.aggregates import F_S, AggregateFunction
 from ..core.prelation import PRelation
 from ..engine.database import Database
+from ..engine.iosim import CostModel
 from ..errors import ExecutionError
+from ..obs import current_tracer, use_tracer
 from ..optimizer import OptimizerConfig, PreferenceOptimizer
 from ..plan.analysis import (
     qualify_preferences,
@@ -52,12 +54,24 @@ STRATEGIES = ("gbu", "bu", "ftp", "plugin-rma", "plugin-shared", "reference")
 
 @dataclass
 class ExecutionStats:
-    """Measurements for a single query execution."""
+    """Measurements for a single query execution.
+
+    Every instance is private to one :meth:`ExecutionEngine.run` call: the
+    engine executes each query against a fresh :class:`CostModel` (merged
+    into the database-wide accumulator afterwards), so reusing one engine —
+    or interleaving strategies — can never bleed counters between results.
+
+    ``operators`` counts operator invocations for this query only;
+    ``trace`` is the root :class:`repro.obs.Span` when the query ran under
+    a collecting tracer, else ``None``.
+    """
 
     strategy: str
     wall_time: float
     rows: int
     cost: dict[str, int] = field(default_factory=dict)
+    operators: dict[str, int] = field(default_factory=dict)
+    trace: object | None = None
 
     def summary(self) -> str:
         return (
@@ -97,10 +111,14 @@ class ExecutionEngine:
         db: Database,
         aggregate: AggregateFunction = F_S,
         optimizer_config: OptimizerConfig | None = None,
+        tracer=None,
     ):
         self.db = db
         self.aggregate = aggregate
         self.optimizer = PreferenceOptimizer(db.catalog, optimizer_config)
+        #: Default tracer for every :meth:`run`; ``None`` means "use the
+        #: ambient tracer" (a zero-cost no-op unless one is installed).
+        self.tracer = tracer
 
     def prepare(self, plan: PlanNode) -> PlanNode:
         """Widen the plan's projections (the parser step of §VI).
@@ -113,33 +131,57 @@ class ExecutionEngine:
         carry = required_carry_attributes(plan, self.db.catalog)
         return widen_projections(plan, carry, self.db.catalog)
 
-    def run(self, plan: PlanNode, strategy: str = "gbu") -> QueryResult:
-        """Execute *plan* with *strategy*, returning result and statistics."""
+    def run(self, plan: PlanNode, strategy: str = "gbu", tracer=None) -> QueryResult:
+        """Execute *plan* with *strategy*, returning result and statistics.
+
+        *tracer* (or the engine's default, or the ambient tracer) receives a
+        ``query`` span with ``prepare`` / ``optimize`` / ``execute:<s>`` /
+        ``conform`` phases; every operator below reports into it.  Costs are
+        accumulated in a per-query :class:`CostModel` and merged back into
+        ``db.cost``, so the returned stats are isolated per invocation.
+        """
         if strategy not in STRATEGIES:
             raise ExecutionError(
                 f"unknown strategy {strategy!r}; choose one of {', '.join(STRATEGIES)}"
             )
-        original_schema = plan.schema(self.db.catalog)
-        widened = self.prepare(plan)
-        target_schema = widened.schema(self.db.catalog)
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else current_tracer()
+        with use_tracer(tracer), tracer.span("query", label=strategy) as root:
+            root.set("strategy", strategy)
+            original_schema = plan.schema(self.db.catalog)
+            with tracer.span("prepare"):
+                widened = self.prepare(plan)
+            target_schema = widened.schema(self.db.catalog)
 
-        cost_before = self.db.cost.snapshot()
-        started = time.perf_counter()
-        if strategy in _OPTIMIZED_STRATEGIES:
-            executed_plan = self.optimizer.optimize(widened)
-        else:
-            executed_plan = widened
-        result = self._dispatch(executed_plan, strategy)
-        result = conform(result, target_schema)
-        elapsed = time.perf_counter() - started
-        cost_after = self.db.cost.snapshot()
+            outer_cost = self.db.cost
+            query_cost = CostModel()
+            self.db.cost = query_cost
+            started = time.perf_counter()
+            try:
+                if strategy in _OPTIMIZED_STRATEGIES:
+                    with tracer.span("optimize"):
+                        executed_plan = self.optimizer.optimize(widened)
+                else:
+                    executed_plan = widened
+                with tracer.span(f"execute:{strategy}") as execute_span:
+                    result = self._dispatch(executed_plan, strategy)
+                    execute_span.add("rows_out", len(result))
+                with tracer.span("conform"):
+                    result = conform(result, target_schema)
+            finally:
+                self.db.cost = outer_cost
+                outer_cost.merge(query_cost)
+            elapsed = time.perf_counter() - started
+            root.add("rows_out", len(result))
 
-        stats = ExecutionStats(
-            strategy=strategy,
-            wall_time=elapsed,
-            rows=len(result),
-            cost={k: cost_after[k] - cost_before.get(k, 0) for k in cost_after},
-        )
+            stats = ExecutionStats(
+                strategy=strategy,
+                wall_time=elapsed,
+                rows=len(result),
+                cost=query_cost.snapshot(),
+                operators=dict(query_cost.operator_calls),
+                trace=root if tracer.enabled else None,
+            )
         return QueryResult(result, stats, plan, executed_plan, original_schema)
 
     def explain_result(self, result: QueryResult, index: int = 0):

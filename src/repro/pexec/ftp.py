@@ -26,6 +26,7 @@ from ..core.prelation import PRelation
 from ..engine.database import Database
 from ..errors import ExecutionError
 from ..filtering import topk as topk_filter
+from ..obs import current_tracer
 from ..plan.analysis import strip_prefers
 from .conform import conform
 from ..plan.nodes import (
@@ -82,6 +83,16 @@ class RegionEvaluator:
         self.region_fn = region_fn
 
     def evaluate(self, plan: PlanNode) -> PRelation:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._evaluate(plan)
+        name = "region" if is_spj_region(plan) else plan.kind
+        with tracer.span(f"ftp.{name}", label=plan.label()) as span:
+            result = self._evaluate(plan)
+            span.add("rows_out", len(result))
+            return result
+
+    def _evaluate(self, plan: PlanNode) -> PRelation:
         if is_spj_region(plan):
             return self.region_fn(plan)
         if isinstance(plan, Select):
@@ -127,8 +138,11 @@ class RegionEvaluator:
 
 def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
     def run_region(plan: PlanNode) -> PRelation:
+        tracer = current_tracer()
         non_preference = strip_prefers(plan)
-        schema, rows = db.execute(non_preference, optimize=True)
+        with tracer.span("ftp.delegate") as span:
+            schema, rows = db.execute(non_preference, optimize=True)
+            span.add("rows_out", len(rows))
         db.cost.materialize(len(rows))
         result = conform(
             PRelation(schema, rows), non_preference.schema(db.catalog)
@@ -136,7 +150,13 @@ def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
         for preference in plan.preferences():
             db.cost.scan(len(rows))
             db.cost.count_operator("prefer")
-            result = apply_prefer(result, preference, aggregate)
+            with tracer.span("ftp.prefer", label=preference.name) as span:
+                result = apply_prefer(result, preference, aggregate)
+                if tracer.enabled:
+                    span.add(
+                        "scores",
+                        sum(1 for p in result.pairs if not p.is_default),
+                    )
         return result
 
     return run_region

@@ -18,6 +18,7 @@ from ..engine.database import Database
 from ..engine.native_optimizer import optimize_native
 from ..engine.physical import execute_native
 from ..errors import ExecutionError
+from ..obs import current_tracer
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -60,10 +61,26 @@ class _Evaluator:
         self.db = db
         self.aggregate = aggregate
         self.embedded: dict[int, Intermediate] = {}
+        self.tracer = current_tracer()
 
     # -- traversal -----------------------------------------------------------
 
     def evaluate(self, plan: PlanNode) -> "PlanNode | Intermediate":
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._evaluate(plan)
+        with tracer.span(f"gbu.{plan.kind}", label=plan.label()) as span:
+            result = self._evaluate(plan)
+            if isinstance(result, Intermediate):
+                if result.rows is not None:
+                    span.add("rows_out", len(result.rows))
+                span.add("scores", len(result.scores))
+            else:
+                # Still accumulating into the deferred block (the paper's G).
+                span.set("deferred", True)
+            return result
+
+    def _evaluate(self, plan: PlanNode) -> "PlanNode | Intermediate":
         if isinstance(plan, (Relation, Materialized)):
             return plan
 
@@ -177,12 +194,23 @@ class _Evaluator:
         if isinstance(value, Intermediate):
             if value.rows is None:
                 # Lazy (prefer over a pure block): execute the block now.
-                optimized = optimize_native(value.source, self.db.catalog)
-                schema, rows = execute_native(optimized, self.db.catalog, self.db.cost)
-                self.db.cost.materialize(len(rows))
+                with self.tracer.span("gbu.force", label="lazy block") as span:
+                    optimized = optimize_native(value.source, self.db.catalog)
+                    schema, rows = execute_native(
+                        optimized, self.db.catalog, self.db.cost
+                    )
+                    self.db.cost.materialize(len(rows))
+                    span.add("rows_out", len(rows))
+                    span.add("scores", len(value.scores))
                 return Intermediate(schema, list(rows), value.key_attrs, value.scores)
             return value
-        block = value
+        with self.tracer.span("gbu.force", label="block") as span:
+            result = self._force_block(value)
+            span.add("rows_out", len(result.rows))
+            span.add("scores", len(result.scores))
+        return result
+
+    def _force_block(self, block: PlanNode) -> Intermediate:
         embedded: list[Intermediate] = []
         extra_keys: list[str] = []
         for node in block.walk():

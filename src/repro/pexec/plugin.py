@@ -32,6 +32,7 @@ from ..core.prelation import PRelation
 from ..core.scorepair import IDENTITY, ScorePair
 from ..engine.database import Database
 from ..engine.table import Row
+from ..obs import current_tracer
 from ..plan.analysis import strip_prefers
 from ..plan.nodes import Materialized, PlanNode, Select
 from .conform import conform
@@ -58,12 +59,15 @@ def execute_plugin_shared(
 
 def _make_region(db: Database, aggregate: AggregateFunction, shared: bool) -> RegionFn:
     def run_region(plan: PlanNode) -> PRelation:
+        tracer = current_tracer()
         non_preference = strip_prefers(plan)
         target_schema = non_preference.schema(db.catalog)
 
         # Materialize the base (non-preference) answer — the plug-in needs it
         # anyway, to list tuples that match no preference with default pairs.
-        schema, rows = db.execute(non_preference, optimize=True)
+        with tracer.span("plugin.base-query") as span:
+            schema, rows = db.execute(non_preference, optimize=True)
+            span.add("rows_out", len(rows))
         db.cost.materialize(len(rows))
         base = conform(PRelation(schema, rows), target_schema)
 
@@ -71,29 +75,40 @@ def _make_region(db: Database, aggregate: AggregateFunction, shared: bool) -> Re
         combine = aggregate.combine
         for preference in plan.preferences():
             # Rewrite: the preference condition becomes a standard constraint.
-            if shared:
-                rewritten = Select(
-                    Materialized(target_schema, base.rows), preference.condition
-                )
-                part_schema, part_rows = db.execute(rewritten, optimize=False)
-                part = PRelation(part_schema, part_rows)
-            else:
-                rewritten = Select(non_preference, preference.condition)
-                part_schema, part_rows = db.execute(rewritten, optimize=True)
-                part = conform(PRelation(part_schema, part_rows), target_schema)
-            db.cost.materialize(len(part.rows))
-            db.cost.count_operator("plugin-query")
+            with tracer.span("plugin.query", label=preference.name) as span:
+                if shared:
+                    rewritten = Select(
+                        Materialized(target_schema, base.rows), preference.condition
+                    )
+                    part_schema, part_rows = db.execute(rewritten, optimize=False)
+                    part = PRelation(part_schema, part_rows)
+                else:
+                    rewritten = Select(non_preference, preference.condition)
+                    part_schema, part_rows = db.execute(rewritten, optimize=True)
+                    part = conform(PRelation(part_schema, part_rows), target_schema)
+                db.cost.materialize(len(part.rows))
+                db.cost.count_operator("plugin-query")
 
-            # Score the partial result in the plug-in layer.
-            scoring = preference.scoring.compile(target_schema)
-            confidence = preference.confidence
-            for row in part.rows:
-                fresh = ScorePair(scoring(row), confidence)
-                previous = partials.get(row)
-                partials[row] = fresh if previous is None else combine(previous, fresh)
+                # Score the partial result in the plug-in layer.
+                scoring = preference.scoring.compile(target_schema)
+                confidence = preference.confidence
+                combined = 0
+                for row in part.rows:
+                    fresh = ScorePair(scoring(row), confidence)
+                    previous = partials.get(row)
+                    if previous is None:
+                        partials[row] = fresh
+                    else:
+                        partials[row] = combine(previous, fresh)
+                        combined += 1
+                span.add("rows_out", len(part.rows))
+                span.add("aggregate.combine", combined)
 
         # Aggregate: merge partial pairs back onto the base answer.
-        pairs = [partials.get(row, IDENTITY) for row in base.rows]
+        with tracer.span("plugin.aggregate") as span:
+            pairs = [partials.get(row, IDENTITY) for row in base.rows]
+            span.add("rows_out", len(base.rows))
+            span.add("scores", len(partials))
         return PRelation(target_schema, list(base.rows), pairs)
 
     return run_region

@@ -20,6 +20,7 @@ from ..core.scorepair import IDENTITY, ScorePair
 from ..engine.schema import TableSchema
 from ..engine.table import Row, Table
 from ..errors import ExecutionError
+from ..obs import current_tracer
 
 
 class Intermediate:
@@ -126,6 +127,16 @@ class Intermediate:
 # ---------------------------------------------------------------------------
 
 
+def _report_prefer(rows_in: int, qualifying: int, combined: int) -> None:
+    """Credit prefer-evaluation counters to the ambient tracer (no-op cost:
+    one attribute check when tracing is off)."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("rows_in", rows_in)
+        tracer.count("qualifying", qualifying)
+        tracer.count("aggregate.combine", combined)
+
+
 def apply_prefer(
     inter: Intermediate,
     preference: Preference,
@@ -143,17 +154,24 @@ def apply_prefer(
     combine = aggregate.combine
     key = inter.key_fn()
     scores = dict(inter.scores)
+    qualifying = combined = 0
     for row in inter.rows:
         if not condition(row):
             continue
+        qualifying += 1
         fresh = ScorePair(scoring(row), confidence)
         k = key(row)
         previous = scores.get(k)
-        pair = fresh if previous is None else combine(previous, fresh)
+        if previous is None:
+            pair = fresh
+        else:
+            pair = combine(previous, fresh)
+            combined += 1
         if pair.is_default:
             scores.pop(k, None)
         else:
             scores[k] = pair
+    _report_prefer(len(inter.rows), qualifying, combined)
     return Intermediate(inter.schema, inter.rows, inter.key_attrs, scores, inter.source)
 
 
@@ -176,15 +194,21 @@ def prefer_scores_from_rows(
     combine = aggregate.combine
     positions = tuple(schema.index_of(a) for a in key_attrs)
     scores = dict(base or {})
+    combined = 0
     for row in qualifying:
         fresh = ScorePair(scoring(row), confidence)
         k = tuple(row[i] for i in positions)
         previous = scores.get(k)
-        pair = fresh if previous is None else combine(previous, fresh)
+        if previous is None:
+            pair = fresh
+        else:
+            pair = combine(previous, fresh)
+            combined += 1
         if pair.is_default:
             scores.pop(k, None)
         else:
             scores[k] = pair
+    _report_prefer(len(qualifying), len(qualifying), combined)
     return scores
 
 
@@ -206,15 +230,21 @@ def apply_prefer_to_rows(
     combine = aggregate.combine
     key = inter.key_fn()
     scores = dict(inter.scores)
+    combined = 0
     for row in qualifying:
         fresh = ScorePair(scoring(row), confidence)
         k = key(row)
         previous = scores.get(k)
-        pair = fresh if previous is None else combine(previous, fresh)
+        if previous is None:
+            pair = fresh
+        else:
+            pair = combine(previous, fresh)
+            combined += 1
         if pair.is_default:
             scores.pop(k, None)
         else:
             scores[k] = pair
+    _report_prefer(len(qualifying), len(qualifying), combined)
     return Intermediate(inter.schema, inter.rows, inter.key_attrs, scores, inter.source)
 
 
@@ -271,6 +301,7 @@ def combine_join(
         combine = aggregate.combine
         left_scores = left.scores
         right_scores = right.scores
+        combined = 0
         for row in rows:
             left_key = tuple(row[i] for i in left_positions)
             right_key = tuple(row[i] for i in right_positions)
@@ -284,8 +315,12 @@ def combine_join(
                 pair = left_pair
             else:
                 pair = combine(left_pair, right_pair)
+                combined += 1
             if not pair.is_default:
                 scores[left_key + right_key] = pair
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("aggregate.combine", combined)
     return Intermediate(schema, rows, key_attrs, scores)
 
 

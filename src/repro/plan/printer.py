@@ -45,3 +45,19 @@ def compact(plan: PlanNode) -> str:
         return plan.label()
     inner = ", ".join(compact(child) for child in children)
     return f"{plan.label()}({inner})"
+
+
+def explain_analyze(plan: PlanNode, trace) -> str:
+    """EXPLAIN ANALYZE: the executed plan plus its per-operator trace.
+
+    *trace* is the root :class:`repro.obs.Span` of a query run under a
+    collecting tracer (``QueryResult.stats.trace``).  Each trace line
+    carries the operator's plan label, row counts, score-relation sizes,
+    aggregate applications and inclusive wall time.
+    """
+    from ..obs.render import render_trace
+
+    rendered = "executed plan:\n" + explain(plan)
+    if trace is None:
+        return rendered + "\n\n(no trace recorded: run under a collecting tracer)"
+    return rendered + "\n\nexecution trace:\n" + render_trace(trace)

@@ -82,9 +82,16 @@ class Session:
         return self.compiler.compile(text)
 
     def execute(
-        self, query: str | PlanNode | PreferentialQuery, strategy: str | None = None
+        self,
+        query: str | PlanNode | PreferentialQuery,
+        strategy: str | None = None,
+        tracer=None,
     ) -> QueryResult:
-        """Run SQL text, a plan, or a compiled query; returns a QueryResult."""
+        """Run SQL text, a plan, or a compiled query; returns a QueryResult.
+
+        Pass a :class:`repro.obs.Tracer` as *tracer* to collect a
+        per-operator execution trace (``result.stats.trace``).
+        """
         order_by = None
         aggregate_name = None
         if isinstance(query, str):
@@ -102,7 +109,7 @@ class Session:
             engine = ExecutionEngine(
                 self.db, get_aggregate(aggregate_name), self.engine.optimizer.config
             )
-        result = engine.run(plan, strategy or self.strategy)
+        result = engine.run(plan, strategy or self.strategy, tracer=tracer)
         if order_by:
             result.relation = ranked(result.relation, order_by)
         return result
@@ -132,6 +139,26 @@ class Session:
             + render(plan)
             + f"\n\n{label}:\n"
             + render(executed)
+        )
+
+    def explain_analyze(
+        self, query: "str | PlanNode | PreferentialQuery", strategy: str | None = None
+    ) -> str:
+        """Execute under a collecting tracer and render the EXPLAIN ANALYZE view.
+
+        The output is the executed plan followed by the per-operator trace
+        (rows in/out, score-relation sizes, aggregate applications, wall
+        time per operator) and the query's summary statistics.
+        """
+        from ..obs import Tracer
+        from ..plan.printer import explain_analyze as render
+
+        tracer = Tracer()
+        result = self.execute(query, strategy=strategy, tracer=tracer)
+        return (
+            render(result.executed_plan, result.stats.trace)
+            + "\n\n"
+            + result.stats.summary()
         )
 
     def why(self, result: QueryResult, index: int = 0):

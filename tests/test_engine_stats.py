@@ -1,0 +1,85 @@
+"""Per-query ExecutionStats isolation when one engine is reused.
+
+Regression suite for the shared-CostModel bug: ``ExecutionEngine.run`` used
+to charge every query against the database-wide cost accumulator, so stats
+objects mutated (grew) across strategy invocations on a reused engine.
+Each run now executes against a fresh per-query CostModel that is merged
+into ``db.cost`` afterwards.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+
+
+def _plan(db, example_preferences):
+    return (
+        scan("MOVIES")
+        .natural_join(scan("GENRES"), db.catalog)
+        .prefer(example_preferences["p1"])
+        .build()
+    )
+
+
+def test_stats_do_not_mutate_across_reused_engine(movie_db, example_preferences):
+    engine = ExecutionEngine(movie_db)
+    plan = _plan(movie_db, example_preferences)
+
+    first = engine.run(plan, "gbu")
+    frozen = copy.deepcopy(first.stats.cost)
+    frozen_ops = dict(first.stats.operators)
+
+    # Re-running (same or different strategy) must leave earlier stats alone.
+    engine.run(plan, "gbu")
+    engine.run(plan, "ftp")
+    assert first.stats.cost == frozen
+    assert first.stats.operators == frozen_ops
+
+
+def test_identical_runs_report_identical_costs(movie_db, example_preferences):
+    engine = ExecutionEngine(movie_db)
+    plan = _plan(movie_db, example_preferences)
+    a = engine.run(plan, "gbu")
+    b = engine.run(plan, "gbu")
+    assert a.stats.cost == b.stats.cost
+    assert a.stats.operators == b.stats.operators
+    assert a.stats.cost.get("total_io", 0) > 0
+
+
+def test_interleaved_strategies_stay_isolated(movie_db, example_preferences):
+    """Strategy A's counters must not leak into strategy B's stats."""
+    engine = ExecutionEngine(movie_db)
+    plan = _plan(movie_db, example_preferences)
+    baseline = {s: engine.run(plan, s).stats.cost for s in ("gbu", "ftp", "bu")}
+    interleaved = {}
+    for strategy in ("bu", "gbu", "ftp"):
+        interleaved[strategy] = engine.run(plan, strategy).stats.cost
+    for strategy, cost in interleaved.items():
+        assert cost == baseline[strategy], strategy
+
+
+def test_db_cost_still_accumulates_across_queries(movie_db, example_preferences):
+    """The database-wide accumulator keeps its historical meaning."""
+    engine = ExecutionEngine(movie_db)
+    plan = _plan(movie_db, example_preferences)
+    movie_db.cost.reset()
+    a = engine.run(plan, "gbu")
+    after_one = movie_db.cost.snapshot()
+    b = engine.run(plan, "gbu")
+    after_two = movie_db.cost.snapshot()
+    assert after_one["total_io"] == a.stats.cost["total_io"]
+    assert after_two["total_io"] == a.stats.cost["total_io"] + b.stats.cost["total_io"]
+
+
+def test_mid_sequence_reset_does_not_corrupt_stats(movie_db, example_preferences):
+    """A db.cost.reset() between queries must not touch per-query stats."""
+    engine = ExecutionEngine(movie_db)
+    plan = _plan(movie_db, example_preferences)
+    first = engine.run(plan, "gbu")
+    movie_db.cost.reset()
+    second = engine.run(plan, "gbu")
+    assert first.stats.cost == second.stats.cost
+    assert second.stats.cost.get("total_io", 0) > 0

@@ -1,0 +1,174 @@
+"""Trace sinks and renderers: JSONL round-trips, profiles, EXPLAIN ANALYZE."""
+
+from __future__ import annotations
+
+import json
+
+from repro import Session, Tracer
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    Span,
+    profile,
+    read_jsonl,
+    render_profile,
+    render_trace,
+)
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import scan
+
+
+def _traced_run(db, example_preferences, strategy="gbu"):
+    plan = (
+        scan("MOVIES")
+        .natural_join(scan("GENRES"), db.catalog)
+        .prefer(example_preferences["p1"])
+        .top(3, by="score")
+        .build()
+    )
+    tracer = Tracer()
+    result = ExecutionEngine(db).run(plan, strategy, tracer=tracer)
+    return result, result.stats.trace
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def test_span_to_dict_from_dict_round_trip():
+    tracer = Tracer()
+    with tracer.span("parent", label="p") as parent:
+        parent.add("rows_out", 7)
+        parent.set("strategy", "gbu")
+        with tracer.span("child") as child:
+            child.add("scores", 3)
+
+    data = parent.to_dict()
+    restored = Span.from_dict(data)
+    assert restored.name == "parent" and restored.label == "p"
+    assert restored.counters == {"rows_out": 7}
+    assert restored.attrs == {"strategy": "gbu"}
+    assert [c.name for c in restored.children] == ["child"]
+    assert restored.children[0].counters == {"scores": 3}
+    # Times survive at millisecond-serialization precision.
+    assert abs(restored.wall_time - parent.wall_time) < 1e-6
+    # Empty optional sections are omitted from the JSON form.
+    assert "children" not in data["children"][0]
+    assert "attrs" not in data["children"][0]
+
+
+def test_jsonl_sink_round_trip(tmp_path, movie_db, example_preferences):
+    path = tmp_path / "traces.jsonl"
+    sink = JsonlSink(str(path))
+    for strategy in ("gbu", "ftp"):
+        result, trace = _traced_run(movie_db, example_preferences, strategy)
+        sink.write(trace, meta={"strategy": strategy, "rows": result.stats.rows})
+
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {"meta", "trace"}
+
+    pairs = read_jsonl(str(path))
+    assert [meta["strategy"] for meta, _ in pairs] == ["gbu", "ftp"]
+    for meta, span in pairs:
+        assert span.name == "query"
+        # Round-tripped counters still match the recorded cardinality.
+        assert span.counters["rows_out"] == meta["rows"]
+        assert span.find(f"execute:{meta['strategy']}") is not None
+
+
+def test_jsonl_sink_appends_and_creates_directories(tmp_path):
+    path = tmp_path / "nested" / "dir" / "t.jsonl"
+    sink = JsonlSink(str(path))
+    tracer = Tracer()
+    with tracer.span("a") as span:
+        pass
+    sink.write(span)
+    sink.write(span, meta={"n": 2})
+    assert len(read_jsonl(str(path))) == 2
+
+
+def test_in_memory_sink_collects_records(movie_db, example_preferences):
+    sink = InMemorySink()
+    _, trace = _traced_run(movie_db, example_preferences)
+    sink.write(trace, meta={"k": 1})
+    sink.write(trace)
+    assert len(sink) == 2
+    metas = [meta for meta, _ in sink]
+    assert metas == [{"k": 1}, {}]
+    assert all(span is trace for _, span in sink)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_trace_shows_counters_and_times(movie_db, example_preferences):
+    _, trace = _traced_run(movie_db, example_preferences)
+    text = render_trace(trace)
+    lines = text.splitlines()
+    assert lines[0].startswith("query gbu")
+    assert "rows_out=" in text
+    assert "scores=" in text
+    assert "ms]" in lines[0]
+    # Tree connectors mirror the plan printer's style.
+    assert any(line.lstrip().startswith(("├─", "└─")) for line in lines[1:])
+
+
+def test_profile_aggregates_by_operator(movie_db, example_preferences):
+    result, trace = _traced_run(movie_db, example_preferences)
+    cells = profile(trace)
+    assert cells["query"]["calls"] == 1
+    assert cells["query"]["rows_out"] == result.stats.rows
+    assert cells["query"]["wall_ms"] > 0
+    assert "execute:gbu" in cells
+    total_calls = sum(cell["calls"] for cell in cells.values())
+    assert total_calls == sum(1 for _ in trace.walk())
+
+
+def test_render_profile_table(movie_db, example_preferences):
+    _, trace = _traced_run(movie_db, example_preferences)
+    text = render_profile(trace)
+    lines = text.splitlines()
+    assert lines[0].split() == ["operator", "calls", "wall_ms", "cpu_ms", "rows_out"]
+    assert set(lines[1]) <= {"-", " "}
+    # Sorted by wall time: the synthetic root comes first (inclusive times).
+    assert lines[2].startswith("query")
+
+
+def test_explain_analyze_handles_missing_trace(movie_db, example_preferences):
+    from repro.plan.printer import explain_analyze
+
+    result, trace = _traced_run(movie_db, example_preferences)
+    with_trace = explain_analyze(result.executed_plan, trace)
+    assert "execution trace:" in with_trace
+    without = explain_analyze(result.executed_plan, None)
+    assert "no trace recorded" in without
+
+
+def test_bench_measure_records_tracer_overhead(movie_db, example_preferences):
+    from repro.bench.harness import Measurement, measure, tracer_overhead
+
+    session = Session(movie_db)
+    session.register_all(example_preferences.values())
+    sql = "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING p1 TOP 3 BY score"
+
+    plain = measure(session, sql, "gbu", repeats=1)
+    assert isinstance(plain, Measurement)
+    assert not plain.traced and plain.trace is None and plain.trace_overhead_pct is None
+
+    sink = InMemorySink()
+    traced = measure(session, sql, "gbu", repeats=1, trace=True, trace_sink=sink)
+    assert traced.trace is not None and traced.trace.name == "query"
+    assert traced.trace_overhead_pct is not None
+    assert len(sink) == 1
+    meta = sink.records[0][0]
+    assert meta["strategy"] == "gbu" and "wall_ms_traced" in meta
+
+    overhead = tracer_overhead(session, sql, "gbu", repeats=2)
+    assert set(overhead) == {"untraced_ms", "traced_ms", "overhead_pct"}
+    assert overhead["untraced_ms"] > 0 and overhead["traced_ms"] > 0

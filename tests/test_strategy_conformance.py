@@ -1,0 +1,195 @@
+"""Cross-strategy conformance: every physical strategy equals the oracle.
+
+Three query sources, ≥50 generated queries total:
+
+* the six Table II workload queries over the tiny synthetic IMDB/DBLP sets;
+* 50 deterministically generated random plans over the example movie
+  database (random join chains, selections, prefer placements, filtering
+  suffixes — the same space the Hypothesis fuzzer samples, but with a fixed
+  seed corpus so CI failures reproduce bit-for-bit);
+* prefgen-manufactured preferences of controlled selectivity over the
+  synthetic IMDB set.
+
+On divergence the failing strategy is re-run under a collecting tracer and
+the assertion message carries its full per-operator trace.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Tracer
+from repro.core.preference import Preference
+from repro.core.scoring import ConstantScore, around_score, rating_score, recency_score
+from repro.engine.expressions import TRUE, cmp, eq
+from repro.obs import render_trace
+from repro.pexec.engine import ExecutionEngine
+from repro.plan.builder import natural_join_condition
+from repro.plan.nodes import Join, LeftJoin, Prefer, Relation, Select, TopK
+from repro.workloads.prefgen import (
+    equality_preference,
+    preference_pool,
+    range_preference,
+)
+from repro.workloads.queries import all_queries
+
+from tests.conftest import build_movie_db
+
+PHYSICAL = ("gbu", "bu", "ftp", "plugin-rma", "plugin-shared")
+
+MOVIE_DB = build_movie_db()
+MOVIE_ENGINE = ExecutionEngine(MOVIE_DB)
+
+
+def _trace_of(run, strategy) -> str:
+    """Re-run the divergent strategy under a tracer and render its trace."""
+    tracer = Tracer()
+    try:
+        run(strategy, tracer)
+    except Exception as err:  # trace collection must never mask the diff
+        return f"(re-run under tracer failed: {err})"
+    return render_trace(tracer.root)
+
+
+def _assert_conformant(run, plan_repr: str) -> None:
+    """``run(strategy, tracer=None)`` must match the reference for all strategies."""
+    reference = run("reference", None)
+    for strategy in PHYSICAL:
+        result = run(strategy, None)
+        if not result.relation.same_contents(reference.relation):
+            trace = _trace_of(run, strategy)
+            raise AssertionError(
+                f"{strategy} diverged from reference on {plan_repr}\n"
+                f"reference: {len(reference.relation)} rows, "
+                f"{strategy}: {len(result.relation)} rows\n"
+                f"trace of divergent run:\n{trace}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Workload queries (Table II) over the tiny synthetic data sets
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload_query", all_queries(), ids=lambda q: q.name)
+def test_workload_queries_conform(workload_query, imdb_tiny, dblp_tiny):
+    db = imdb_tiny if workload_query.dataset == "imdb" else dblp_tiny
+    session = workload_query.session(db)
+    compiled = session.compile(workload_query.sql)
+
+    def run(strategy, tracer):
+        return session.execute(compiled, strategy=strategy, tracer=tracer)
+
+    _assert_conformant(run, workload_query.name)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic random plans (the fixed seed corpus)
+# ---------------------------------------------------------------------------
+
+CHAIN = ("MOVIES", "GENRES", "DIRECTORS", "RATINGS")
+
+CONDITIONS = {
+    "MOVIES": [
+        cmp("MOVIES.year", ">=", 2005),
+        cmp("MOVIES.duration", "<", 125),
+        eq("MOVIES.m_id", 3),
+        TRUE,
+    ],
+    "GENRES": [eq("GENRES.genre", "Comedy"), eq("GENRES.genre", "Drama"), TRUE],
+    "DIRECTORS": [eq("DIRECTORS.d_id", 1), TRUE],
+    "RATINGS": [cmp("RATINGS.votes", ">", 100), cmp("RATINGS.rating", ">=", 7.0), TRUE],
+}
+
+SCORINGS = {
+    "MOVIES": [recency_score("MOVIES.year", 2011), around_score("MOVIES.duration", 120)],
+    "GENRES": [ConstantScore(0.8), ConstantScore(0.3)],
+    "DIRECTORS": [ConstantScore(0.9)],
+    "RATINGS": [rating_score("RATINGS.rating"), ConstantScore(0.6)],
+}
+
+
+def generated_plan(seed: int):
+    """One deterministic random plan in the fuzzer's sample space."""
+    rng = random.Random(seed)
+    names = CHAIN[: rng.randint(1, len(CHAIN))]
+    plan = Relation(names[0])
+    for name in names[1:]:
+        right = Relation(name)
+        condition = natural_join_condition(MOVIE_DB.catalog, plan, right)
+        join_cls = Join if rng.random() < 0.7 else LeftJoin
+        plan = join_cls(plan, right, condition)
+    if rng.random() < 0.5:
+        relation = rng.choice(names)
+        plan = Select(plan, rng.choice(CONDITIONS[relation]))
+    for number in range(rng.randint(0, 3)):
+        relation = rng.choice(names)
+        preference = Preference(
+            f"gen{seed}.{number}[{relation}]",
+            relation,
+            rng.choice(CONDITIONS[relation]),
+            rng.choice(SCORINGS[relation]),
+            round(rng.uniform(0.1, 1.0), 3),
+        )
+        plan = Prefer(plan, preference)
+    suffix = rng.choice(["none", "topk", "conf", "score-topk"])
+    if suffix in ("conf", "score-topk"):
+        plan = Select(plan, cmp("conf", ">=", rng.choice([0.2, 0.5, 0.9])))
+    if suffix in ("topk", "score-topk"):
+        plan = TopK(plan, rng.randint(1, 6), rng.choice(["score", "conf"]))
+    return plan
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_generated_plans_conform(seed):
+    plan = generated_plan(seed)
+
+    def run(strategy, tracer):
+        return MOVIE_ENGINE.run(plan, strategy, tracer=tracer)
+
+    _assert_conformant(run, repr(plan))
+
+
+# ---------------------------------------------------------------------------
+# prefgen preferences of controlled selectivity over synthetic IMDB
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("selectivity", [0.05, 0.2, 0.5])
+def test_prefgen_selectivity_queries_conform(imdb_tiny, selectivity):
+    engine = ExecutionEngine(imdb_tiny)
+    genre = equality_preference(imdb_tiny, "GENRES", "genre", selectivity)
+    years = range_preference(imdb_tiny, "MOVIES", "year", selectivity)
+    movies = Relation("MOVIES")
+    genres = Relation("GENRES")
+    plan = Join(
+        movies, genres, natural_join_condition(imdb_tiny.catalog, movies, genres)
+    )
+    plan = TopK(Prefer(Prefer(plan, genre), years), 10, "score")
+
+    def run(strategy, tracer):
+        return engine.run(plan, strategy, tracer=tracer)
+
+    _assert_conformant(run, f"prefgen selectivity={selectivity}")
+
+
+@pytest.mark.parametrize("count", [2, 4, 6])
+def test_prefgen_pool_queries_conform(imdb_tiny, count):
+    engine = ExecutionEngine(imdb_tiny)
+    pool = preference_pool(imdb_tiny, count, selectivity=0.1)
+    movies = Relation("MOVIES")
+    genres = Relation("GENRES")
+    plan = Join(
+        movies, genres, natural_join_condition(imdb_tiny.catalog, movies, genres)
+    )
+    for preference in pool:
+        if set(preference.relations) <= {"MOVIES", "GENRES"}:
+            plan = Prefer(plan, preference)
+    plan = TopK(plan, 10, "score")
+
+    def run(strategy, tracer):
+        return engine.run(plan, strategy, tracer=tracer)
+
+    _assert_conformant(run, f"prefgen pool |λ|={count}")

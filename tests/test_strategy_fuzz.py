@@ -87,18 +87,33 @@ def plans(draw):
     return plan
 
 
+def _divergence_trace(plan, strategy) -> str:
+    """Re-run the divergent strategy under a tracer for the failure report."""
+    from repro import Tracer
+    from repro.obs import render_trace
+
+    tracer = Tracer()
+    try:
+        ENGINE.run(plan, strategy, tracer=tracer)
+    except Exception as err:  # tracing must never mask the divergence itself
+        return f"(re-run under tracer failed: {err})"
+    return render_trace(tracer.root)
+
+
 @settings(
-    max_examples=120,
+    max_examples=150,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(plans())
 def test_all_strategies_match_reference(plan):
+    """Fuzzing companion to the fixed seed corpus in test_strategy_conformance."""
     reference = ENGINE.run(plan, "reference")
     for strategy in PHYSICAL:
         result = ENGINE.run(plan, strategy)
         assert result.relation.same_contents(reference.relation), (
-            f"{strategy} diverged on plan {plan!r}"
+            f"{strategy} diverged on plan {plan!r}\n"
+            f"trace of divergent run:\n{_divergence_trace(plan, strategy)}"
         )
 
 
