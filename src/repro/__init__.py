@@ -59,7 +59,14 @@ from .engine import (
     eq,
     lit,
 )
-from .errors import ReproError
+from .errors import ReproError, RewriteViolation
+from .analysis_static import (
+    Diagnostic,
+    PlanVerifier,
+    RewriteAuditor,
+    Severity,
+    verify_plan,
+)
 from .core.context import ContextualPreference, active_preferences
 from .filtering import (
     PreferenceRelation,
@@ -143,4 +150,11 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "use_tracer",
+    # static analysis
+    "Diagnostic",
+    "Severity",
+    "PlanVerifier",
+    "RewriteAuditor",
+    "RewriteViolation",
+    "verify_plan",
 ]

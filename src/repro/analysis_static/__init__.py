@@ -1,0 +1,34 @@
+"""Static analysis over extended query plans and over the code base itself.
+
+Three layers (see ``docs/STATIC_ANALYSIS.md``):
+
+* :mod:`~repro.analysis_static.verifier` — a dataflow pass over plan trees
+  that checks the algebraic preconditions of the paper's rewrite properties
+  (4.1–4.4) *before* execution: score-filter placement, prefer pushdown
+  targets, chain ordering, set-operation compatibility.
+* :mod:`~repro.analysis_static.auditor` — invariant-preservation checks on
+  each (before, after) pair the optimizer produces; the optimizer's strict
+  mode raises :class:`~repro.errors.RewriteViolation` on any failure.
+* :mod:`~repro.analysis_static.lint` — an AST-based checker over the source
+  tree (``python -m repro.lint src``) enforcing repo invariants: no raw
+  ``==`` on scores, no ⊥-pair literals outside ``scorepair.py``, exhaustive
+  plan-node dispatch, law-checked aggregate registration.
+"""
+
+from .auditor import RewriteAuditor
+from .diagnostics import CATALOG, Diagnostic, Severity, make_diagnostic
+from .lint import LintFinding, lint_paths, run_lint
+from .verifier import PlanVerifier, verify_plan
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "Severity",
+    "make_diagnostic",
+    "PlanVerifier",
+    "verify_plan",
+    "RewriteAuditor",
+    "LintFinding",
+    "lint_paths",
+    "run_lint",
+]

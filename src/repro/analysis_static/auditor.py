@@ -1,0 +1,148 @@
+"""Rewrite auditor: invariant-preservation checks on optimizer rule fires.
+
+Every time an optimizer rule changes a plan, the (before, after) pair is
+audited for the invariants any sound rewrite must preserve:
+
+* **RW001** — the rewrite must not introduce *new* verifier errors: the
+  multiset of error-severity diagnostic codes on the output must be a
+  subset of the input's (a rule may fix problems, never create them);
+* **RW002** — the root's attribute-name *set* must not change (join
+  reordering may permute columns, so order is not compared);
+* **RW003** — the multiset of preferences evaluated by the plan must not
+  change (a dropped or duplicated prefer changes scores);
+* **RW004** — the multiset of base-relation leaves must not change.
+
+The optimizer's strict mode raises :class:`~repro.errors.RewriteViolation`
+carrying these diagnostics; the default mode records them on the rule's
+tracer span (see ``optimize.rule`` spans in :mod:`repro.optimizer`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..engine.catalog import Catalog
+from ..errors import ReproError
+from ..plan.nodes import PlanNode, Relation
+from .diagnostics import Diagnostic, Severity, make_diagnostic
+from .verifier import PlanVerifier
+
+
+class RewriteAuditor:
+    """Checks one (before, after) rewrite pair for invariant preservation."""
+
+    def __init__(self, catalog: Catalog, *, default_aggregate=None):
+        self.catalog = catalog
+        self.default_aggregate = default_aggregate
+
+    def audit(
+        self, rule_name: str, before: PlanNode, after: PlanNode
+    ) -> list[Diagnostic]:
+        """Returns the violations *after* exhibits relative to *before*."""
+        out: list[Diagnostic] = []
+        verifier = PlanVerifier(
+            self.catalog, default_aggregate=self.default_aggregate
+        )
+        errors_before = _error_codes(verifier.verify(before))
+        findings_after = verifier.verify(after)
+        errors_after = _error_codes(findings_after)
+
+        introduced = errors_after - errors_before
+        if introduced:
+            detail = "; ".join(
+                str(d)
+                for d in findings_after
+                if d.severity is Severity.ERROR and introduced[d.code] > 0
+            )
+            out.append(
+                make_diagnostic(
+                    "RW001",
+                    f"rule introduced new verifier errors "
+                    f"({_render_counter(introduced)}): {detail}",
+                    where=rule_name,
+                )
+            )
+
+        # Schema comparison only makes sense when both sides resolve.
+        if not errors_before and not errors_after:
+            attrs_before = _root_attributes(before, self.catalog)
+            attrs_after = _root_attributes(after, self.catalog)
+            if (
+                attrs_before is not None
+                and attrs_after is not None
+                and attrs_before != attrs_after
+            ):
+                lost = sorted(attrs_before - attrs_after)
+                gained = sorted(attrs_after - attrs_before)
+                out.append(
+                    make_diagnostic(
+                        "RW002",
+                        "rule changed the plan's output attributes: "
+                        f"lost {lost or '[]'}, gained {gained or '[]'}",
+                        where=rule_name,
+                    )
+                )
+
+        prefs_before = Counter(before.preferences())
+        prefs_after = Counter(after.preferences())
+        if prefs_before != prefs_after:
+            out.append(
+                make_diagnostic(
+                    "RW003",
+                    "rule changed the preference multiset: "
+                    f"lost {_render_names(prefs_before - prefs_after)}, "
+                    f"gained {_render_names(prefs_after - prefs_before)}",
+                    where=rule_name,
+                )
+            )
+
+        leaves_before = _relation_leaves(before)
+        leaves_after = _relation_leaves(after)
+        if leaves_before != leaves_after:
+            out.append(
+                make_diagnostic(
+                    "RW004",
+                    "rule changed the base-relation multiset: "
+                    f"lost {_render_counter(leaves_before - leaves_after)}, "
+                    f"gained {_render_counter(leaves_after - leaves_before)}",
+                    where=rule_name,
+                )
+            )
+        return out
+
+
+def _error_codes(diagnostics: list[Diagnostic]) -> Counter:
+    return Counter(d.code for d in diagnostics if d.severity is Severity.ERROR)
+
+
+def _root_attributes(plan: PlanNode, catalog: Catalog) -> frozenset[str] | None:
+    try:
+        return frozenset(a.lower() for a in plan.schema(catalog).attribute_names)
+    except ReproError:
+        return None
+
+
+def _relation_leaves(plan: PlanNode) -> Counter:
+    return Counter(
+        (node.name, node.alias)
+        for node in plan.walk()
+        if isinstance(node, Relation)
+    )
+
+
+def _render_counter(counter: Counter) -> str:
+    if not counter:
+        return "[]"
+    return ", ".join(
+        f"{key}×{count}" if count > 1 else f"{key}"
+        for key, count in sorted(counter.items(), key=lambda kv: str(kv[0]))
+    )
+
+
+def _render_names(counter: Counter) -> str:
+    if not counter:
+        return "[]"
+    return ", ".join(
+        f"{pref.name}×{count}" if count > 1 else pref.name
+        for pref, count in sorted(counter.items(), key=lambda kv: kv[0].name)
+    )

@@ -1,0 +1,373 @@
+"""AST-based source lint enforcing repo-wide algebraic-safety invariants.
+
+Run as ``python -m repro.lint [paths...]`` (default: the installed ``repro``
+package).  Rules (catalog codes LN1xx, see ``docs/STATIC_ANALYSIS.md``):
+
+* **LN101** — no raw ``==`` / ``!=`` where an operand is a score value
+  (a name ending in ``score``): combined scores are floats built from
+  arithmetic, so exact comparison is a latent bug; use
+  :func:`repro.core.scorepair.scores_close` or ``ScorePair.approx_equal``.
+* **LN102** — no literal ⊥-pair construction (``ScorePair(None, ...)`` /
+  ``pair(BOTTOM, ...)``) outside ``core/scorepair.py``: use the
+  ``IDENTITY`` constant or the ``bottom()`` helper so the representation
+  of ⊥ stays a single-module decision.
+* **LN103** — strict plan-node dispatchers (a function whose last statement
+  raises, after ``isinstance`` checks over several ``PlanNode`` subclasses)
+  must cover *every* concrete subclass; a new node class added to
+  ``plan/nodes.py`` then shows up as a lint error in every visitor that
+  does not handle it.
+* **LN104** — the aggregate registry in ``core/aggregates.py`` may only be
+  mutated through :func:`repro.core.aggregates.register_aggregate`, which
+  law-checks the function first.
+* **LN105** — every registered aggregate function must satisfy Definition
+  3's laws (associativity, commutativity, identity ``⟨⊥,0⟩``); checked by
+  re-running the law suite against the live registry.
+
+Suppression: append ``# noqa: LN103`` (or a comma-separated code list, or a
+bare ``# noqa``) to the reported line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+#: ``# noqa`` / ``# noqa: LN101, LN103`` at end of line.
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Minimum number of distinct concrete plan classes an isinstance chain must
+#: mention before LN103 treats the function as a plan-node dispatcher.
+_DISPATCH_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint rule violation at a source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Plan-node class discovery (LN103)
+# ---------------------------------------------------------------------------
+
+
+def _plan_class_coverage() -> tuple[frozenset[str], dict[str, frozenset[str]]]:
+    """Returns (all concrete PlanNode class names, name -> concrete names it
+    covers in an isinstance check).  Discovered dynamically so the lint rule
+    tracks ``plan/nodes.py`` without a hand-maintained list."""
+    from ..plan.nodes import PlanNode
+
+    coverage: dict[str, frozenset[str]] = {}
+
+    def collect(cls: type) -> set[str]:
+        covered: set[str] = set()
+        if cls is not PlanNode and not cls.__name__.startswith("_"):
+            covered.add(cls.__name__)
+        for sub in cls.__subclasses__():
+            covered |= collect(sub)
+        coverage[cls.__name__] = frozenset(covered)
+        return covered
+
+    concrete = frozenset(collect(PlanNode))
+    return concrete, coverage
+
+
+# ---------------------------------------------------------------------------
+# Per-file AST checks
+# ---------------------------------------------------------------------------
+
+
+def _is_score_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name.lower().endswith("score")
+
+
+def _callee_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_bottom_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    return _callee_name(node) == "BOTTOM" or (
+        isinstance(node, ast.Name) and node.id == "BOTTOM"
+    )
+
+
+def _isinstance_class_names(tree: ast.AST) -> set[str]:
+    """All class names mentioned as the second argument of ``isinstance``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        spec = node.args[1]
+        candidates = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        for candidate in candidates:
+            name = _callee_name(candidate) or (
+                candidate.id if isinstance(candidate, ast.Name) else None
+            )
+            if name:
+                names.add(name)
+    return names
+
+
+class _FileChecker(ast.NodeVisitor):
+    def __init__(self, path: str, concrete: frozenset[str], coverage: dict[str, frozenset[str]]):
+        self.path = path
+        self.concrete = concrete
+        self.coverage = coverage
+        self.findings: list[LintFinding] = []
+        self._function_stack: list[str] = []
+        normalized = path.replace(os.sep, "/")
+        self.is_scorepair = normalized.endswith("core/scorepair.py")
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, getattr(node, "lineno", 0), code, message)
+        )
+
+    # -- LN101: raw equality on scores --------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_score_name(operands[index]) or _is_score_name(operands[index + 1])
+            ):
+                self._report(
+                    node,
+                    "LN101",
+                    "raw == / != on a score value; use scores_close() or "
+                    "ScorePair.approx_equal (floats from combined pairs)",
+                )
+        self.generic_visit(node)
+
+    # -- LN102: ⊥-pair literals ---------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.is_scorepair and _callee_name(node.func) in ("ScorePair", "pair"):
+            first_arg: ast.AST | None = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "score":
+                    first_arg = keyword.value
+            if first_arg is not None and _is_bottom_literal(first_arg):
+                self._report(
+                    node,
+                    "LN102",
+                    "literal ⊥ score-pair construction outside core/scorepair.py; "
+                    "use IDENTITY or bottom()",
+                )
+        self.generic_visit(node)
+
+    # -- LN103: exhaustive plan-node dispatch -------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_dispatch(node)
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_dispatch(self, node: ast.FunctionDef) -> None:
+        last = node.body[-1]
+        if not isinstance(last, ast.Raise):
+            return
+        mentioned = _isinstance_class_names(node)
+        covered: set[str] = set()
+        for name in mentioned:
+            covered |= self.coverage.get(name, frozenset())
+        if len(covered) < _DISPATCH_THRESHOLD:
+            return
+        missing = sorted(self.concrete - covered)
+        if missing:
+            self.findings.append(
+                LintFinding(
+                    self.path,
+                    last.lineno,
+                    "LN103",
+                    f"strict plan-node dispatch in {node.name}() misses "
+                    f"{', '.join(missing)}; handle them or fall through "
+                    "without raising",
+                )
+            )
+
+    # -- LN104: registry mutation -------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_registry_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_registry_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_registry_target(target, node)
+        self.generic_visit(node)
+
+    def _check_registry_target(self, target: ast.AST, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and _registry_ref(target.value)
+            and not self._inside_registrar()
+        ):
+            self._report(
+                node,
+                "LN104",
+                "aggregate registry mutated directly; go through "
+                "register_aggregate() so the laws are checked",
+            )
+
+    def _inside_registrar(self) -> bool:
+        return "register_aggregate" in self._function_stack
+
+    def _check_registry_method(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("update", "setdefault", "pop", "clear")
+            and _registry_ref(func.value)
+            and not self._inside_registrar()
+        ):
+            self._report(
+                node,
+                "LN104",
+                f"aggregate registry mutated via .{func.attr}(); go through "
+                "register_aggregate() so the laws are checked",
+            )
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._check_registry_method(node)
+        super().generic_visit(node)
+
+
+def _registry_ref(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Name) and node.id == "_REGISTRY") or (
+        isinstance(node, ast.Attribute) and node.attr == "_REGISTRY"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def _suppressed_codes(source_line: str) -> set[str] | None:
+    """Codes suppressed on this line; empty set means "suppress everything"."""
+    match = _NOQA.search(source_line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return set()
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+def lint_source(path: str, source: str) -> list[LintFinding]:
+    """Lint one file's text; applies ``# noqa`` suppressions."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [LintFinding(path, err.lineno or 0, "LN100", f"syntax error: {err.msg}")]
+    concrete, coverage = _plan_class_coverage()
+    checker = _FileChecker(path, concrete, coverage)
+    checker.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in checker.findings:
+        line = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        suppressed = _suppressed_codes(line)
+        if suppressed is not None and (not suppressed or finding.code in suppressed):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _iter_python_files(paths: list[str]):
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        elif path.endswith(".py"):
+            yield path
+
+
+def _check_registered_aggregates() -> list[LintFinding]:
+    """LN105: re-run the Definition 3 law suite against the live registry."""
+    from ..core import aggregates
+
+    findings = []
+    for message in aggregates.verify_registered_aggregates():
+        findings.append(LintFinding(aggregates.__file__, 0, "LN105", message))
+    return findings
+
+
+def lint_paths(paths: list[str], *, check_aggregates: bool = True) -> list[LintFinding]:
+    """Lint every ``.py`` file under *paths* plus the semantic checks."""
+    findings: list[LintFinding] = []
+    for filename in _iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            findings.extend(lint_source(filename, handle.read()))
+    if check_aggregates:
+        findings.extend(_check_registered_aggregates())
+    return findings
+
+
+def run_lint(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (0 = clean)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="algebraic-safety lint for the repro source tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths
+    if not paths:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = [package_root]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+main = run_lint

@@ -1,0 +1,362 @@
+"""Static plan verifier: a dataflow pass over extended query plans.
+
+The verifier walks a plan tree bottom-up computing, per node, two facts —
+the output *schema* (attribute provenance) and whether the subtree
+*evaluates any preference* (the score/conf "taint") — and checks the
+algebraic preconditions the optimizer's rewrites rely on (Properties
+4.1–4.4) plus basic well-formedness, without executing anything:
+
+* filtering operators (``score``/``conf`` selections, ``TopK``) must sit
+  *above* every prefer operator — a prefer above them would rescore tuples
+  the filter already judged (PV101/PV102, Property 4.1);
+* a pushed-down prefer must resolve all of its attributes in its input
+  (PV103) and unambiguously belong to that input of a binary operator
+  (PV104, Property 4.4);
+* prefer chains should be ordered by ascending selectivity (PV105,
+  Property 4.3 — opt-in, meaningful only for optimized plans);
+* set-operation inputs must be union-compatible (PV106);
+* score-bearing paths must reach the root through F-combining operators:
+  a prefer in the discarded input of a difference (PV107) or the
+  unpreserved input of a left outer join (PV109) wastes its scores;
+* all prefer operators must agree on one aggregate function F (PV108 —
+  Properties 4.3/4.4 assume a single F per query).
+
+Schemas are derived manually from child facts rather than via
+``node.schema(catalog)`` so one broken subtree yields one diagnostic
+instead of a cascade at every ancestor.
+"""
+
+from __future__ import annotations
+
+from ..core.preference import Preference
+from ..engine.cardinality import estimate_condition_selectivity
+from ..engine.catalog import Catalog
+from ..engine.expressions import Expr
+from ..engine.schema import RESERVED_ATTRS, TableSchema
+from ..errors import PlanError, ReproError, SchemaError
+from ..plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from .diagnostics import Diagnostic, make_diagnostic
+
+#: Selectivity slack below which two chain neighbours count as ordered.
+_CHAIN_TOLERANCE = 1e-9
+
+
+def _base_name(attr: str) -> str:
+    return attr.rsplit(".", 1)[-1].lower()
+
+
+class PlanVerifier:
+    """Checks one plan tree against the invariants listed in the module doc.
+
+    ``ordered_chains`` enables the PV105 chain-order check; leave it off for
+    plans as written by the user (the parser emits chains in declaration
+    order) and turn it on for optimizer output.  ``default_aggregate`` is the
+    query-level F that per-node overrides must match (PV108).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        ordered_chains: bool = False,
+        default_aggregate=None,
+    ):
+        self.catalog = catalog
+        self.ordered_chains = ordered_chains
+        self.default_aggregate = default_aggregate
+        self._diagnostics: list[Diagnostic] = []
+
+    def verify(self, plan: PlanNode) -> list[Diagnostic]:
+        """Run every check; returns the findings in discovery order."""
+        self._diagnostics = []
+        self._visit(plan, prefer_above=False)
+        self._check_aggregate_agreement(plan)
+        if self.ordered_chains:
+            self._check_chain_order(plan)
+        return self._diagnostics
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(self, code: str, message: str, node: PlanNode) -> None:
+        self._diagnostics.append(make_diagnostic(code, message, where=node.label()))
+
+    # -- the dataflow pass --------------------------------------------------
+
+    def _visit(
+        self, node: PlanNode, prefer_above: bool
+    ) -> tuple[TableSchema | None, bool]:
+        """Returns (output schema or None if unresolvable, subtree has a Prefer)."""
+        if isinstance(node, Relation):
+            try:
+                return node.schema(self.catalog), False
+            except ReproError as err:
+                self._report("PV100", str(err), node)
+                return None, False
+
+        if isinstance(node, Materialized):
+            return node.schema(self.catalog), False
+
+        if isinstance(node, Select):
+            filters_scores = node.condition.references_score()
+            if filters_scores and prefer_above:
+                self._report(
+                    "PV101",
+                    "selection references score/conf but a prefer operator "
+                    "above it would rescore the surviving tuples "
+                    "(Property 4.1: score filters are post-filters)",
+                    node,
+                )
+            schema, has_prefer = self._visit(node.child, prefer_above)
+            if filters_scores and not has_prefer:
+                self._report(
+                    "PV110",
+                    "selection filters on score/conf but its input evaluates "
+                    "no preference: every pair is the default ⟨⊥,0⟩",
+                    node,
+                )
+            self._check_condition(node.condition, schema, node, allow_score=True)
+            return schema, has_prefer
+
+        if isinstance(node, Project):
+            child_schema, has_prefer = self._visit(node.child, prefer_above)
+            schema: TableSchema | None = None
+            if child_schema is not None:
+                try:
+                    schema = child_schema.project(node.attrs)
+                except SchemaError as err:
+                    self._report("PV100", str(err), node)
+            return schema, has_prefer
+
+        if isinstance(node, Prefer):
+            child_schema, _ = self._visit(node.child, True)
+            if child_schema is not None:
+                self._check_prefer_input(node.preference, child_schema, node)
+            return child_schema, True
+
+        if isinstance(node, (Join, LeftJoin)):
+            left_schema, left_prefer = self._visit(node.left, prefer_above)
+            right_schema, right_prefer = self._visit(node.right, prefer_above)
+            schema = None
+            if left_schema is not None and right_schema is not None:
+                try:
+                    schema = left_schema.join(right_schema)
+                except SchemaError as err:
+                    self._report("PV100", str(err), node)
+                self._check_owner_ambiguity(node.left, right_schema, node)
+                self._check_owner_ambiguity(node.right, left_schema, node)
+            self._check_condition(node.condition, schema, node, allow_score=False)
+            if isinstance(node, LeftJoin) and right_prefer:
+                self._report(
+                    "PV109",
+                    "prefer in the unpreserved (right) input of a left outer "
+                    "join: unmatched left tuples keep their own pair, so these "
+                    "scores are lost for them",
+                    node,
+                )
+            return schema, left_prefer or right_prefer
+
+        if isinstance(node, (Union, Intersect, Difference)):
+            left_schema, left_prefer = self._visit(node.left, prefer_above)
+            right_schema, right_prefer = self._visit(node.right, prefer_above)
+            if (
+                left_schema is not None
+                and right_schema is not None
+                and not left_schema.union_compatible(right_schema)
+            ):
+                self._report(
+                    "PV106",
+                    f"inputs are not union-compatible: "
+                    f"{left_schema._describe()} vs {right_schema._describe()}",
+                    node,
+                )
+            if isinstance(node, Difference) and right_prefer:
+                self._report(
+                    "PV107",
+                    "prefer in the subtracted (right) input of a difference: "
+                    "right-side pairs are discarded, so its scores never "
+                    "reach the root",
+                    node,
+                )
+            return left_schema, left_prefer or right_prefer
+
+        if isinstance(node, TopK):
+            if prefer_above:
+                self._report(
+                    "PV102",
+                    f"top-{node.k} by {node.by} below a prefer operator: the "
+                    "prefer above would rescore tuples after the cutoff "
+                    "(filtering must follow all preference evaluation)",
+                    node,
+                )
+            schema, has_prefer = self._visit(node.child, prefer_above)
+            if not has_prefer:
+                self._report(
+                    "PV110",
+                    f"top-{node.k} by {node.by} over an input that evaluates "
+                    "no preference: every pair is the default ⟨⊥,0⟩, making "
+                    "the cutoff arbitrary",
+                    node,
+                )
+            return schema, has_prefer
+
+        raise PlanError(f"plan verifier: unknown plan node {node!r}")
+
+    # -- per-check helpers --------------------------------------------------
+
+    def _check_condition(
+        self,
+        condition: Expr,
+        schema: TableSchema | None,
+        node: PlanNode,
+        allow_score: bool,
+    ) -> None:
+        if schema is None:
+            return  # the child already reported; don't cascade
+        for attr in sorted(condition.attributes()):
+            if _base_name(attr) in RESERVED_ATTRS:
+                if not allow_score:
+                    self._report(
+                        "PV100",
+                        f"{node.kind} condition references the reserved "
+                        f"attribute {attr!r}; only selections and top-k "
+                        "filter on pairs",
+                        node,
+                    )
+                continue
+            try:
+                schema.index_of(attr)
+            except SchemaError as err:
+                self._report("PV100", f"{node.kind} condition: {err}", node)
+
+    def _check_prefer_input(
+        self, preference: Preference, schema: TableSchema, node: PlanNode
+    ) -> None:
+        for attr in sorted(preference.attributes()):
+            if _base_name(attr) in RESERVED_ATTRS:
+                continue
+            try:
+                schema.index_of(attr)
+            except SchemaError as err:
+                self._report(
+                    "PV103",
+                    f"preference {preference.name!r} does not fit its input "
+                    f"(pushed to the wrong side?): {err}",
+                    node,
+                )
+
+    def _check_owner_ambiguity(
+        self, side: PlanNode, sibling_schema: TableSchema, parent: PlanNode
+    ) -> None:
+        """PV104: a prefer sitting on one input of a binary operator whose
+        attributes also resolve in the sibling input — Property 4.4 only
+        licenses the pushdown when exactly one input owns the attributes."""
+        node = side
+        while isinstance(node, Prefer):
+            attrs = node.preference.attributes()
+            shared = sorted(a for a in attrs if sibling_schema.has(a))
+            if attrs and shared:
+                self._report(
+                    "PV104",
+                    f"preference {node.preference.name!r} sits on one input of "
+                    f"{parent.kind} but {', '.join(shared)} also resolve(s) in "
+                    "the sibling input: the owning side is ambiguous "
+                    "(Property 4.4)",
+                    node,
+                )
+            node = node.child
+
+    def _check_aggregate_agreement(self, plan: PlanNode) -> None:
+        """PV108: the paper fixes one F per query; per-node overrides must
+        agree with each other and with the query default."""
+        overrides = [
+            node.aggregate
+            for node in plan.walk()
+            if isinstance(node, Prefer) and node.aggregate is not None
+        ]
+        if not overrides:
+            return
+        expected = self.default_aggregate if self.default_aggregate is not None else overrides[0]
+        conflicting = sorted({fn.name for fn in overrides if fn != expected})
+        if conflicting:
+            self._report(
+                "PV108",
+                f"prefer operators disagree on the aggregate function: "
+                f"expected {expected.name}, found {', '.join(conflicting)} "
+                "(Properties 4.3/4.4 assume a single F per query)",
+                plan,
+            )
+
+    def _check_chain_order(self, plan: PlanNode) -> None:
+        """PV105: each maximal prefer chain should run its most selective
+        conditional part first, i.e. ascending selectivity bottom-to-top."""
+        for head in self._chain_heads(plan):
+            chain: list[Prefer] = []
+            node: PlanNode = head
+            while isinstance(node, Prefer):
+                chain.append(node)
+                node = node.child
+            if len(chain) < 2:
+                continue
+            base = node
+            try:
+                ranked = [
+                    (
+                        estimate_condition_selectivity(
+                            p.preference.condition, base, self.catalog
+                        ),
+                        p,
+                    )
+                    for p in chain
+                ]
+            except ReproError:
+                continue  # unresolvable base: PV100 already covers it
+            # chain[] is top-down; execution order is bottom-up.
+            bottom_up = list(reversed(ranked))
+            for (lower_sel, lower), (upper_sel, upper) in zip(bottom_up, bottom_up[1:]):
+                if upper_sel < lower_sel - _CHAIN_TOLERANCE:
+                    self._report(
+                        "PV105",
+                        f"prefer chain out of selectivity order: "
+                        f"{upper.preference.name!r} (selectivity {upper_sel:.4g}) "
+                        f"runs after {lower.preference.name!r} "
+                        f"({lower_sel:.4g}); Property 4.3 wants ascending "
+                        "selectivity from the bottom up",
+                        head,
+                    )
+                    break
+
+    def _chain_heads(self, plan: PlanNode):
+        """Yield the topmost Prefer of every maximal prefer chain."""
+        if isinstance(plan, Prefer):
+            yield plan
+        for node in plan.walk():
+            for child in node.children():
+                if isinstance(child, Prefer) and not isinstance(node, Prefer):
+                    yield child
+
+
+def verify_plan(
+    plan: PlanNode,
+    catalog: Catalog,
+    *,
+    ordered_chains: bool = False,
+    default_aggregate=None,
+) -> list[Diagnostic]:
+    """Convenience wrapper: verify *plan* once and return the diagnostics."""
+    verifier = PlanVerifier(
+        catalog, ordered_chains=ordered_chains, default_aggregate=default_aggregate
+    )
+    return verifier.verify(plan)

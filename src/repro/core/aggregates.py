@@ -26,6 +26,18 @@ Zero-confidence corner: a known score with confidence 0 carries no evidence.
 To keep the laws exact, F_S treats such pairs as dominated by any pair with
 positive confidence; among themselves the larger score survives.  Both rules
 are symmetric and associative.
+
+Bottom corner: a ⟨⊥, c⟩ pair (a matched preference whose scoring function
+abstained) carries evidence but no score.  Two bottoms combine into one
+bottom pair — F_S sums their confidences, F_max/F_min keep the larger (the
+identity law forces a rule where ⟨⊥, 0⟩ is absorbed) — while a bottom next
+to a known score is dropped entirely: folding its confidence into the known
+pair would break associativity of the weighted mean.
+
+Registration: every aggregate enters the name registry through
+:func:`register_aggregate`, which first law-checks the instance over a
+deterministic sample pool (lint rule LN104 flags direct registry mutation,
+LN105 re-checks the live registry).
 """
 
 from __future__ import annotations
@@ -33,7 +45,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..errors import PreferenceError
-from .scorepair import IDENTITY, ScorePair
+from .scorepair import IDENTITY, ScorePair, bottom, pair
 
 
 class AggregateFunction:
@@ -68,8 +80,13 @@ class WeightedSum(AggregateFunction):
     name = "F_S"
 
     def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom and b.is_bottom:
+            # Evidence without scores accumulates: ⟨⊥,c1⟩ + ⟨⊥,c2⟩ = ⟨⊥,c1+c2⟩
+            # (returning IDENTITY here would violate the identity law for
+            # ⟨⊥, c>0⟩ inputs — confidence must survive the fold).
+            return bottom(a.conf + b.conf)
         if a.is_bottom:
-            return IDENTITY if b.is_bottom else b
+            return b
         if b.is_bottom:
             return a
         total_conf = a.conf + b.conf
@@ -95,8 +112,10 @@ class MaxConfidence(AggregateFunction):
     name = "F_max"
 
     def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom and b.is_bottom:
+            return bottom(max(a.conf, b.conf))
         if a.is_bottom:
-            return IDENTITY if b.is_bottom else b
+            return b
         if b.is_bottom:
             return a
         if (a.conf, a.score) >= (b.conf, b.score):
@@ -110,8 +129,11 @@ class MinConfidence(AggregateFunction):
     name = "F_min"
 
     def combine(self, a: ScorePair, b: ScorePair) -> ScorePair:
+        if a.is_bottom and b.is_bottom:
+            # max, not min: the identity law needs ⟨⊥, 0⟩ absorbed, not kept.
+            return bottom(max(a.conf, b.conf))
         if a.is_bottom:
-            return IDENTITY if b.is_bottom else b
+            return b
         if b.is_bottom:
             return a
         if (a.conf, -(a.score or 0.0)) <= (b.conf, -(b.score or 0.0)):
@@ -119,22 +141,45 @@ class MinConfidence(AggregateFunction):
         return b
 
 
-#: Default aggregate function, as assumed by the paper "for the sake of
-#: simplicity (and without loss of generality)".
-F_S = WeightedSum()
-F_MAX = MaxConfidence()
-F_MIN = MinConfidence()
+#: Name → instance registry; populate it only through
+#: :func:`register_aggregate` (enforced by lint rule LN104).
+_REGISTRY: dict[str, AggregateFunction] = {}
 
-_REGISTRY: dict[str, AggregateFunction] = {f.name.lower(): f for f in (F_S, F_MAX, F_MIN)}
-_REGISTRY.update({"sum": F_S, "max": F_MAX, "min": F_MIN, "weighted": F_S})
+
+def register_aggregate(
+    fn: AggregateFunction, *aliases: str, check: bool = True
+) -> AggregateFunction:
+    """Register *fn* under its name plus *aliases*, law-checking it first.
+
+    Raises :class:`~repro.errors.PreferenceError` when the instance violates
+    Definition 3 (associativity, commutativity, identity ``⟨⊥,0⟩``) over the
+    deterministic sample pool.  Returns *fn* so built-ins can be registered
+    at definition site.  ``check=False`` skips the laws — only for tests
+    that need a deliberately broken instance in the registry.
+    """
+    if check:
+        failures = failed_laws(fn)
+        if failures:
+            raise PreferenceError(
+                f"aggregate {fn.name!r} violates Definition 3: "
+                + "; ".join(failures)
+            )
+    for key in (fn.name, *aliases):
+        _REGISTRY[key.lower()] = fn
+    return fn
 
 
 def get_aggregate(name: str) -> AggregateFunction:
-    """Look up a built-in aggregate function by name (``F_S``, ``max``...)."""
+    """Look up a registered aggregate function by name (``F_S``, ``max``...)."""
     fn = _REGISTRY.get(name.lower())
     if fn is None:
         raise PreferenceError(f"unknown aggregate function {name!r}")
     return fn
+
+
+def registered_aggregates() -> dict[str, AggregateFunction]:
+    """A copy of the name → instance registry (for introspection/lint)."""
+    return dict(_REGISTRY)
 
 
 # ---------------------------------------------------------------------------
@@ -182,3 +227,83 @@ def check_laws(
                 if not check_associative(fn, a, b, c, tolerance):
                     return False
     return True
+
+
+#: Deterministic sample pool for registration-time law checking.  Covers the
+#: identity, a bottom pair carrying evidence (the F_S regression: its
+#: confidence must survive F(⟨⊥,0⟩, ·)), zero-confidence known scores, plain
+#: pairs, and an out-of-[0,1] confidence from summed combinations.
+LAW_SAMPLES: tuple[ScorePair, ...] = (
+    IDENTITY,
+    bottom(0.5),
+    pair(0.0, 0.0),
+    pair(1.0, 0.0),
+    pair(0.25, 0.5),
+    pair(0.5, 1.0),
+    pair(1.0, 1.0),
+    pair(0.75, 0.3),
+    pair(0.4, 2.5),
+)
+
+
+def failed_laws(
+    fn: AggregateFunction,
+    samples: Iterable[ScorePair] = LAW_SAMPLES,
+    tolerance: float = 1e-6,
+) -> list[str]:
+    """Names of the Definition 3 laws *fn* violates, with one witness each."""
+    pool = list(samples)
+    failures: list[str] = []
+    for a in pool:
+        if not check_identity(fn, a, tolerance):
+            failures.append(f"identity: F(⟨⊥,0⟩, {a!r}) ≠ {a!r}")
+            break
+    done = False
+    for a in pool:
+        for b in pool:
+            if not check_commutative(fn, a, b, tolerance):
+                failures.append(f"commutativity: F({a!r}, {b!r}) ≠ F({b!r}, {a!r})")
+                done = True
+                break
+        if done:
+            break
+    done = False
+    for a in pool:
+        for b in pool:
+            for c in pool:
+                if not check_associative(fn, a, b, c, tolerance):
+                    failures.append(
+                        f"associativity: F(F({a!r}, {b!r}), {c!r}) ≠ "
+                        f"F({a!r}, F({b!r}, {c!r}))"
+                    )
+                    done = True
+                    break
+            if done:
+                break
+        if done:
+            break
+    return failures
+
+
+def verify_registered_aggregates() -> list[str]:
+    """Law failures of every instance in the live registry (lint rule LN105)."""
+    out: list[str] = []
+    checked: list[AggregateFunction] = []
+    for fn in _REGISTRY.values():
+        if any(fn is seen for seen in checked):
+            continue
+        checked.append(fn)
+        for failure in failed_laws(fn):
+            out.append(f"registered aggregate {fn.name!r} ({type(fn).__name__}): {failure}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Built-in instances
+# ---------------------------------------------------------------------------
+
+#: Default aggregate function, as assumed by the paper "for the sake of
+#: simplicity (and without loss of generality)".
+F_S = register_aggregate(WeightedSum(), "sum", "weighted")
+F_MAX = register_aggregate(MaxConfidence(), "max")
+F_MIN = register_aggregate(MinConfidence(), "min")

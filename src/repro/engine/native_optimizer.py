@@ -77,7 +77,12 @@ def _push(plan: PlanNode, pending: list[Expr], catalog: Catalog) -> PlanNode:
         return _wrap(TopK(child, plan.k, plan.by), pending)
 
     if isinstance(plan, Join):
-        all_parts = pending + conjuncts(plan.condition)
+        # Score/conf conjuncts filter the pair a tuple carries *at this
+        # height*; folding them into the join condition would turn a pair
+        # filter into a join predicate.  They stay above the join.
+        blocked = [c for c in pending if c.references_score()]
+        passed = [c for c in pending if not c.references_score()]
+        all_parts = passed + conjuncts(plan.condition)
         left_schema = plan.left.schema(catalog)
         right_schema = plan.right.schema(catalog)
         left_parts: list[Expr] = []
@@ -95,7 +100,7 @@ def _push(plan: PlanNode, pending: list[Expr], catalog: Catalog) -> PlanNode:
                 join_parts.append(part)
         left = _push(plan.left, left_parts, catalog)
         right = _push(plan.right, right_parts, catalog)
-        return Join(left, right, conjoin(join_parts))
+        return _wrap(Join(left, right, conjoin(join_parts)), blocked)
 
     if isinstance(plan, LeftJoin):
         # Only conditions on the preserved (left) side may sink: filtering

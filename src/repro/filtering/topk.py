@@ -37,12 +37,18 @@ def row_sort_key(row: Row, order: Sequence[int]) -> tuple:
     )
 
 
+#: Ranking quantum: scores produced by algebraically equivalent fold orders
+#: (Property 4.3 lets strategies combine pairs in any order) differ by ULPs;
+#: quantizing the ranking value keeps those near-ties from flipping the cut.
+_RANK_DECIMALS = 9
+
+
 def rank_key(row: Row, pair: ScorePair, by: str, order: Sequence[int]) -> tuple:
     """Sort key: higher score/conf first, ⊥ last, ties broken by the row."""
     value = pair.score if by == "score" else pair.conf
     return (
         value is None,
-        -(value if value is not None else 0.0),
+        -round(value if value is not None else 0.0, _RANK_DECIMALS),
         row_sort_key(row, order),
     )
 

@@ -1,0 +1,14 @@
+"""Runnable alias: ``python -m repro.lint [paths...]``.
+
+The implementation lives in :mod:`repro.analysis_static.lint`; this module
+only provides the ``-m`` entry point.
+"""
+
+from .analysis_static.lint import LintFinding, lint_paths, lint_source, main, run_lint
+
+__all__ = ["LintFinding", "lint_paths", "lint_source", "main", "run_lint"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    import sys
+
+    sys.exit(main())

@@ -4,6 +4,16 @@ Applies the five heuristic transformation rules in order, then restructures
 the plan left-deep, matching the join order the native optimizer would pick.
 Individual rules can be disabled through :class:`OptimizerConfig` — the
 heuristics-ablation benchmark uses this to measure each rule's contribution.
+
+Every rule fire can be audited by the static rewrite auditor
+(:mod:`repro.analysis_static.auditor`): the (before, after) pair is checked
+for invariant preservation — no new verifier errors, unchanged output
+attributes, unchanged preference and relation multisets.  In **strict** mode
+any error-severity finding raises :class:`~repro.errors.RewriteViolation`;
+otherwise findings are recorded on the rule's tracer span (``diagnostics``
+attribute) and counted under ``optimizer.rewrite_violation``.  Without a
+collecting tracer and without strict mode, no auditing runs at all — the
+fast path is unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from dataclasses import dataclass
 
 from ..engine.cardinality import estimate_cardinality
 from ..engine.catalog import Catalog
+from ..errors import RewriteViolation
 from ..obs import current_tracer
 from ..plan.nodes import PlanNode
 from .leftdeep import left_deepen, match_native_join_order
@@ -48,17 +59,28 @@ class OptimizerConfig:
 class PreferenceOptimizer:
     """Rewrites extended query plans into more efficient equivalents."""
 
-    def __init__(self, catalog: Catalog, config: OptimizerConfig | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: OptimizerConfig | None = None,
+        *,
+        strict: bool = False,
+        default_aggregate=None,
+    ):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
+        self.strict = strict
+        self.default_aggregate = default_aggregate
 
     def optimize(self, plan: PlanNode, tracer=None) -> PlanNode:
         """Apply the enabled rules in order.
 
         Under a collecting tracer every rule gets an ``optimize.rule`` span
-        recording whether it fired (changed the plan), node counts, and the
-        estimated-cost delta; fired rules also bump the global
-        ``optimizer.rule_fired`` counter.  The no-op tracer path skips all
+        recording whether it fired (changed the plan), the estimated-cost
+        delta, and any audit diagnostics; fired rules also bump the global
+        ``optimizer.rule_fired`` counter.  Strict mode additionally raises
+        :class:`~repro.errors.RewriteViolation` on the first rule fire that
+        fails the rewrite auditor.  The no-tracer, non-strict path skips all
         of that, including the tree comparisons.
         """
         config = self.config
@@ -72,25 +94,48 @@ class PreferenceOptimizer:
         )
         if tracer is None:
             tracer = current_tracer()
-        if not tracer.enabled:
+        if not tracer.enabled and not self.strict:
             for _name, enabled, rule in rules:
                 if enabled:
                     plan = rule(plan, self.catalog)
             return plan
+
+        from ..analysis_static.auditor import RewriteAuditor
+        from ..analysis_static.diagnostics import Severity
+
+        auditor = RewriteAuditor(
+            self.catalog, default_aggregate=self.default_aggregate
+        )
         for name, enabled, rule in rules:
             if not enabled:
                 continue
             with tracer.span("optimize.rule", label=name) as span:
-                cost_before = estimated_plan_cost(plan, self.catalog)
-                rewritten = rule(plan, self.catalog)
+                if tracer.enabled:
+                    cost_before = estimated_plan_cost(plan, self.catalog)
+                diagnostics = []
+                if rule is push_projections:
+                    rewritten = push_projections(plan, self.catalog, diagnostics)
+                else:
+                    rewritten = rule(plan, self.catalog)
                 fired = rewritten != plan
                 span.set("fired", fired)
                 if fired:
                     tracer.count("optimizer.rule_fired")
-                    cost_after = estimated_plan_cost(rewritten, self.catalog)
-                    span.set("cost_before", round(cost_before, 1))
-                    span.set("cost_after", round(cost_after, 1))
-                    span.set("cost_delta", round(cost_after - cost_before, 1))
+                    if tracer.enabled:
+                        cost_after = estimated_plan_cost(rewritten, self.catalog)
+                        span.set("cost_before", round(cost_before, 1))
+                        span.set("cost_after", round(cost_after, 1))
+                        span.set("cost_delta", round(cost_after - cost_before, 1))
+                    diagnostics.extend(auditor.audit(name, plan, rewritten))
+                if diagnostics:
+                    span.set("diagnostics", [str(d) for d in diagnostics])
+                    violations = [
+                        d for d in diagnostics if d.severity is Severity.ERROR
+                    ]
+                    if violations:
+                        tracer.count("optimizer.rewrite_violation", len(violations))
+                        if self.strict:
+                            raise RewriteViolation(name, violations)
                 plan = rewritten
         return plan
 

@@ -40,7 +40,9 @@ from .selectivity import preference_selectivity
 # ---------------------------------------------------------------------------
 
 
-def push_projections(plan: PlanNode, catalog: Catalog) -> PlanNode:
+def push_projections(
+    plan: PlanNode, catalog: Catalog, diagnostics: list | None = None
+) -> PlanNode:
     """Insert projections directly above base relations keeping only the
     attributes somebody upstream needs (Rule 2).
 
@@ -48,10 +50,12 @@ def push_projections(plan: PlanNode, catalog: Catalog) -> PlanNode:
     condition, every prefer operator's conditional and scoring attributes,
     and the primary keys of all base relations (score relations are keyed by
     them).  Projections are not pushed through set operations (their inputs
-    are positional).
+    are positional); when that blocks an active pushdown, a PV201 diagnostic
+    is appended to *diagnostics* (if given) instead of dropping the fact
+    silently.
     """
     required = _all_required_attributes(plan, catalog)
-    return _prune(plan, required, catalog)
+    return _prune(plan, required, catalog, diagnostics)
 
 
 def _all_required_attributes(plan: PlanNode, catalog: Catalog) -> set[str]:
@@ -77,7 +81,12 @@ def _all_required_attributes(plan: PlanNode, catalog: Catalog) -> set[str]:
     return required
 
 
-def _prune(plan: PlanNode, required: set[str], catalog: Catalog) -> PlanNode:
+def _prune(
+    plan: PlanNode,
+    required: set[str],
+    catalog: Catalog,
+    diagnostics: list | None = None,
+) -> PlanNode:
     if "*" in required:
         return plan
     if isinstance(plan, Relation):
@@ -91,11 +100,26 @@ def _prune(plan: PlanNode, required: set[str], catalog: Catalog) -> PlanNode:
             return plan
         return Project(plan, kept)
     if isinstance(plan, (Union, Intersect, Difference)):
-        return plan  # positional inputs: do not disturb
+        # Positional inputs: do not disturb.  Record what was blocked rather
+        # than silently leaving the subtree at full width.
+        if diagnostics is not None:
+            from ..analysis_static.diagnostics import make_diagnostic
+
+            diagnostics.append(
+                make_diagnostic(
+                    "PV201",
+                    f"projection pushdown blocked: {plan.kind} inputs are "
+                    "positional, its subtree stays at full width",
+                    where=plan.label(),
+                )
+            )
+        return plan
     children = plan.children()
     if not children:
         return plan
-    return plan.with_children([_prune(child, required, catalog) for child in children])
+    return plan.with_children(
+        [_prune(child, required, catalog, diagnostics) for child in children]
+    )
 
 
 # ---------------------------------------------------------------------------

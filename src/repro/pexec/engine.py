@@ -112,10 +112,18 @@ class ExecutionEngine:
         aggregate: AggregateFunction = F_S,
         optimizer_config: OptimizerConfig | None = None,
         tracer=None,
+        *,
+        strict: bool = False,
     ):
         self.db = db
         self.aggregate = aggregate
-        self.optimizer = PreferenceOptimizer(db.catalog, optimizer_config)
+        #: When *strict*, every optimizer rule fire is audited against the
+        #: static plan verifier and an invariant-breaking rewrite raises
+        #: :class:`~repro.errors.RewriteViolation` instead of executing.
+        self.strict = strict
+        self.optimizer = PreferenceOptimizer(
+            db.catalog, optimizer_config, strict=strict, default_aggregate=aggregate
+        )
         #: Default tracer for every :meth:`run`; ``None`` means "use the
         #: ambient tracer" (a zero-cost no-op unless one is installed).
         self.tracer = tracer

@@ -133,7 +133,8 @@ class RegionEvaluator:
             )
         if isinstance(plan, TopK):
             return topk_filter(self.evaluate(plan.child), plan.k, plan.by)
-        raise ExecutionError(f"FtP cannot execute node {plan!r}")
+        # Relation/Materialized leaves are SPJ regions, caught above.
+        raise ExecutionError(f"FtP cannot execute node {plan!r}")  # noqa: LN103
 
 
 def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
@@ -147,7 +148,11 @@ def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
         result = conform(
             PRelation(schema, rows), non_preference.schema(db.catalog)
         )
-        for preference in plan.preferences():
+        # preferences() is pre-order (outermost first); fold innermost-first
+        # so the aggregate combines pairs in the same order as the written
+        # plan — Property 4.3 makes the orders algebraically equivalent, but
+        # the floating-point folds differ by ULPs and filtering cuts exactly.
+        for preference in reversed(plan.preferences()):
             db.cost.scan(len(rows))
             db.cost.count_operator("prefer")
             with tracer.span("ftp.prefer", label=preference.name) as span:

@@ -32,10 +32,16 @@ class Session:
         strategy: str = "gbu",
         aggregate: AggregateFunction = F_S,
         optimizer_config: OptimizerConfig | None = None,
+        *,
+        strict: bool = False,
     ):
         self.db = db
         self.strategy = strategy
-        self.engine = ExecutionEngine(db, aggregate, optimizer_config)
+        #: Strict sessions audit every optimizer rewrite against the static
+        #: plan verifier (:mod:`repro.analysis_static`) and refuse to execute
+        #: a plan an invariant-breaking rule produced.
+        self.strict = strict
+        self.engine = ExecutionEngine(db, aggregate, optimizer_config, strict=strict)
         self.preferences: dict[str, Preference | ContextualPreference] = {}
         self.context: dict = {}
         self.compiler = QueryCompiler(
@@ -107,12 +113,44 @@ class Session:
             from ..core.aggregates import get_aggregate
 
             engine = ExecutionEngine(
-                self.db, get_aggregate(aggregate_name), self.engine.optimizer.config
+                self.db,
+                get_aggregate(aggregate_name),
+                self.engine.optimizer.config,
+                strict=self.strict,
             )
         result = engine.run(plan, strategy or self.strategy, tracer=tracer)
         if order_by:
             result.relation = ranked(result.relation, order_by)
         return result
+
+    def verify(
+        self, query: "str | PlanNode | PreferentialQuery", *, optimized: bool = False
+    ):
+        """Statically verify a query's plan; returns a list of diagnostics.
+
+        The plan is compiled and prepared (preference qualification +
+        projection widening) exactly as :meth:`execute` would, then run
+        through the static plan verifier
+        (:func:`repro.analysis_static.verify_plan`).  With ``optimized=True``
+        the preference-aware optimizer runs first and the verifier
+        additionally checks prefer-chain ordering (Property 4.3's
+        cheapest-first heuristic) — user-written plans are exempt from that
+        check because the paper lets users write chains in any order.
+        """
+        from ..analysis_static import verify_plan
+
+        if isinstance(query, str):
+            query = self.compile(query)
+        plan = query.plan if isinstance(query, PreferentialQuery) else query
+        prepared = self.engine.prepare(plan)
+        if optimized:
+            prepared = self.engine.optimizer.optimize(prepared)
+        return verify_plan(
+            prepared,
+            self.db.catalog,
+            ordered_chains=optimized,
+            default_aggregate=self.engine.aggregate,
+        )
 
     def explain(self, query: "str | PlanNode | PreferentialQuery", strategy: str | None = None) -> str:
         """EXPLAIN: the parsed extended plan and the plan the strategy runs.

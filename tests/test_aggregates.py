@@ -21,18 +21,24 @@ ALL = (F_S, F_MAX, F_MIN)
 
 
 def pairs_strategy():
-    """Canonical pairs: a ⊥ score always carries confidence 0.
+    """Arbitrary pairs, including non-canonical bottoms ⟨⊥, c>0⟩.
 
-    The F_S formula maps any ⟨⊥, c⟩ to ⟨⊥, 0⟩ ("else ⟨⊥, 0⟩" in Example 4):
-    an unknown score carries no usable evidence, so ⟨⊥, c⟩ ≡ ⟨⊥, 0⟩ in the
-    algebra and the Definition 3 laws are stated over canonical pairs.
+    A matched preference whose scoring function abstains yields ⟨⊥, c⟩ —
+    evidence without a score.  The Definition 3 laws (identity included)
+    must hold for those pairs too; bottoms now combine into one bottom
+    instead of collapsing to ⟨⊥, 0⟩ and dropping their confidence.
     """
     known = st.builds(
         ScorePair,
         st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
         st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
     )
-    return st.one_of(st.just(IDENTITY), known)
+    unknown = st.builds(
+        ScorePair,
+        st.none(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    return st.one_of(st.just(IDENTITY), known, unknown)
 
 
 class TestWeightedSum:
@@ -53,8 +59,12 @@ class TestWeightedSum:
         assert F_S.combine(known, ScorePair(None, 0.9)) == known
         assert F_S.combine(ScorePair(None, 0.9), known) == known
 
-    def test_all_bottom_collapses_to_identity(self):
-        assert F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == IDENTITY
+    def test_all_bottom_sums_confidence(self):
+        # Evidence without scores accumulates; dropping it would break the
+        # identity law for ⟨⊥, c>0⟩ inputs.
+        out = F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9))
+        assert out.is_bottom
+        assert out.conf == pytest.approx(1.4)
 
     def test_zero_confidence_pairs(self):
         # Zero-confidence knowns are dominated by positive-confidence pairs.
@@ -100,13 +110,26 @@ class TestMinConfidence:
         assert F_MIN.combine(ScorePair(None, 0.0), known) == known
 
 
-class TestBottomCanonicalization:
-    """⟨⊥, c⟩ collapses to ⟨⊥, 0⟩: unknown scores carry no evidence."""
+class TestBottomHandling:
+    """⟨⊥, c⟩ keeps its evidence among bottoms, loses it next to a score."""
 
-    def test_two_bottoms_lose_their_confidence(self):
-        assert F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == IDENTITY
+    def test_two_bottoms_keep_their_confidence(self):
+        assert F_S.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == ScorePair(
+            None, 1.4
+        )
+        assert F_MAX.combine(ScorePair(None, 0.5), ScorePair(None, 0.9)) == ScorePair(
+            None, 0.9
+        )
+
+    def test_identity_law_holds_for_evidence_bearing_bottoms(self):
+        # The regression the law-checked registry guards against: the old
+        # F_S mapped F(⟨⊥,0⟩, ⟨⊥,c⟩) to ⟨⊥,0⟩, violating Definition 3.
+        for fn in ALL:
+            assert check_identity(fn, ScorePair(None, 0.7))
 
     def test_bottom_confidence_never_leaks_into_known(self):
+        # Folding ⊥-confidence into a known pair would break associativity
+        # of the weighted mean, so it is dropped instead.
         out = F_S.combine(ScorePair(None, 0.9), ScorePair(0.5, 0.2))
         assert out == ScorePair(0.5, 0.2)
 

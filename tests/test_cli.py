@@ -52,6 +52,54 @@ class TestInProcess:
         assert main(["query", "--db", str(tmp_path), "--strategy", "warp", "SELECT title FROM MOVIES"]) == 1
 
 
+class TestStaticAnalysisCommands:
+    def test_lint_clean_tree(self, capsys):
+        import os
+
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        assert main(["lint", package_root]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_lint_reports_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = my_score == 0.5\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "LN101" in capsys.readouterr().out
+
+    def test_verify_plan_workload(self, capsys):
+        assert main(["verify-plan", "--workload", "IMDB-2", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_plan_adhoc_sql(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        sql = (
+            "SELECT title FROM MOVIES "
+            "PREFERRING (year > 2008) SCORE 0.9 ON MOVIES TOP 3 BY score"
+        )
+        assert main(["verify-plan", "--db", str(tmp_path), sql]) == 0
+        assert "1 plan(s) clean" in capsys.readouterr().out
+
+    def test_verify_plan_flags_bad_query(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        # Top-k over an input with no preference at all: PV110.
+        assert main(["verify-plan", "--db", str(tmp_path), "--strict",
+                     "SELECT title FROM MOVIES TOP 3 BY score"]) == 1
+        out = capsys.readouterr().out
+        assert "PV110" in out
+
+    def test_verify_plan_unknown_workload_errors(self, capsys):
+        assert main(["verify-plan", "--workload", "IMDB-9"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_verify_plan_needs_an_input(self, capsys):
+        assert main(["verify-plan"]) == 1
+        assert "needs" in capsys.readouterr().err
+
+
 class TestSubprocess:
     def test_module_entry_point(self):
         completed = subprocess.run(

@@ -1,0 +1,205 @@
+"""Tests for the algebraic-safety source linter (``python -m repro.lint``).
+
+Each LN code gets a minimal triggering source snippet; the final test runs
+the real linter over the real source tree and requires it to be clean —
+which is exactly what the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis_static.lint import lint_paths, lint_source, run_lint
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def lint_snippet(source, path="snippet.py"):
+    return lint_source(path, source)
+
+
+class TestLN100Syntax:
+    def test_unparsable_file_is_ln100(self):
+        found = lint_snippet("def broken(:\n")
+        assert codes(found) == ["LN100"]
+
+
+class TestLN101ScoreEquality:
+    def test_raw_equality_on_score_name_is_ln101(self):
+        found = lint_snippet("if a.score == b.score:\n    pass\n")
+        assert codes(found) == ["LN101"]
+
+    def test_inequality_counts_too(self):
+        found = lint_snippet("ok = my_score != 0.5\n")
+        assert codes(found) == ["LN101"]
+
+    def test_ordered_comparison_is_fine(self):
+        assert lint_snippet("ok = a.score >= 0.5\n") == []
+
+    def test_non_score_names_are_fine(self):
+        assert lint_snippet("ok = a.year == b.year\n") == []
+
+
+class TestLN102BottomLiterals:
+    def test_scorepair_none_literal_is_ln102(self):
+        found = lint_snippet("p = ScorePair(None, 0.5)\n")
+        assert codes(found) == ["LN102"]
+
+    def test_pair_bottom_name_is_ln102(self):
+        found = lint_snippet("p = pair(BOTTOM, 1.0)\n")
+        assert codes(found) == ["LN102"]
+
+    def test_score_keyword_is_ln102(self):
+        found = lint_snippet("p = ScorePair(conf=0.5, score=None)\n")
+        assert codes(found) == ["LN102"]
+
+    def test_known_score_is_fine(self):
+        assert lint_snippet("p = ScorePair(0.5, 0.5)\n") == []
+
+    def test_scorepair_module_is_exempt(self):
+        source = "p = ScorePair(None, 0.0)\n"
+        assert lint_source("src/repro/core/scorepair.py", source) == []
+
+
+class TestLN103ExhaustiveDispatch:
+    def test_incomplete_strict_dispatcher_is_ln103(self):
+        source = (
+            "def visit(plan):\n"
+            "    if isinstance(plan, Relation):\n"
+            "        return 1\n"
+            "    if isinstance(plan, (Select, Project, Join)):\n"
+            "        return 2\n"
+            "    raise ValueError(plan)\n"
+        )
+        found = lint_snippet(source)
+        assert codes(found) == ["LN103"]
+        assert "Prefer" in found[0].message  # one of the missing classes
+
+    def test_exhaustive_dispatcher_is_fine(self):
+        source = (
+            "def visit(plan):\n"
+            "    if isinstance(plan, (Relation, Materialized, Select, Project)):\n"
+            "        return 1\n"
+            "    if isinstance(plan, (Join, LeftJoin, Union, Intersect, Difference)):\n"
+            "        return 2\n"
+            "    if isinstance(plan, (Prefer, TopK)):\n"
+            "        return 3\n"
+            "    raise ValueError(plan)\n"
+        )
+        assert lint_snippet(source) == []
+
+    def test_abstract_base_covers_its_subclasses(self):
+        # Dispatching on PlanNode subtree bases (e.g. the set-op base) counts
+        # as covering every concrete class below them.
+        source = (
+            "def visit(plan):\n"
+            "    if isinstance(plan, (Relation, Materialized, Select, Project)):\n"
+            "        return 1\n"
+            "    if isinstance(plan, (Join, LeftJoin, _SetOperation)):\n"
+            "        return 2\n"
+            "    if isinstance(plan, (Prefer, TopK)):\n"
+            "        return 3\n"
+            "    raise ValueError(plan)\n"
+        )
+        assert lint_snippet(source) == []
+
+    def test_small_dispatchers_are_not_flagged(self):
+        source = (
+            "def only_joins(plan):\n"
+            "    if isinstance(plan, Join):\n"
+            "        return 1\n"
+            "    raise ValueError(plan)\n"
+        )
+        assert lint_snippet(source) == []
+
+    def test_non_raising_fallthrough_is_not_flagged(self):
+        source = (
+            "def visit(plan):\n"
+            "    if isinstance(plan, (Relation, Select, Project, Join)):\n"
+            "        return 1\n"
+            "    return None\n"
+        )
+        assert lint_snippet(source) == []
+
+
+class TestLN104RegistryMutation:
+    def test_direct_registry_write_is_ln104(self):
+        found = lint_snippet("_REGISTRY['mine'] = fn\n")
+        assert codes(found) == ["LN104"]
+
+    def test_registry_update_call_is_ln104(self):
+        found = lint_snippet("aggregates._REGISTRY.update(other)\n")
+        assert codes(found) == ["LN104"]
+
+    def test_registrar_function_is_exempt(self):
+        source = (
+            "def register_aggregate(fn):\n"
+            "    _REGISTRY[fn.name] = fn\n"
+        )
+        assert lint_snippet(source) == []
+
+
+class TestLN105AggregateLaws:
+    def test_live_registry_passes_the_law_suite(self):
+        from repro.core.aggregates import verify_registered_aggregates
+
+        assert verify_registered_aggregates() == []
+
+    def test_law_breaking_aggregate_is_reported(self):
+        from repro.core.aggregates import AggregateFunction, failed_laws
+
+        class Subtraction(AggregateFunction):
+            # Not commutative, no identity: every law should have a witness.
+            name = "f_sub"
+
+            def combine(self, a, b):
+                from repro.core.scorepair import ScorePair
+
+                return ScorePair(
+                    (a.score or 0.0) - (b.score or 0.0), a.conf - b.conf
+                )
+
+        messages = failed_laws(Subtraction())
+        assert messages  # at least one broken law with a witness
+        assert any("commut" in m or "identity" in m or "assoc" in m for m in messages)
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses(self):
+        assert lint_snippet("ok = a.score == b.score  # noqa\n") == []
+
+    def test_matching_code_suppresses(self):
+        assert lint_snippet("ok = a.score == b.score  # noqa: LN101\n") == []
+
+    def test_other_code_does_not_suppress(self):
+        found = lint_snippet("ok = a.score == b.score  # noqa: LN104\n")
+        assert codes(found) == ["LN101"]
+
+
+class TestRunner:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "bad.py").write_text("x = total_score == 1.0\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        found = lint_paths([str(tmp_path)], check_aggregates=False)
+        assert codes(found) == ["LN101"]
+        assert found[0].path.endswith("bad.py")
+
+    def test_run_lint_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = total_score == 1.0\n")
+        assert run_lint([str(bad)]) == 1
+        assert "LN101" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert run_lint([str(good)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_repo_source_tree_is_clean(self):
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        assert lint_paths([package_root]) == []

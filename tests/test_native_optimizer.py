@@ -36,6 +36,19 @@ class TestPushSelections:
         assert len(selects) == 2
         assert {s.child.name for s in selects} == {"MOVIES", "DIRECTORS"}
 
+    def test_score_conjunct_never_enters_a_join_condition(self, movie_db):
+        # Regression: a conf filter over a preference-free join used to be
+        # classified "join" by _side_of and merged into the join condition.
+        plan = joined(movie_db, "MOVIES", "DIRECTORS").select(
+            cmp("conf", ">=", 0.2)
+        ).build()
+        optimized = push_selections(plan, movie_db.catalog)
+        assert isinstance(optimized, Select)
+        assert optimized.condition.references_score()
+        join = optimized.child
+        assert isinstance(join, Join)
+        assert not join.condition.references_score()
+
     def test_join_spanning_condition_stays_at_join(self, movie_db):
         from repro.engine.expressions import Attr, Comparison
 

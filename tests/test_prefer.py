@@ -72,13 +72,16 @@ class TestSemantics:
         out = prefer(movies, p)
         assert all(pr == ScorePair(0.5, 0.8) for pr in out.pairs)
 
-    def test_bottom_scoring_leaves_default(self, movies):
-        # Scoring over a NULL attribute yields ⊥, which F_S ignores.
+    def test_bottom_scoring_keeps_confidence(self, movies):
+        # Scoring over a NULL attribute yields ⊥; the matched preference
+        # still contributes its confidence (evidence without a score) —
+        # dropping it would break F's identity law for ⟨⊥, c⟩ pairs.
         movie_db_rows = list(movies.rows)
         movies.rows[0] = movie_db_rows[0][:2] + (None,) + movie_db_rows[0][3:]
         p = Preference("rec", "MOVIES", TRUE, recency_score("year", 2011), 0.9)
         out = prefer(movies, p)
-        assert out.pairs[0] == IDENTITY
+        assert out.pairs[0].is_bottom
+        assert out.pairs[0].conf == pytest.approx(0.9)
         assert not out.pairs[1].is_default
 
     def test_aggregate_choice_respected(self, movies):

@@ -1,0 +1,143 @@
+"""Rewrite auditor tests: RW001–RW004 on hand-built (before, after) pairs,
+plus the optimizer integration — strict mode raising RewriteViolation and
+default mode recording diagnostics on the rule's tracer span."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis_static import RewriteAuditor
+from repro.core.preference import Preference
+from repro.engine.expressions import TRUE, cmp, eq
+from repro.errors import RewriteViolation
+from repro.obs import Tracer
+from repro.optimizer import PreferenceOptimizer
+from repro.plan.nodes import (
+    Intersect,
+    Join,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+)
+
+P_YEAR = Preference("p_year", "MOVIES", cmp("year", ">=", 2005), 0.8, 0.9)
+P_MID = Preference("p_mid", "MOVIES", eq("m_id", 1), 1.0, 1.0)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+@pytest.fixture
+def auditor(movie_db):
+    return RewriteAuditor(movie_db.catalog)
+
+
+class TestInvariants:
+    def test_introducing_a_verifier_error_is_rw001(self, auditor):
+        # A "pushdown" landing the preference on the wrong join input.
+        before = Prefer(
+            Join(Relation("MOVIES"), Relation("DIRECTORS"), cmp("year", ">", 0)),
+            P_YEAR,
+        )
+        after = Join(
+            Relation("MOVIES"),
+            Prefer(Relation("DIRECTORS"), P_YEAR),
+            cmp("year", ">", 0),
+        )
+        found = auditor.audit("push_prefers", before, after)
+        assert "RW001" in codes(found)
+        assert any("PV103" in d.message for d in found if d.code == "RW001")
+
+    def test_changing_output_attributes_is_rw002(self, auditor):
+        before = Relation("MOVIES")
+        after = Project(Relation("MOVIES"), ["title"])
+        found = auditor.audit("push_projections", before, after)
+        assert codes(found) == ["RW002"]
+        assert "lost" in found[0].message
+
+    def test_column_permutation_is_not_rw002(self, auditor):
+        # Join reordering permutes column order; the attribute *set* is the
+        # invariant, not the tuple.
+        before = Join(Relation("MOVIES"), Relation("DIRECTORS"), cmp("year", ">", 0))
+        after = Join(Relation("DIRECTORS"), Relation("MOVIES"), cmp("year", ">", 0))
+        assert auditor.audit("match_join_order", before, after) == []
+
+    def test_dropping_a_prefer_is_rw003(self, auditor):
+        before = Prefer(Relation("MOVIES"), P_YEAR)
+        after = Relation("MOVIES")
+        found = auditor.audit("push_prefers", before, after)
+        assert codes(found) == ["RW003"]
+        assert "p_year" in found[0].message
+
+    def test_duplicating_a_prefer_is_rw003(self, auditor):
+        before = Prefer(Relation("MOVIES"), P_YEAR)
+        after = Prefer(Prefer(Relation("MOVIES"), P_YEAR), P_YEAR)
+        assert codes(auditor.audit("push_prefers", before, after)) == ["RW003"]
+
+    def test_changing_relation_leaves_is_rw004(self, auditor):
+        before = Relation("MOVIES")
+        after = Intersect(Relation("MOVIES"), Relation("MOVIES"))
+        found = auditor.audit("left_deep", before, after)
+        assert codes(found) == ["RW004"]
+
+    def test_legal_pushdown_is_clean(self, auditor):
+        before = Prefer(Select(Relation("MOVIES"), cmp("year", ">", 2000)), P_YEAR)
+        after = Select(Prefer(Relation("MOVIES"), P_YEAR), cmp("year", ">", 2000))
+        assert auditor.audit("push_prefers", before, after) == []
+
+
+def _dropping_rule(plan, catalog):
+    """A deliberately broken rewrite: silently drops the top prefer."""
+    if isinstance(plan, Prefer):
+        return plan.child
+    return plan
+
+
+class TestOptimizerIntegration:
+    @pytest.fixture
+    def plan(self):
+        return Prefer(Relation("MOVIES"), P_MID)
+
+    def test_strict_mode_raises_on_bad_rewrite(self, movie_db, plan, monkeypatch):
+        monkeypatch.setattr(
+            "repro.optimizer.optimizer.push_prefers", _dropping_rule
+        )
+        optimizer = PreferenceOptimizer(movie_db.catalog, strict=True)
+        with pytest.raises(RewriteViolation) as err:
+            optimizer.optimize(plan)
+        assert err.value.rule == "push_prefers"
+        assert "RW003" in [d.code for d in err.value.diagnostics]
+
+    def test_default_mode_records_on_span_and_counter(
+        self, movie_db, plan, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.optimizer.optimizer.push_prefers", _dropping_rule
+        )
+        optimizer = PreferenceOptimizer(movie_db.catalog)
+        tracer = Tracer()
+        out = optimizer.optimize(plan, tracer=tracer)
+        assert out.preferences() == []  # the bad rewrite went through
+        assert tracer.counters.get("optimizer.rewrite_violation", 0) >= 1
+        rule_spans = [
+            span
+            for span in tracer.root.walk()
+            if span.name == "optimize.rule" and span.label == "push_prefers"
+        ]
+        assert rule_spans, "no span recorded for the audited rule"
+        recorded = rule_spans[0].attrs.get("diagnostics", [])
+        assert any("RW003" in line for line in recorded)
+
+    def test_strict_mode_accepts_sound_rules(self, movie_db):
+        plan = Prefer(
+            Select(
+                Join(Relation("MOVIES"), Relation("DIRECTORS"), cmp("year", ">", 0)),
+                cmp("year", ">=", 2005),
+            ),
+            P_YEAR,
+        )
+        optimizer = PreferenceOptimizer(movie_db.catalog, strict=True)
+        out = optimizer.optimize(plan)
+        assert [p.name for p in out.preferences()] == ["p_year"]
