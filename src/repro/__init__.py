@@ -80,6 +80,17 @@ from .filtering import (
 )
 from .obs import Tracer, current_tracer, use_tracer
 from .optimizer import OptimizerConfig, PreferenceOptimizer, optimize
+from .resilience import (
+    CancellationToken,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    QueryGuard,
+    ResiliencePolicy,
+    RetryPolicy,
+    use_faults,
+    use_guard,
+)
 from .pexec import STRATEGIES, ExecutionEngine, QueryResult, evaluate_reference
 from .plan import PlanBuilder, explain, scan
 from .query import Session
@@ -150,6 +161,16 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "use_tracer",
+    # resilience
+    "QueryGuard",
+    "CancellationToken",
+    "use_guard",
+    "FaultPlan",
+    "FaultSpec",
+    "use_faults",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
     # static analysis
     "Diagnostic",
     "Severity",

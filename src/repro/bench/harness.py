@@ -65,6 +65,7 @@ def measure(
     label: str = "",
     trace: bool = False,
     trace_sink=None,
+    timeout: float | None = None,
 ) -> Measurement:
     """Median-of-*repeats* timing of one query under one strategy.
 
@@ -72,13 +73,18 @@ def measure(
     ``trace=True`` one extra *untimed* traced run is performed afterwards;
     its trace is attached to the measurement (and written to *trace_sink*
     if given) together with the traced-vs-untraced overhead.
+
+    *timeout* arms a fresh per-run :class:`~repro.resilience.QueryGuard`
+    deadline on every execution (warm-up included), so a hung strategy
+    fails a benchmark with a typed :exc:`~repro.errors.QueryTimeout`
+    instead of wedging the whole harness.
     """
-    session.execute(query, strategy=strategy)  # warm-up (compilation, imports)
+    session.execute(query, strategy=strategy, timeout=timeout)  # warm-up
     times: list[float] = []
     last = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        last = session.execute(query, strategy=strategy)
+        last = session.execute(query, strategy=strategy, timeout=timeout)
         times.append((time.perf_counter() - started) * 1e3)
     assert last is not None
     name = label or (query if isinstance(query, str) else "plan")
@@ -159,6 +165,7 @@ def compare_strategies(
     repeats: int = 3,
     trace: bool = False,
     trace_sink=None,
+    timeout: float | None = None,
 ) -> list[Measurement]:
     """All strategy cells for one workload query."""
     session = workload_query.session(db)
@@ -171,6 +178,7 @@ def compare_strategies(
             label=workload_query.name,
             trace=trace,
             trace_sink=trace_sink,
+            timeout=timeout,
         )
         for strategy in strategies
     ]

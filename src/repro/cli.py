@@ -10,6 +10,9 @@ Commands:
 * ``repl`` — interactive SQL loop against a saved or generated database.
 * ``lint`` — run the algebraic-safety source linter (``repro.analysis_static``).
 * ``verify-plan`` — statically verify workload or ad-hoc query plans.
+* ``chaos`` — run the seeded fault-injection conformance suite
+  (``repro.resilience.chaos``): every strategy under every fault scenario
+  must match the oracle or fail with a typed resilience error.
 """
 
 from __future__ import annotations
@@ -68,6 +71,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the collected trace(s) to FILE as JSONL",
     )
     query.add_argument("--limit", type=int, default=20, help="rows to print")
+    query.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="abort with a typed QueryTimeout when the query runs longer",
+    )
+    query.add_argument(
+        "--max-rows",
+        type=int,
+        metavar="N",
+        help="abort with ResourceExhausted when the result exceeds N rows",
+    )
+    query.add_argument(
+        "--fallback",
+        action="store_true",
+        help="retry transient faults and fall back along gbu → bu → ftp → "
+        "reference instead of failing (results may be marked degraded)",
+    )
     query.add_argument("sql", help="preferential SQL text")
 
     repl = commands.add_parser("repl", help="interactive SQL loop")
@@ -106,6 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
         "sql", nargs="?", help="ad-hoc preferential SQL to verify instead"
     )
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the seeded fault-injection conformance suite "
+        "(strategies must match the oracle or fail typed)",
+    )
+    chaos.add_argument("--seed", type=int, default=42, help="fault-plan RNG seed")
+    chaos.add_argument(
+        "--scale", type=float, default=0.001, help="synthetic IMDB dataset scale"
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        help="run only the named scenario (repeatable); default: all",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    chaos.add_argument(
+        "--timeout-smoke",
+        action="store_true",
+        help="also verify that a 1ms-deadline query raises QueryTimeout "
+        "instead of hanging",
+    )
+
     return parser
 
 
@@ -124,6 +169,8 @@ def main(argv: list[str] | None = None) -> int:
             return _lint(args)
         if args.command == "verify-plan":
             return _verify_plan(args)
+        if args.command == "chaos":
+            return _chaos(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -210,7 +257,12 @@ def _query(args) -> int:
     strategies = [s.strip() for s in args.strategy.split(",") if s.strip()]
     if not strategies:
         raise ReproError(f"--strategy {args.strategy!r} names no strategy")
-    session = Session(db, strategy=strategies[0])
+    resilience = None
+    if args.fallback:
+        from .resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy()
+    session = Session(db, strategy=strategies[0], resilience=resilience)
     want_trace = args.trace or args.profile or args.trace_out
     sink = None
     if args.trace_out:
@@ -230,8 +282,19 @@ def _query(args) -> int:
             from .obs import Tracer
 
             tracer = Tracer()
-        result = session.execute(args.sql, strategy=strategy, tracer=tracer)
+        result = session.execute(
+            args.sql,
+            strategy=strategy,
+            tracer=tracer,
+            timeout=args.timeout,
+            max_rows=args.max_rows,
+        )
         _print_result(session, result, args.limit)
+        if result.stats.degraded:
+            print(
+                "warning: degraded result — " + "; ".join(result.stats.failures),
+                file=sys.stderr,
+            )
         if args.trace:
             from .plan.printer import explain_analyze
 
@@ -359,6 +422,36 @@ def _verify_plan(args) -> int:
     suffix = f", {findings} informational finding(s)" if findings else ""
     print(f"verify-plan: {checked} plan(s) clean{suffix}")
     return 0
+
+
+def _chaos(args) -> int:
+    from .resilience.chaos import builtin_scenarios, run_chaos, timeout_smoke
+
+    scenarios = builtin_scenarios()
+    if args.list:
+        for scenario in scenarios:
+            print(f"{scenario.name:<20} {scenario.description}")
+        return 0
+    if args.scenario:
+        wanted = {name.lower() for name in args.scenario}
+        known = {s.name.lower() for s in scenarios}
+        unknown = wanted - known
+        if unknown:
+            raise ReproError(
+                f"unknown scenario(s) {sorted(unknown)}; choose from "
+                + ", ".join(sorted(known))
+            )
+        scenarios = [s for s in scenarios if s.name.lower() in wanted]
+    report = run_chaos(seed=args.seed, scale=args.scale, scenarios=scenarios)
+    print(report.describe())
+    status = 0 if report.ok else 1
+    if args.timeout_smoke:
+        print()
+        outcome = timeout_smoke(scale=args.scale)
+        print(outcome.message)
+        if not outcome.ok:
+            status = 1
+    return status
 
 
 def _print_result(session: Session, result, limit: int) -> None:

@@ -27,7 +27,15 @@ def pages_for(tuples: int, tuples_per_page: int = TUPLES_PER_PAGE) -> int:
 
 @dataclass
 class CostModel:
-    """Mutable accumulator of simulated storage costs for one query run."""
+    """Mutable accumulator of simulated storage costs for one query run.
+
+    The accountant doubles as the resilience layer's data-volume choke
+    point: when the execution engine attaches a query guard and/or fault
+    plan (:mod:`repro.resilience`), every simulated page read visits the
+    ``iosim.scan`` fault site and every scanned/materialized tuple is
+    charged against the guard's budget.  Both hooks default to ``None`` and
+    cost one attribute check on the unguarded path.
+    """
 
     pages_read: int = 0
     pages_written: int = 0
@@ -35,22 +43,36 @@ class CostModel:
     tuples_materialized: int = 0
     index_lookups: int = 0
     operator_calls: dict[str, int] = field(default_factory=dict)
+    #: Optional :class:`repro.resilience.QueryGuard` charged per tuple.
+    guard: object = field(default=None, repr=False, compare=False)
+    #: Optional :class:`repro.resilience.FaultPlan` visited per page read.
+    faults: object = field(default=None, repr=False, compare=False)
 
     def scan(self, tuples: int) -> None:
         """Account for a sequential scan of *tuples* rows."""
         self.tuples_scanned += tuples
         self.pages_read += pages_for(tuples)
+        if self.faults is not None:
+            self.faults.at("iosim.scan")
+        if self.guard is not None:
+            self.guard.note_tuples(tuples)
 
     def index_probe(self, matches: int) -> None:
         """Account for one index lookup returning *matches* rows."""
         self.index_lookups += 1
         # One page for the index descent plus the data pages touched.
         self.pages_read += 1 + pages_for(matches)
+        if self.faults is not None:
+            self.faults.at("iosim.scan")
+        if self.guard is not None:
+            self.guard.note_tuples(matches)
 
     def materialize(self, tuples: int) -> None:
         """Account for writing an intermediate relation of *tuples* rows."""
         self.tuples_materialized += tuples
         self.pages_written += pages_for(tuples)
+        if self.guard is not None:
+            self.guard.note_tuples(tuples)
 
     def count_operator(self, name: str) -> None:
         self.operator_calls[name] = self.operator_calls.get(name, 0) + 1

@@ -17,6 +17,7 @@ from typing import Any, Iterator
 
 from ..errors import ExecutionError
 from ..obs import current_tracer, traced_rows
+from ..resilience import current_faults, current_guard
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -54,8 +55,16 @@ class _Executor:
         self.catalog = catalog
         self.cost = cost
         self.tracer = tracer if tracer is not None else current_tracer()
+        self.guard = current_guard()
+        self.faults = current_faults()
 
     def run(self, plan: PlanNode) -> tuple[TableSchema, Iterator[Row]]:
+        # Operator-boundary resilience checkpoint: honor deadlines and
+        # cancellation, and visit the ``native.dispatch`` fault site.
+        if self.guard.enabled:
+            self.guard.check()
+        if self.faults.enabled:
+            self.faults.at("native.dispatch")
         self.cost.count_operator(plan.kind)
         tracer = self.tracer
         if not tracer.enabled:

@@ -62,6 +62,90 @@ class PreferenceError(ReproError):
     """A preference definition is invalid (bad confidence, scoring range...)."""
 
 
+class ResilienceError(ReproError):
+    """Base class for resource-governance and fault-tolerance failures.
+
+    Everything the resilience layer (:mod:`repro.resilience`) raises derives
+    from this class, so callers can distinguish "the engine protected itself"
+    (guard trips, injected faults, open circuits, detected corruption) from
+    plain programming errors.
+    """
+
+
+class QueryTimeout(ResilienceError):
+    """A query exceeded its :class:`~repro.resilience.QueryGuard` deadline."""
+
+    def __init__(self, timeout: float, elapsed: float | None = None):
+        self.timeout = timeout
+        self.elapsed = elapsed
+        detail = f" (ran {elapsed:.3f}s)" if elapsed is not None else ""
+        super().__init__(f"query exceeded its {timeout:.3f}s deadline{detail}")
+
+
+class QueryCancelled(ResilienceError):
+    """A cooperative :class:`~repro.resilience.CancellationToken` was cancelled."""
+
+    def __init__(self, message: str = "query cancelled by caller"):
+        super().__init__(message)
+
+
+class ResourceExhausted(ResilienceError):
+    """A query guard budget (output rows, materialized tuples) was exceeded.
+
+    ``kind`` names the budget (``"rows"`` or ``"tuples"``), ``limit`` its
+    configured ceiling and ``used`` the amount that tripped it.
+    """
+
+    def __init__(self, kind: str, limit: int, used: int):
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"query exceeded its {kind} budget: {used} > {limit} allowed"
+        )
+
+
+class TransientFault(ResilienceError):
+    """A transient failure that may succeed on retry (I/O hiccup, injected fault).
+
+    ``site`` names where the fault surfaced (see
+    :class:`repro.resilience.FaultPlan` for the site vocabulary).
+    """
+
+    def __init__(self, site: str, message: str | None = None):
+        self.site = site
+        super().__init__(message or f"transient fault at {site!r}")
+
+
+class CircuitOpen(ResilienceError):
+    """A strategy's circuit breaker is open; the strategy was not attempted."""
+
+    def __init__(self, strategy: str):
+        self.strategy = strategy
+        super().__init__(
+            f"circuit breaker for strategy {strategy!r} is open "
+            "(too many recent failures)"
+        )
+
+
+class DataCorruption(ResilienceError):
+    """Persisted data failed an integrity check, or a result carried invalid pairs.
+
+    ``path`` and ``line`` pinpoint the corrupt file location when the error
+    comes from :func:`repro.engine.persist.load_database`; both are ``None``
+    for in-memory integrity failures (e.g. an out-of-range score pair caught
+    at the execution engine's result gate).
+    """
+
+    def __init__(self, message: str, path: str | None = None, line: int | None = None):
+        self.path = path
+        self.line = line
+        location = ""
+        if path is not None:
+            location = f" [{path}" + (f":{line}" if line is not None else "") + "]"
+        super().__init__(message + location)
+
+
 class ParseError(ReproError):
     """The SQL dialect parser rejected the input text."""
 

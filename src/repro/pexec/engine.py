@@ -22,16 +22,34 @@ Strategies:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 from ..core.aggregates import F_S, AggregateFunction
 from ..core.prelation import PRelation
+from ..core.scorepair import ScorePair
 from ..engine.database import Database
 from ..engine.iosim import CostModel
-from ..errors import ExecutionError
+from ..errors import (
+    CircuitOpen,
+    DataCorruption,
+    ExecutionError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceExhausted,
+    TransientFault,
+)
 from ..obs import current_tracer, use_tracer
 from ..optimizer import OptimizerConfig, PreferenceOptimizer
+from ..resilience import (
+    ResiliencePolicy,
+    current_faults,
+    current_guard,
+    use_faults,
+    use_guard,
+)
 from ..plan.analysis import (
     qualify_preferences,
     required_carry_attributes,
@@ -64,6 +82,12 @@ class ExecutionStats:
     ``operators`` counts operator invocations for this query only;
     ``trace`` is the root :class:`repro.obs.Span` when the query ran under
     a collecting tracer, else ``None``.
+
+    When the query ran under a :class:`~repro.resilience.ResiliencePolicy`
+    and any attempt failed before this result was produced, ``degraded`` is
+    ``True``, ``failures`` lists the causes (oldest first) and ``attempts``
+    counts every execution attempt including the successful one; the same
+    information is annotated on the query's tracer span.
     """
 
     strategy: str
@@ -72,11 +96,17 @@ class ExecutionStats:
     cost: dict[str, int] = field(default_factory=dict)
     operators: dict[str, int] = field(default_factory=dict)
     trace: object | None = None
+    degraded: bool = False
+    failures: list[str] = field(default_factory=list)
+    attempts: int = 1
 
     def summary(self) -> str:
+        suffix = ""
+        if self.degraded:
+            suffix = f" (degraded after {self.attempts} attempts)"
         return (
             f"{self.strategy}: {self.wall_time * 1e3:.2f} ms, {self.rows} rows, "
-            f"{self.cost.get('total_io', 0)} simulated page I/Os"
+            f"{self.cost.get('total_io', 0)} simulated page I/Os{suffix}"
         )
 
 
@@ -103,6 +133,26 @@ class QueryResult:
         return project(self.relation, target)
 
 
+def _check_integrity(result: PRelation, strategy: str) -> None:
+    """Result gate: every score pair must be well-formed.
+
+    A single preference scores in ``[0, 1]`` and aggregates only ever
+    combine non-negative finite scores and confidences, so any NaN,
+    infinity or negative component proves the pair was corrupted somewhere
+    between the strategy and the caller.  Raises
+    :exc:`~repro.errors.DataCorruption` (a typed resilience error the
+    fallback chain can recover from) instead of returning a wrong answer.
+    """
+    for position, (score, conf) in enumerate(result.pairs):
+        score_ok = score is None or (math.isfinite(score) and score >= 0.0)
+        conf_ok = math.isfinite(conf) and conf >= 0.0
+        if not (score_ok and conf_ok):
+            raise DataCorruption(
+                f"strategy {strategy!r} produced an invalid score pair "
+                f"⟨{score}, {conf}⟩ at result position {position}"
+            )
+
+
 class ExecutionEngine:
     """Runs extended query plans against a :class:`Database`."""
 
@@ -114,6 +164,7 @@ class ExecutionEngine:
         tracer=None,
         *,
         strict: bool = False,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.db = db
         self.aggregate = aggregate
@@ -127,6 +178,9 @@ class ExecutionEngine:
         #: Default tracer for every :meth:`run`; ``None`` means "use the
         #: ambient tracer" (a zero-cost no-op unless one is installed).
         self.tracer = tracer
+        #: Default degradation policy for every :meth:`run`; ``None`` means
+        #: fail-fast (one attempt, no fallback) — the historical behavior.
+        self.resilience = resilience
 
     def prepare(self, plan: PlanNode) -> PlanNode:
         """Widen the plan's projections (the parser step of §VI).
@@ -139,7 +193,16 @@ class ExecutionEngine:
         carry = required_carry_attributes(plan, self.db.catalog)
         return widen_projections(plan, carry, self.db.catalog)
 
-    def run(self, plan: PlanNode, strategy: str = "gbu", tracer=None) -> QueryResult:
+    def run(
+        self,
+        plan: PlanNode,
+        strategy: str = "gbu",
+        tracer=None,
+        *,
+        guard=None,
+        faults=None,
+        resilience: ResiliencePolicy | None = None,
+    ) -> QueryResult:
         """Execute *plan* with *strategy*, returning result and statistics.
 
         *tracer* (or the engine's default, or the ambient tracer) receives a
@@ -147,6 +210,15 @@ class ExecutionEngine:
         ``conform`` phases; every operator below reports into it.  Costs are
         accumulated in a per-query :class:`CostModel` and merged back into
         ``db.cost``, so the returned stats are isolated per invocation.
+
+        *guard* is a :class:`~repro.resilience.QueryGuard` enforced at every
+        operator boundary; its deadline and budgets cover the whole call,
+        including retries and fallback strategies.  *faults* is a
+        :class:`~repro.resilience.FaultPlan` for chaos testing.  *resilience*
+        (or the engine default) enables retry-with-backoff, per-strategy
+        circuit breakers and the strategy fallback chain; a result produced
+        after any failure has ``stats.degraded`` set and the causes recorded
+        both in ``stats.failures`` and on the query's tracer span.
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
@@ -154,7 +226,87 @@ class ExecutionEngine:
             )
         if tracer is None:
             tracer = self.tracer if self.tracer is not None else current_tracer()
-        with use_tracer(tracer), tracer.span("query", label=strategy) as root:
+        if guard is None:
+            guard = current_guard()
+        if faults is None:
+            faults = current_faults()
+        if resilience is None:
+            resilience = self.resilience
+        if resilience is None:
+            return self._run_once(plan, strategy, tracer, guard, faults)
+        return self._run_resilient(plan, strategy, tracer, guard, faults, resilience)
+
+    def _run_resilient(
+        self, plan: PlanNode, strategy: str, tracer, guard, faults, resilience
+    ) -> QueryResult:
+        """Retry × circuit breaker × fallback orchestration around `_run_once`.
+
+        Transient faults — and detected result corruption, which is just as
+        attempt-local — are retried on the same strategy with exponential
+        backoff (clamped to the guard's deadline); any other library error
+        moves straight to the next strategy in the fallback chain.  Guard
+        trips (timeout, cancellation, exhausted budgets) always propagate:
+        their budgets span the whole query, so another attempt could only
+        trip them again.
+        """
+        failures: list[str] = []
+        last_error: ReproError | None = None
+        attempts = 0
+        retry = resilience.retry
+        for candidate in resilience.chain_for(strategy):
+            if candidate not in STRATEGIES:
+                continue
+            breaker = resilience.breaker(candidate)
+            if breaker is not None and not breaker.allow():
+                failures.append(f"{candidate}: circuit open")
+                if last_error is None:
+                    last_error = CircuitOpen(candidate)
+                continue
+            for attempt in range(1, max(1, retry.attempts) + 1):
+                attempts += 1
+                try:
+                    result = self._run_once(plan, candidate, tracer, guard, faults)
+                except (TransientFault, DataCorruption) as err:
+                    last_error = err
+                    failures.append(f"{candidate}#{attempt}: {type(err).__name__}: {err}")
+                    if breaker is not None:
+                        breaker.record_failure()
+                    if attempt < max(1, retry.attempts):
+                        retry.pause(attempt, guard)
+                        continue
+                    break  # retries exhausted: fall back to the next strategy
+                except (QueryTimeout, QueryCancelled, ResourceExhausted):
+                    raise
+                except ReproError as err:
+                    last_error = err
+                    failures.append(f"{candidate}#{attempt}: {type(err).__name__}: {err}")
+                    if breaker is not None:
+                        breaker.record_failure()
+                    break  # non-transient: retrying the same strategy won't help
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    stats = result.stats
+                    stats.attempts = attempts
+                    if failures:
+                        stats.degraded = True
+                        stats.failures = list(failures)
+                        span = stats.trace
+                        if span is not None:
+                            span.set("degraded", True)
+                            span.set("failure_cause", failures[-1])
+                            span.set("failures", list(failures))
+                    return result
+        assert last_error is not None  # the chain is never empty
+        raise last_error
+
+    def _run_once(
+        self, plan: PlanNode, strategy: str, tracer, guard, faults
+    ) -> QueryResult:
+        """One execution attempt under an installed guard and fault plan."""
+        with use_tracer(tracer), use_guard(guard), use_faults(faults), tracer.span(
+            "query", label=strategy
+        ) as root:
             root.set("strategy", strategy)
             original_schema = plan.schema(self.db.catalog)
             with tracer.span("prepare"):
@@ -163,6 +315,12 @@ class ExecutionEngine:
 
             outer_cost = self.db.cost
             query_cost = CostModel()
+            # The per-query cost model doubles as the resilience layer's
+            # data-volume choke point: every strategy charges scans and
+            # materializations through it, so attaching the guard and fault
+            # plan here covers the whole execution without per-site plumbing.
+            query_cost.guard = guard if guard.enabled else None
+            query_cost.faults = faults if faults.enabled else None
             self.db.cost = query_cost
             started = time.perf_counter()
             try:
@@ -176,6 +334,17 @@ class ExecutionEngine:
                     execute_span.add("rows_out", len(result))
                 with tracer.span("conform"):
                     result = conform(result, target_schema)
+                if faults.enabled:
+                    if faults.corrupts("pexec.scores") and result.pairs:
+                        victim = faults.pick(len(result.pairs))
+                        result.pairs[victim] = ScorePair(float("nan"), -1.0)
+                    # Chaos mode arms the result-integrity gate: a corrupted
+                    # score pair must surface as a typed error, never as a
+                    # silently wrong answer.
+                    _check_integrity(result, strategy)
+                if guard.enabled:
+                    guard.note_rows(len(result))
+                    guard.check()
             finally:
                 self.db.cost = outer_cost
                 outer_cost.merge(query_cost)

@@ -19,6 +19,7 @@ from ..engine.native_optimizer import optimize_native
 from ..engine.physical import execute_native
 from ..errors import ExecutionError
 from ..obs import current_tracer
+from ..resilience import current_faults, current_guard
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -62,10 +63,16 @@ class _Evaluator:
         self.aggregate = aggregate
         self.embedded: dict[int, Intermediate] = {}
         self.tracer = current_tracer()
+        self.guard = current_guard()
+        self.faults = current_faults()
 
     # -- traversal -----------------------------------------------------------
 
     def evaluate(self, plan: PlanNode) -> "PlanNode | Intermediate":
+        if self.guard.enabled:
+            self.guard.check()
+        if self.faults.enabled:
+            self.faults.at("strategy.gbu")
         tracer = self.tracer
         if not tracer.enabled:
             return self._evaluate(plan)

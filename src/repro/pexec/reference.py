@@ -16,6 +16,7 @@ from ..core.prelation import PRelation
 from ..engine.catalog import Catalog
 from ..errors import ExecutionError
 from ..filtering import topk
+from ..resilience import current_faults, current_guard
 from ..plan.nodes import (
     Difference,
     Intersect,
@@ -35,7 +36,18 @@ from ..plan.nodes import (
 def evaluate_reference(
     plan: PlanNode, catalog: Catalog, aggregate: AggregateFunction = F_S
 ) -> PRelation:
-    """Evaluate *plan* over the catalog, returning the result p-relation."""
+    """Evaluate *plan* over the catalog, returning the result p-relation.
+
+    Even the oracle honors the ambient query guard (deadline, cancellation)
+    at every operator boundary — it is the last rung of the fallback chain,
+    so it must stay interruptible too.
+    """
+    guard = current_guard()
+    if guard.enabled:
+        guard.check()
+    faults = current_faults()
+    if faults.enabled:
+        faults.at("strategy.reference")
     if isinstance(plan, Relation):
         relation = PRelation.from_table(catalog.table(plan.name))
         if plan.alias and plan.alias != plan.name:

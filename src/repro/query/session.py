@@ -20,6 +20,7 @@ from ..filtering import ranked
 from ..optimizer import OptimizerConfig
 from ..pexec.engine import ExecutionEngine, QueryResult
 from ..plan.nodes import PlanNode
+from ..resilience import QueryGuard, ResiliencePolicy
 from .model import PreferentialQuery, QueryCompiler
 
 
@@ -34,6 +35,7 @@ class Session:
         optimizer_config: OptimizerConfig | None = None,
         *,
         strict: bool = False,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.db = db
         self.strategy = strategy
@@ -41,7 +43,9 @@ class Session:
         #: plan verifier (:mod:`repro.analysis_static`) and refuse to execute
         #: a plan an invariant-breaking rule produced.
         self.strict = strict
-        self.engine = ExecutionEngine(db, aggregate, optimizer_config, strict=strict)
+        self.engine = ExecutionEngine(
+            db, aggregate, optimizer_config, strict=strict, resilience=resilience
+        )
         self.preferences: dict[str, Preference | ContextualPreference] = {}
         self.context: dict = {}
         self.compiler = QueryCompiler(
@@ -92,12 +96,31 @@ class Session:
         query: str | PlanNode | PreferentialQuery,
         strategy: str | None = None,
         tracer=None,
+        *,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        guard: QueryGuard | None = None,
+        faults=None,
+        resilience: ResiliencePolicy | None = None,
     ) -> QueryResult:
         """Run SQL text, a plan, or a compiled query; returns a QueryResult.
 
         Pass a :class:`repro.obs.Tracer` as *tracer* to collect a
         per-operator execution trace (``result.stats.trace``).
+
+        *timeout* (seconds) and *max_rows* build a per-call
+        :class:`~repro.resilience.QueryGuard`; pass *guard* directly for
+        finer control (tuple budgets, cancellation tokens) — the two forms
+        are mutually exclusive.  *resilience* overrides the session's
+        degradation policy for this call; *faults* installs a chaos
+        :class:`~repro.resilience.FaultPlan`.
         """
+        if guard is not None and (timeout is not None or max_rows is not None):
+            raise PreferenceError(
+                "pass either guard= or timeout=/max_rows=, not both"
+            )
+        if guard is None and (timeout is not None or max_rows is not None):
+            guard = QueryGuard(timeout=timeout, max_rows=max_rows)
         order_by = None
         aggregate_name = None
         if isinstance(query, str):
@@ -117,8 +140,16 @@ class Session:
                 get_aggregate(aggregate_name),
                 self.engine.optimizer.config,
                 strict=self.strict,
+                resilience=self.engine.resilience,
             )
-        result = engine.run(plan, strategy or self.strategy, tracer=tracer)
+        result = engine.run(
+            plan,
+            strategy or self.strategy,
+            tracer=tracer,
+            guard=guard,
+            faults=faults,
+            resilience=resilience,
+        )
         if order_by:
             result.relation = ranked(result.relation, order_by)
         return result

@@ -46,8 +46,14 @@ class PreferenceStore:
         for preference in preferences:
             self.add(user, preference)
 
-    def remove(self, user: str, name: str) -> None:
-        self._by_user.get(user, {}).pop(name.lower(), None)
+    def remove(self, user: str, name: str) -> bool:
+        """Drop one stored preference; False when the user didn't have it."""
+        removed = self._by_user.get(user, {}).pop(name.lower(), None)
+        return removed is not None
+
+    def clear(self, user: str) -> int:
+        """Drop all of *user*'s preferences; returns how many were removed."""
+        return len(self._by_user.pop(user, {}))
 
     def preferences_of(self, user: str) -> list[object]:
         return list(self._by_user.get(user, {}).values())

@@ -1,0 +1,53 @@
+"""Fault tolerance and resource governance for the execution stack.
+
+Four cooperating pieces (see ``docs/RESILIENCE.md``):
+
+* **Query guards** (:mod:`.guard`) — deadlines, row/tuple budgets and
+  cooperative cancellation, checked at operator boundaries in every
+  strategy and in the native engine.
+* **Fault injection** (:mod:`.faults`) — seeded, deterministic fault plans
+  that make robustness testable (``python -m repro chaos``).
+* **Retry and circuit breaking** (:mod:`.retry`) — exponential backoff for
+  transient faults, per-strategy health tracking.
+* **Degradation policy** (:mod:`.policy`) — the fallback chain that re-runs
+  a failed query on the next strategy and marks the result ``degraded``.
+
+The chaos runner lives in :mod:`repro.resilience.chaos`; it is imported
+lazily by the CLI to keep this package free of execution-layer imports.
+"""
+
+from .faults import (
+    NULL_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    Injection,
+    current_faults,
+    use_faults,
+)
+from .guard import (
+    NULL_GUARD,
+    CancellationToken,
+    QueryGuard,
+    current_guard,
+    use_guard,
+)
+from .policy import DEFAULT_FALLBACK, ResiliencePolicy
+from .retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "QueryGuard",
+    "CancellationToken",
+    "NULL_GUARD",
+    "current_guard",
+    "use_guard",
+    "FaultPlan",
+    "FaultSpec",
+    "Injection",
+    "NULL_FAULTS",
+    "current_faults",
+    "use_faults",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "DEFAULT_FALLBACK",
+]

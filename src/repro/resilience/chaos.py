@@ -1,0 +1,305 @@
+"""Seeded chaos conformance suite: ``python -m repro chaos``.
+
+The resilience contract this suite enforces: under fault injection, every
+execution strategy either produces **exactly** the answer the unfaulted
+reference oracle produces, or fails with a **typed** resilience error — a
+silently wrong answer is the one outcome that is never acceptable.  A
+second pass re-runs every failing scenario under a
+:class:`~repro.resilience.ResiliencePolicy` and checks that retry +
+strategy fallback recover the oracle answer with ``degraded=True`` recorded
+in the stats.
+
+Everything is deterministic: the dataset generator, the workload queries
+and the :class:`~repro.resilience.FaultPlan` are all seeded, so a failing
+``(scenario, query, strategy, seed)`` cell reproduces exactly.
+
+This module imports the execution stack and workloads, so it is *not*
+re-exported from :mod:`repro.resilience` (which stays import-light); the
+CLI imports it lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import QueryTimeout, ReproError, ResilienceError
+from .faults import FaultPlan, FaultSpec
+from .guard import QueryGuard
+from .policy import ResiliencePolicy
+from .retry import RetryPolicy
+
+
+def _no_sleep(_seconds: float) -> None:
+    """Backoff sleep replacement so chaos runs take milliseconds."""
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault schedule to subject every (query, strategy) cell to.
+
+    ``build(seed)`` returns a fresh :class:`FaultPlan` — fresh per cell,
+    because plans carry injection bookkeeping.  ``benign`` scenarios (pure
+    latency) must not change the answer at all; the others are expected to
+    fail typed without a policy and recover degraded with one.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int], FaultPlan]
+    benign: bool = False
+
+
+def builtin_scenarios() -> list[ChaosScenario]:
+    """The built-in fault schedules, covering every instrumented site."""
+    return [
+        ChaosScenario(
+            "transient-io",
+            "one transient failure on the first simulated page read",
+            lambda seed: FaultPlan.transient("iosim.scan", times=1, seed=seed),
+        ),
+        ChaosScenario(
+            "transient-dispatch",
+            "one transient failure in native-engine operator dispatch",
+            lambda seed: FaultPlan.transient("native.dispatch", times=1, seed=seed),
+        ),
+        ChaosScenario(
+            "strategy-crash",
+            "one transient failure at a strategy operator boundary",
+            lambda seed: FaultPlan.transient("strategy.*", times=1, seed=seed),
+        ),
+        ChaosScenario(
+            "slow-io",
+            "2ms of injected latency spread over early page reads (benign)",
+            lambda seed: FaultPlan(
+                [FaultSpec("iosim.scan", "latency", delay=0.0005, times=4)], seed=seed
+            ),
+            benign=True,
+        ),
+        ChaosScenario(
+            "score-corruption",
+            "one score pair corrupted in the result; the integrity gate "
+            "must turn it into DataCorruption",
+            lambda seed: FaultPlan.corrupting("pexec.scores", times=1, seed=seed),
+        ),
+        ChaosScenario(
+            "flaky-mix",
+            "30%-probability transient page-read failures (max 3) plus "
+            "occasional latency",
+            lambda seed: FaultPlan(
+                [
+                    FaultSpec("iosim.scan", "transient", probability=0.3, times=3),
+                    FaultSpec("iosim.scan", "latency", delay=0.0002, times=2, after=1),
+                ],
+                seed=seed,
+            ),
+        ),
+    ]
+
+
+@dataclass
+class ChaosCell:
+    """Outcome of one (scenario, query, strategy, mode) execution."""
+
+    scenario: str
+    query: str
+    strategy: str
+    mode: str  # 'strict' (no policy) | 'fallback'
+    outcome: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """All cells of a chaos run plus the verdict."""
+
+    seed: int
+    scale: float
+    cells: list[ChaosCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> list[ChaosCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def describe(self) -> str:
+        lines = [f"chaos run: seed={self.seed} scale={self.scale}"]
+        by_scenario: dict[str, list[ChaosCell]] = {}
+        for cell in self.cells:
+            by_scenario.setdefault(cell.scenario, []).append(cell)
+        for scenario, cells in by_scenario.items():
+            good = sum(1 for c in cells if c.ok)
+            verdict = "PASS" if good == len(cells) else "FAIL"
+            outcomes = sorted({c.outcome for c in cells if c.ok})
+            lines.append(
+                f"  {scenario:<20} {good}/{len(cells)} cells ok  [{verdict}]"
+                + (f"  ({', '.join(outcomes)})" if outcomes else "")
+            )
+        for cell in self.failures:
+            lines.append(
+                f"  FAIL {cell.scenario} / {cell.query} / {cell.strategy} "
+                f"[{cell.mode}]: {cell.outcome} — {cell.detail}"
+            )
+        total_ok = sum(1 for c in self.cells if c.ok)
+        lines.append(
+            f"chaos: {total_ok}/{len(self.cells)} cells conformant — "
+            + ("OK" if self.ok else "FAILED")
+        )
+        return "\n".join(lines)
+
+
+def _triples(result) -> list[tuple]:
+    """A result's presented rows as a canonical, order-independent set."""
+    presented = result.presented()
+    rounded = []
+    for row, score, conf in presented.triples():
+        rounded.append(
+            (
+                row,
+                None if score is None else round(score, 9),
+                round(conf, 9),
+            )
+        )
+    return sorted(rounded, key=repr)
+
+
+def run_chaos(
+    seed: int = 42,
+    scale: float = 0.001,
+    scenarios: list[ChaosScenario] | None = None,
+    strategies=None,
+) -> ChaosReport:
+    """Run every scenario × workload query × strategy; return the report.
+
+    Two modes per cell:
+
+    * **strict** — no resilience policy.  Conformant when the faulted run
+      matches the unfaulted oracle exactly, or raises a typed
+      :exc:`~repro.errors.ReproError` (a resilience error or the integrity
+      gate's :exc:`~repro.errors.DataCorruption`).
+    * **fallback** — same plan under a ``ResiliencePolicy`` (instant
+      backoff).  Conformant when the answer matches the oracle and, if any
+      failure was actually injected, the stats say ``degraded=True``.
+    """
+    from ..pexec.engine import STRATEGIES
+    from ..workloads.imdb import generate_imdb
+    from ..workloads.queries import imdb_queries
+
+    if scenarios is None:
+        scenarios = builtin_scenarios()
+    if strategies is None:
+        strategies = STRATEGIES
+    db = generate_imdb(scale=scale, seed=seed)
+    report = ChaosReport(seed=seed, scale=scale)
+    for query in imdb_queries():
+        session = query.session(db)
+        oracle = _triples(session.execute(query.sql, strategy="reference"))
+        for scenario in scenarios:
+            for strategy in strategies:
+                report.cells.append(
+                    _strict_cell(session, query, strategy, scenario, seed, oracle)
+                )
+                report.cells.append(
+                    _fallback_cell(session, query, strategy, scenario, seed, oracle)
+                )
+    return report
+
+
+def _strict_cell(session, query, strategy, scenario, seed, oracle) -> ChaosCell:
+    plan = scenario.build(seed)
+    cell = ChaosCell(scenario.name, query.name, strategy, "strict", "", ok=False)
+    try:
+        result = session.execute(query.sql, strategy=strategy, faults=plan)
+    except ReproError as err:
+        cell.outcome = f"typed-error:{type(err).__name__}"
+        # A benign (latency-only) scenario must not fail at all.
+        cell.ok = not scenario.benign
+        cell.detail = "" if cell.ok else f"benign scenario raised {err!r}"
+        return cell
+    except Exception as err:  # noqa: BLE001 - untyped escape is the bug we hunt
+        cell.outcome = f"untyped-error:{type(err).__name__}"
+        cell.detail = repr(err)
+        return cell
+    if _triples(result) == oracle:
+        cell.outcome = "match"
+        cell.ok = True
+    else:
+        cell.outcome = "silent-mismatch"
+        cell.detail = (
+            f"faulted answer differs from oracle ({len(plan.injections)} "
+            "injections performed) without any error"
+        )
+    return cell
+
+
+def _fallback_cell(session, query, strategy, scenario, seed, oracle) -> ChaosCell:
+    plan = scenario.build(seed)
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(attempts=3, base_delay=0.0, sleep=_no_sleep)
+    )
+    cell = ChaosCell(scenario.name, query.name, strategy, "fallback", "", ok=False)
+    try:
+        result = session.execute(
+            query.sql, strategy=strategy, faults=plan, resilience=policy
+        )
+    except Exception as err:  # noqa: BLE001 - fallback must recover these plans
+        cell.outcome = f"unrecovered:{type(err).__name__}"
+        cell.detail = repr(err)
+        return cell
+    if _triples(result) != oracle:
+        cell.outcome = "silent-mismatch"
+        cell.detail = "fallback answer differs from oracle"
+        return cell
+    injected_failures = [i for i in plan.injections if i.kind != "latency"]
+    if injected_failures and not result.stats.degraded:
+        cell.outcome = "undeclared-degradation"
+        cell.detail = (
+            f"{len(injected_failures)} failure(s) injected but stats.degraded "
+            "is False"
+        )
+        return cell
+    cell.outcome = "recovered-degraded" if injected_failures else "match"
+    cell.ok = True
+    return cell
+
+
+@dataclass
+class SmokeOutcome:
+    """Result of the timeout smoke test."""
+
+    ok: bool
+    message: str
+
+
+def timeout_smoke(scale: float = 0.001, timeout: float = 0.001) -> SmokeOutcome:
+    """A query with a 1ms deadline must raise QueryTimeout, not hang.
+
+    Injected page-read latency (10 × 1ms) guarantees the deadline expires
+    mid-query regardless of machine speed, so the assertion is about the
+    guard firing, not about the query being slow.
+    """
+    from ..workloads.imdb import generate_imdb
+    from ..workloads.queries import imdb_1
+
+    query = imdb_1()
+    session = query.session(generate_imdb(scale=scale, seed=7))
+    guard = QueryGuard(timeout=timeout)
+    slow = FaultPlan(
+        [FaultSpec("iosim.scan", "latency", delay=timeout, times=10)], seed=7
+    )
+    try:
+        session.execute(query.sql, strategy="gbu", guard=guard, faults=slow)
+    except QueryTimeout as err:
+        return SmokeOutcome(True, f"timeout smoke: OK ({err})")
+    except Exception as err:  # noqa: BLE001 - anything else fails the smoke
+        return SmokeOutcome(
+            False, f"timeout smoke: FAILED — raised {type(err).__name__} ({err})"
+        )
+    return SmokeOutcome(
+        False,
+        "timeout smoke: FAILED — query completed despite the expired deadline",
+    )

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultPlan` is a seeded schedule of failures the execution stack
+volunteers to suffer: the instrumented *sites* call into the ambient plan
+and the plan decides — reproducibly, from its seed — whether to raise a
+:exc:`~repro.errors.TransientFault`, inject latency, or corrupt a score
+pair.  Robustness claims then become testable: the chaos conformance suite
+(:mod:`repro.resilience.chaos`) runs every strategy under seeded plans and
+asserts each either matches the reference oracle exactly or raises a typed
+resilience error — never a silently wrong answer.
+
+Instrumented sites:
+
+======================  ======================================================
+``iosim.scan``          Simulated page reads (:meth:`CostModel.scan`).
+``native.dispatch``     Native-engine operator dispatch (one hit/operator).
+``strategy.<name>``     Strategy operator boundaries (``strategy.gbu``,
+                        ``strategy.bu``, ``strategy.ftp``,
+                        ``strategy.plugin``, ``strategy.reference``).
+``pexec.scores``        The engine's result gate: a ``corrupt`` fault here
+                        flips one score pair to an invalid value, which the
+                        engine's integrity check must catch.
+======================  ======================================================
+
+Site patterns may end in ``*`` to match a prefix (``strategy.*``).  Like the
+tracer and guard, the ambient plan defaults to :data:`NULL_FAULTS`, a no-op
+behind one ``enabled`` attribute check.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from ..errors import TransientFault
+
+KINDS = ("transient", "latency", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: where, what, how often.
+
+    ``site`` is an exact site name or a ``prefix*`` pattern.  ``times``
+    bounds how many injections the rule performs over the plan's lifetime
+    (``None`` = unbounded); ``after`` skips the first N matching hits;
+    ``probability`` gates each eligible hit through the plan's seeded RNG.
+    ``delay`` is the sleep, in seconds, for ``latency`` faults.
+    """
+
+    site: str
+    kind: str = "transient"
+    probability: float = 1.0
+    times: int | None = 1
+    after: int = 0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose {KINDS}")
+
+    def matches(self, site: str) -> bool:
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+
+@dataclass
+class Injection:
+    """Record of one performed injection (for reports and assertions)."""
+
+    site: str
+    kind: str
+    spec: FaultSpec
+    hit: int
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of fault injections.
+
+    The same ``(specs, seed)`` pair always injects at the same hits — the
+    RNG is consulted only for rules with ``probability < 1`` and draws in
+    site-call order, which is itself deterministic for a given query.
+    """
+
+    enabled = True
+
+    def __init__(self, specs=(), seed: int = 0, sleep=time.sleep):
+        self.specs: list[FaultSpec] = list(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._hits: dict[int, int] = {}
+        self._fired: dict[int, int] = {}
+        self.injections: list[Injection] = []
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def transient(cls, site: str, times: int | None = 1, seed: int = 0, **kw) -> "FaultPlan":
+        return cls([FaultSpec(site, "transient", times=times, **kw)], seed=seed)
+
+    @classmethod
+    def latency(cls, site: str, delay: float, times: int | None = 1, seed: int = 0, **kw) -> "FaultPlan":
+        return cls([FaultSpec(site, "latency", delay=delay, times=times, **kw)], seed=seed)
+
+    @classmethod
+    def corrupting(cls, site: str = "pexec.scores", times: int | None = 1, seed: int = 0, **kw) -> "FaultPlan":
+        return cls([FaultSpec(site, "corrupt", times=times, **kw)], seed=seed)
+
+    # -- the injection protocol ------------------------------------------------
+
+    def at(self, site: str) -> None:
+        """Visit *site*: may sleep (latency) or raise :exc:`TransientFault`."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind == "corrupt" or not spec.matches(site):
+                continue
+            if not self._eligible(index, spec):
+                continue
+            self._record(site, spec, index)
+            if spec.kind == "latency":
+                self._sleep(spec.delay)
+            else:
+                raise TransientFault(site)
+
+    def corrupts(self, site: str = "pexec.scores") -> bool:
+        """True when a ``corrupt`` rule fires for this visit of *site*."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "corrupt" or not spec.matches(site):
+                continue
+            if not self._eligible(index, spec):
+                continue
+            self._record(site, spec, index)
+            return True
+        return False
+
+    def pick(self, n: int) -> int:
+        """Deterministic index choice in ``[0, n)`` (used to pick the victim pair)."""
+        return self._rng.randrange(n) if n > 0 else 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _eligible(self, index: int, spec: FaultSpec) -> bool:
+        hit = self._hits.get(index, 0)
+        self._hits[index] = hit + 1
+        if hit < spec.after:
+            return False
+        fired = self._fired.get(index, 0)
+        if spec.times is not None and fired >= spec.times:
+            return False
+        if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            return False
+        return True
+
+    def _record(self, site: str, spec: FaultSpec, index: int) -> None:
+        self._fired[index] = self._fired.get(index, 0) + 1
+        self.injections.append(Injection(site, spec.kind, spec, self._hits[index]))
+
+    def reset(self) -> None:
+        """Rewind the plan to its initial state (same seed, zero hits)."""
+        self._rng = random.Random(self.seed)
+        self._hits = {}
+        self._fired = {}
+        self.injections = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rules = ", ".join(f"{s.kind}@{s.site}" for s in self.specs)
+        return f"FaultPlan(seed={self.seed}, [{rules}])"
+
+
+class _NullFaults:
+    """The always-installed default: no faults, near-zero cost."""
+
+    __slots__ = ()
+
+    enabled = False
+    specs: list = []
+    injections: list = []
+
+    def at(self, site: str) -> None:
+        pass
+
+    def corrupts(self, site: str = "pexec.scores") -> bool:
+        return False
+
+    def pick(self, n: int) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_FAULTS = _NullFaults()
+
+#: The ambient fault plan; NULL_FAULTS unless :func:`use_faults` installed one.
+_CURRENT: ContextVar["FaultPlan | _NullFaults"] = ContextVar(
+    "repro_faults", default=NULL_FAULTS
+)
+
+
+def current_faults() -> "FaultPlan | _NullFaults":
+    """The fault plan installed for the current context (no-op by default)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_faults(plan: "FaultPlan | _NullFaults | None"):
+    """Install *plan* as the ambient fault plan for the enclosed block."""
+    token = _CURRENT.set(plan if plan is not None else NULL_FAULTS)
+    try:
+        yield plan
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,65 @@
+"""Graceful degradation policy: retry × circuit breaker × strategy fallback.
+
+A :class:`ResiliencePolicy` tells the execution engine how to keep
+answering when a strategy fails: retry transient faults with exponential
+backoff, track per-strategy health in circuit breakers, and fall back along
+a configurable strategy chain (default ``gbu → bu → ftp → reference``),
+re-running the query on the next strategy.  A result produced after any
+failure is marked ``degraded=True`` in its :class:`ExecutionStats` and the
+failure cause is recorded on the query's tracer span — degradation is
+observable, never silent (cf. Chomicki's argument for engines that degrade
+incrementally rather than recompute-or-die).
+"""
+
+from __future__ import annotations
+
+from .retry import CircuitBreaker, RetryPolicy
+
+#: Default fallback order: fastest strategy first, the always-correct
+#: reference oracle as the last resort.
+DEFAULT_FALLBACK = ("gbu", "bu", "ftp", "reference")
+
+
+class ResiliencePolicy:
+    """How the engine degrades: retry, breakers, and the fallback chain.
+
+    ``fallback`` lists strategies in preference order; :meth:`chain_for`
+    starts at the requested strategy and continues *down* the list (a
+    request for a strategy outside the list prepends it).  Pass
+    ``fallback=()`` for retry-only behavior, or ``breaker_threshold=None``
+    to disable circuit breaking.
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        fallback=DEFAULT_FALLBACK,
+        breaker_threshold: int | None = 3,
+        breaker_cooldown: float = 30.0,
+    ):
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fallback = tuple(fallback)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def chain_for(self, strategy: str) -> list[str]:
+        """The strategies to try, in order, for a query requesting *strategy*."""
+        if strategy in self.fallback:
+            position = self.fallback.index(strategy)
+            return list(self.fallback[position:])
+        return [strategy, *self.fallback]
+
+    def breaker(self, strategy: str) -> CircuitBreaker | None:
+        """The (lazily created) breaker for *strategy*; ``None`` when disabled."""
+        if self.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(strategy)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown)
+            self._breakers[strategy] = breaker
+        return breaker
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per strategy (for dashboards and tests)."""
+        return {name: b.state for name, b in sorted(self._breakers.items())}

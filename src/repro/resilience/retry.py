@@ -1,0 +1,84 @@
+"""Retry with exponential backoff and per-strategy circuit breakers.
+
+Both pieces are deterministic and clock-injectable so the test suite can
+exercise open/half-open transitions and backoff schedules without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff for transient faults.
+
+    ``attempts`` is the total number of tries per strategy (1 = no retry);
+    the pause before retry *k* (1-based) is
+    ``min(base_delay * multiplier**(k-1), max_delay)``.  ``sleep`` is
+    injectable; tests pass a no-op.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    sleep: object = time.sleep
+
+    def backoff(self, attempt: int) -> float:
+        """Pause, in seconds, after failed attempt number *attempt* (1-based)."""
+        return min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+
+    def pause(self, attempt: int, guard=None) -> None:
+        """Sleep the backoff for *attempt*, clamped to the guard's deadline.
+
+        When the guard's remaining time is already spent the pause is
+        skipped — the next operator-boundary check will raise the timeout,
+        keeping the failure typed instead of sleeping past the deadline.
+        """
+        delay = self.backoff(attempt)
+        if guard is not None and guard.enabled:
+            remaining = guard.remaining()
+            if remaining is not None:
+                delay = min(delay, remaining)
+        if delay > 0:
+            self.sleep(delay)
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-strategy failure breaker: closed → open → half-open.
+
+    After ``threshold`` consecutive failures the circuit opens and
+    :meth:`allow` returns ``False`` until ``cooldown`` seconds pass, at
+    which point one probe attempt is allowed (half-open); success closes the
+    circuit, failure re-opens it.
+    """
+
+    threshold: int = 3
+    cooldown: float = 30.0
+    clock: object = time.monotonic
+    failures: int = 0
+    opened_at: float | None = field(default=None)
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.clock() - self.opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now."""
+        return self.state != "open"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_at = self.clock()
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None

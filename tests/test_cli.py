@@ -52,6 +52,62 @@ class TestInProcess:
         assert main(["query", "--db", str(tmp_path), "--strategy", "warp", "SELECT title FROM MOVIES"]) == 1
 
 
+class TestQueryGuardsFlags:
+    def test_expired_timeout_is_a_typed_cli_error(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        code = main(
+            ["query", "--db", str(tmp_path), "--timeout", "0",
+             "SELECT title FROM MOVIES"]
+        )
+        assert code == 1
+        assert "deadline" in capsys.readouterr().err
+
+    def test_max_rows_budget_reported(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        code = main(
+            ["query", "--db", str(tmp_path), "--max-rows", "1",
+             "SELECT title FROM MOVIES"]
+        )
+        assert code == 1
+        assert "rows budget" in capsys.readouterr().err
+
+    def test_generous_budgets_do_not_interfere(self, tmp_path, capsys):
+        main(["generate", "--scale", "0.0005", "--out", str(tmp_path)])
+        capsys.readouterr()
+        code = main(
+            ["query", "--db", str(tmp_path), "--timeout", "60",
+             "--max-rows", "100000", "SELECT title FROM MOVIES TOP 2 BY conf"]
+        )
+        assert code == 0
+        assert "MOVIES.title" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "transient-io" in out and "score-corruption" in out
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["chaos", "--scenario", "kaboom"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_single_scenario_run_passes(self, capsys):
+        assert main(["chaos", "--scale", "0.0005", "--scenario", "slow-io"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-io" in out and "OK" in out
+
+    def test_timeout_smoke_flag(self, capsys):
+        code = main(
+            ["chaos", "--scale", "0.0005", "--scenario", "slow-io",
+             "--timeout-smoke"]
+        )
+        assert code == 0
+        assert "timeout smoke: OK" in capsys.readouterr().out
+
+
 class TestStaticAnalysisCommands:
     def test_lint_clean_tree(self, capsys):
         import os

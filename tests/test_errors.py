@@ -4,14 +4,21 @@ import pytest
 
 from repro.errors import (
     CatalogError,
+    CircuitOpen,
+    DataCorruption,
     ExecutionError,
     ExpressionError,
     OptimizerError,
     ParseError,
     PlanError,
     PreferenceError,
+    QueryCancelled,
+    QueryTimeout,
     ReproError,
+    ResilienceError,
+    ResourceExhausted,
     SchemaError,
+    TransientFault,
     TypeError_,
 )
 
@@ -51,6 +58,41 @@ class TestHierarchy:
             except ReproError:
                 failures += 1
         assert failures == 4
+
+
+class TestResilienceErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [QueryTimeout, QueryCancelled, ResourceExhausted, TransientFault,
+         CircuitOpen, DataCorruption],
+    )
+    def test_all_derive_from_resilience_error(self, exc):
+        assert issubclass(exc, ResilienceError)
+        assert issubclass(exc, ReproError)
+
+    def test_query_timeout_reports_budget_and_elapsed(self):
+        err = QueryTimeout(0.5, elapsed=0.7123)
+        assert err.timeout == 0.5
+        assert "0.500s deadline" in str(err) and "0.712s" in str(err)
+        assert "ran" not in str(QueryTimeout(0.5))
+
+    def test_resource_exhausted_carries_budget_fields(self):
+        err = ResourceExhausted("tuples", 100, 150)
+        assert (err.kind, err.limit, err.used) == ("tuples", 100, 150)
+        assert "150 > 100" in str(err)
+
+    def test_transient_fault_names_its_site(self):
+        err = TransientFault("iosim.scan")
+        assert err.site == "iosim.scan"
+        assert "iosim.scan" in str(err)
+
+    def test_circuit_open_names_the_strategy(self):
+        assert "'gbu'" in str(CircuitOpen("gbu"))
+
+    def test_data_corruption_location_formats(self):
+        assert str(DataCorruption("bad")) == "bad"
+        assert str(DataCorruption("bad", path="t.jsonl")).endswith("[t.jsonl]")
+        assert str(DataCorruption("bad", path="t.jsonl", line=7)).endswith("[t.jsonl:7]")
 
 
 class TestParseErrorLocation:

@@ -1,0 +1,222 @@
+"""Tests for graceful degradation: retry, circuit breakers, strategy fallback."""
+
+import pytest
+
+from repro.errors import CircuitOpen, DataCorruption, TransientFault
+from repro.obs import Tracer
+from repro.query.session import Session
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    QueryGuard,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.resilience.policy import DEFAULT_FALLBACK
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule_with_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert [policy.backoff(k) for k in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_pause_sleeps_the_backoff(self):
+        naps = []
+        policy = RetryPolicy(base_delay=0.1, sleep=naps.append)
+        policy.pause(2)
+        assert naps == [pytest.approx(0.2)]
+
+    def test_pause_clamps_to_guard_deadline(self):
+        naps = []
+        policy = RetryPolicy(base_delay=10.0, sleep=naps.append)
+        clock = FakeClock()
+        guard = QueryGuard(timeout=0.5, clock=clock)
+        clock.advance(0.4)
+        policy.pause(1, guard)
+        assert naps == [pytest.approx(0.1)]
+
+    def test_pause_skipped_when_deadline_spent(self):
+        naps = []
+        policy = RetryPolicy(base_delay=10.0, sleep=naps.append)
+        clock = FakeClock()
+        guard = QueryGuard(timeout=0.5, clock=clock)
+        clock.advance(2.0)
+        policy.pause(1, guard)
+        assert naps == []
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=30.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(31.0)
+        assert breaker.state == "half-open" and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+
+    def test_half_open_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=30.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(31.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+
+class TestResiliencePolicy:
+    def test_chain_starts_at_requested_strategy(self):
+        policy = ResiliencePolicy()
+        assert policy.chain_for("gbu") == list(DEFAULT_FALLBACK)
+        assert policy.chain_for("ftp") == ["ftp", "reference"]
+        assert policy.chain_for("reference") == ["reference"]
+
+    def test_unknown_strategy_is_prepended(self):
+        policy = ResiliencePolicy()
+        assert policy.chain_for("plugin-rma") == ["plugin-rma", *DEFAULT_FALLBACK]
+
+    def test_breakers_are_lazy_and_per_strategy(self):
+        policy = ResiliencePolicy()
+        assert policy.breaker_states() == {}
+        assert policy.breaker("gbu") is policy.breaker("gbu")
+        assert policy.breaker("gbu") is not policy.breaker("bu")
+        assert policy.breaker_states() == {"bu": "closed", "gbu": "closed"}
+
+    def test_breakers_can_be_disabled(self):
+        policy = ResiliencePolicy(breaker_threshold=None)
+        assert policy.breaker("gbu") is None
+
+
+SQL = "SELECT title FROM MOVIES PREFERRING p5 TOP 3 BY score"
+
+
+def instant_policy(**kw) -> ResiliencePolicy:
+    return ResiliencePolicy(
+        retry=RetryPolicy(base_delay=0.0, sleep=lambda _s: None), **kw
+    )
+
+
+@pytest.fixture
+def session(movie_db, example_preferences) -> Session:
+    session = Session(movie_db)
+    session.register(example_preferences["p5"])
+    return session
+
+
+class TestEngineFallback:
+    def test_transient_fault_is_retried_and_marked_degraded(self, session):
+        clean = session.execute(SQL)
+        tracer = Tracer()
+        result = session.execute(
+            SQL,
+            tracer=tracer,
+            faults=FaultPlan.transient("iosim.scan", times=1),
+            resilience=instant_policy(),
+        )
+        assert clean.relation.same_contents(result.relation)
+        assert result.stats.degraded is True
+        assert result.stats.attempts == 2
+        assert any("iosim.scan" in failure for failure in result.stats.failures)
+        assert "degraded" in result.stats.summary()
+
+    def test_degradation_recorded_on_the_trace(self, session):
+        tracer = Tracer()
+        result = session.execute(
+            SQL,
+            tracer=tracer,
+            faults=FaultPlan.transient("iosim.scan", times=1),
+            resilience=instant_policy(),
+        )
+        span = result.stats.trace
+        assert span.attrs["degraded"] is True
+        assert "iosim.scan" in span.attrs["failure_cause"]
+        assert span.attrs["failures"] == result.stats.failures
+
+    def test_persistently_failing_strategy_falls_back(self, session):
+        clean = session.execute(SQL, strategy="bu")
+        result = session.execute(
+            SQL,
+            strategy="gbu",
+            faults=FaultPlan.transient("strategy.gbu", times=None),
+            resilience=instant_policy(),
+        )
+        assert clean.relation.same_contents(result.relation)
+        assert result.stats.degraded
+        assert any("gbu" in failure for failure in result.stats.failures)
+
+    def test_corruption_is_retried_then_recovered(self, session):
+        clean = session.execute(SQL, strategy="reference")
+        result = session.execute(
+            SQL,
+            strategy="reference",  # last rung: recovery must come from retry
+            faults=FaultPlan.corrupting(times=1),
+            resilience=instant_policy(),
+        )
+        assert clean.relation.same_contents(result.relation)
+        assert result.stats.degraded
+        assert any("DataCorruption" in failure for failure in result.stats.failures)
+
+    def test_chain_exhaustion_raises_the_last_typed_error(self, session):
+        with pytest.raises(TransientFault):
+            session.execute(
+                SQL,
+                faults=FaultPlan.transient("strategy.*", times=None),
+                resilience=instant_policy(),
+            )
+
+    def test_open_breaker_skips_the_strategy(self, session):
+        policy = instant_policy(breaker_threshold=1, breaker_cooldown=3600.0)
+        policy.breaker("gbu").record_failure()  # force the gbu circuit open
+        result = session.execute(SQL, strategy="gbu", resilience=policy)
+        assert result.stats.degraded
+        assert "gbu: circuit open" in result.stats.failures
+
+    def test_all_breakers_open_raises_circuit_open(self, session):
+        policy = instant_policy(breaker_threshold=1, breaker_cooldown=3600.0)
+        for strategy in DEFAULT_FALLBACK:
+            policy.breaker(strategy).record_failure()
+        with pytest.raises(CircuitOpen):
+            session.execute(SQL, resilience=policy)
+
+    def test_repeated_failures_open_the_breaker(self, session):
+        policy = instant_policy(breaker_threshold=2, breaker_cooldown=3600.0)
+        plan = FaultPlan.transient("strategy.gbu", times=None)
+        session.execute(SQL, faults=plan, resilience=policy)
+        assert policy.breaker_states()["gbu"] == "open"
+
+    def test_clean_run_is_not_degraded(self, session):
+        result = session.execute(SQL, resilience=instant_policy())
+        assert result.stats.degraded is False
+        assert result.stats.attempts == 1
+        assert result.stats.failures == []
+
+    def test_session_level_policy_applies(self, movie_db, example_preferences):
+        session = Session(movie_db, resilience=instant_policy())
+        session.register(example_preferences["p5"])
+        result = session.execute(SQL, faults=FaultPlan.transient("iosim.scan", times=1))
+        assert result.stats.degraded
+
+    def test_fallback_disabled_without_policy(self, session):
+        with pytest.raises(TransientFault):
+            session.execute(SQL, faults=FaultPlan.transient("iosim.scan", times=1))

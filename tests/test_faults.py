@@ -1,0 +1,162 @@
+"""Tests for deterministic fault injection (FaultSpec / FaultPlan)."""
+
+import pytest
+
+from repro.errors import DataCorruption, TransientFault
+from repro.query.session import Session
+from repro.resilience import FaultPlan, FaultSpec, use_faults
+from repro.resilience.faults import NULL_FAULTS, current_faults
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("iosim.scan", "explode")
+
+    def test_exact_and_prefix_matching(self):
+        exact = FaultSpec("iosim.scan")
+        assert exact.matches("iosim.scan")
+        assert not exact.matches("iosim.scan2")
+        prefix = FaultSpec("strategy.*")
+        assert prefix.matches("strategy.gbu")
+        assert prefix.matches("strategy.reference")
+        assert not prefix.matches("native.dispatch")
+
+
+class TestFaultPlan:
+    def test_transient_fires_limited_times(self):
+        plan = FaultPlan.transient("iosim.scan", times=2)
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                plan.at("iosim.scan")
+        plan.at("iosim.scan")  # budget exhausted: no more failures
+        assert len(plan.injections) == 2
+        assert all(i.site == "iosim.scan" for i in plan.injections)
+
+    def test_transient_error_is_typed_with_site(self):
+        plan = FaultPlan.transient("native.dispatch")
+        with pytest.raises(TransientFault) as excinfo:
+            plan.at("native.dispatch")
+        assert excinfo.value.site == "native.dispatch"
+
+    def test_after_skips_early_hits(self):
+        plan = FaultPlan([FaultSpec("s", after=2)])
+        plan.at("s")
+        plan.at("s")
+        with pytest.raises(TransientFault):
+            plan.at("s")
+
+    def test_other_sites_untouched(self):
+        plan = FaultPlan.transient("iosim.scan")
+        plan.at("native.dispatch")
+        plan.at("strategy.gbu")
+        assert plan.injections == []
+
+    def test_latency_calls_injected_sleep(self):
+        naps = []
+        plan = FaultPlan(
+            [FaultSpec("iosim.scan", "latency", delay=0.25, times=3)],
+            sleep=naps.append,
+        )
+        for _ in range(5):
+            plan.at("iosim.scan")
+        assert naps == [0.25, 0.25, 0.25]
+
+    def test_probability_is_seed_deterministic(self):
+        def firing_pattern(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                [FaultSpec("s", probability=0.5, times=None)], seed=seed
+            )
+            pattern = []
+            for _ in range(32):
+                try:
+                    plan.at("s")
+                    pattern.append(False)
+                except TransientFault:
+                    pattern.append(True)
+            return pattern
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert any(firing_pattern(7))  # p=0.5 over 32 draws: some fire...
+        assert not all(firing_pattern(7))  # ...and some don't
+
+    def test_corrupts_consumes_its_budget(self):
+        plan = FaultPlan.corrupting()
+        assert plan.corrupts("pexec.scores")
+        assert not plan.corrupts("pexec.scores")
+
+    def test_pick_is_deterministic_per_seed(self):
+        a = FaultPlan(seed=3)
+        b = FaultPlan(seed=3)
+        assert [a.pick(10) for _ in range(8)] == [b.pick(10) for _ in range(8)]
+
+    def test_reset_rewinds_to_seed_state(self):
+        plan = FaultPlan.transient("s", times=1, seed=5)
+        with pytest.raises(TransientFault):
+            plan.at("s")
+        plan.at("s")
+        plan.reset()
+        assert plan.injections == []
+        with pytest.raises(TransientFault):
+            plan.at("s")
+
+    def test_null_faults_noop(self):
+        assert NULL_FAULTS.enabled is False
+        NULL_FAULTS.at("anything")
+        assert not NULL_FAULTS.corrupts()
+
+    def test_ambient_plan_contextvar(self):
+        assert current_faults() is NULL_FAULTS
+        plan = FaultPlan.transient("s")
+        with use_faults(plan):
+            assert current_faults() is plan
+        assert current_faults() is NULL_FAULTS
+
+
+SQL = "SELECT title FROM MOVIES PREFERRING p5 TOP 3 BY score"
+
+
+@pytest.fixture
+def session(movie_db, example_preferences) -> Session:
+    session = Session(movie_db)
+    session.register(example_preferences["p5"])
+    return session
+
+
+class TestEngineIntegration:
+    def test_page_read_fault_surfaces_typed(self, session):
+        with pytest.raises(TransientFault):
+            session.execute(SQL, faults=FaultPlan.transient("iosim.scan"))
+
+    def test_dispatch_fault_surfaces_typed(self, session):
+        with pytest.raises(TransientFault):
+            session.execute(SQL, faults=FaultPlan.transient("native.dispatch"))
+
+    @pytest.mark.parametrize(
+        "strategy,site",
+        [
+            ("gbu", "strategy.gbu"),
+            ("bu", "strategy.bu"),
+            ("ftp", "strategy.ftp"),
+            ("plugin-rma", "strategy.plugin"),
+            ("plugin-shared", "strategy.plugin"),
+            ("reference", "strategy.reference"),
+        ],
+    )
+    def test_each_strategy_exposes_its_site(self, session, strategy, site):
+        with pytest.raises(TransientFault) as excinfo:
+            session.execute(SQL, strategy=strategy, faults=FaultPlan.transient(site))
+        assert excinfo.value.site == site
+
+    def test_score_corruption_is_caught_by_integrity_gate(self, session):
+        with pytest.raises(DataCorruption) as excinfo:
+            session.execute(SQL, faults=FaultPlan.corrupting())
+        assert "invalid score pair" in str(excinfo.value)
+
+    def test_exhausted_plan_leaves_results_exact(self, session):
+        plan = FaultPlan.transient("iosim.scan", times=1)
+        with pytest.raises(TransientFault):
+            session.execute(SQL, faults=plan)
+        clean = session.execute(SQL)
+        faulted = session.execute(SQL, faults=plan)  # budget already spent
+        assert clean.relation.same_contents(faulted.relation)

@@ -34,8 +34,30 @@ class TestBookkeeping:
         assert len(store.preferences_of("carol")) == 1
 
     def test_remove(self, store):
-        store.remove("alice", "P1")
+        assert store.remove("alice", "P1") is True
         assert {p.name for p in store.preferences_of("alice")} == {"p2"}
+
+    def test_remove_reports_misses(self, store):
+        assert store.remove("alice", "no-such-preference") is False
+        assert store.remove("nobody", "p1") is False
+        assert {p.name for p in store.preferences_of("alice")} == {"p1", "p2"}
+
+    def test_remove_is_idempotent(self, store):
+        assert store.remove("alice", "p1") is True
+        assert store.remove("alice", "p1") is False
+
+    def test_clear_drops_all_and_counts(self, store):
+        assert store.clear("alice") == 2
+        assert store.preferences_of("alice") == []
+        assert store.users() == ["bob"]
+
+    def test_clear_unknown_user_is_zero(self, store):
+        assert store.clear("nobody") == 0
+
+    def test_add_after_clear(self, store, example_preferences):
+        store.clear("alice")
+        store.add("alice", example_preferences["p1"])
+        assert {p.name for p in store.preferences_of("alice")} == {"p1"}
 
 
 class TestSessions:
