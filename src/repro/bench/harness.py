@@ -56,6 +56,26 @@ class Measurement:
     trace: object | None = None
     trace_overhead_pct: float | None = None
 
+    # -- tail latency (over the timed runs; see repro.serve.executor) -----------
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Nearest-rank percentile of the timed runs, in milliseconds."""
+        from ..serve.executor import percentile
+
+        return percentile(self.runs, fraction)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(0.99)
+
 
 def measure(
     session: Session,
@@ -206,7 +226,14 @@ def matrix_table(
 
 
 def _unit(metric: str) -> str:
-    return {"wall_ms": "ms", "total_io": "pages", "rows": "rows"}.get(metric, metric)
+    return {
+        "wall_ms": "ms",
+        "p50_ms": "ms",
+        "p95_ms": "ms",
+        "p99_ms": "ms",
+        "total_io": "pages",
+        "rows": "rows",
+    }.get(metric, metric)
 
 
 def table2_properties(db: Database, workload_query: WorkloadQuery) -> dict:

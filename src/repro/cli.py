@@ -13,6 +13,13 @@ Commands:
 * ``chaos`` — run the seeded fault-injection conformance suite
   (``repro.resilience.chaos``): every strategy under every fault scenario
   must match the oracle or fail with a typed resilience error.
+  ``--scenario concurrent`` runs the serving-layer scenario instead
+  (``repro.resilience.chaos_concurrent``): writer threads mutate
+  preferences while reader threads must match the oracle on their own
+  snapshot, plus the crash-at-arbitrary-WAL-offset recovery sweep.
+* ``serve-bench`` — closed-loop concurrent serving benchmark
+  (``repro.serve.bench``): N client threads through the admission-controlled
+  executor, reporting throughput and p50/p95/p99 tail latency.
 """
 
 from __future__ import annotations
@@ -150,6 +157,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="also verify that a 1ms-deadline query raises QueryTimeout "
         "instead of hanging",
     )
+    chaos.add_argument(
+        "--writers", type=int, default=4,
+        help="writer threads for --scenario concurrent (default 4)",
+    )
+    chaos.add_argument(
+        "--readers", type=int, default=4,
+        help="reader threads for --scenario concurrent (default 4)",
+    )
+    chaos.add_argument(
+        "--queries", type=int, default=8,
+        help="queries per reader for --scenario concurrent (default 8)",
+    )
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="closed-loop concurrent serving benchmark: throughput and "
+        "p50/p95/p99 tail latency through the admission-controlled executor",
+    )
+    serve_bench.add_argument(
+        "--threads", type=int, default=4, help="client (and worker) threads"
+    )
+    serve_bench.add_argument(
+        "--duration", type=float, default=2.0, help="measurement window, seconds"
+    )
+    serve_bench.add_argument("--strategy", default="gbu")
+    serve_bench.add_argument("--scale", type=float, default=0.001)
+    serve_bench.add_argument("--seed", type=int, default=42)
+    serve_bench.add_argument(
+        "--queue-limit", type=int, help="admission waiting room (default 2×threads)"
+    )
+    serve_bench.add_argument(
+        "--session-limit", type=int, help="per-session in-flight cap (default none)"
+    )
+    serve_bench.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="append the serve.latency span to FILE as JSONL",
+    )
 
     return parser
 
@@ -171,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
             return _verify_plan(args)
         if args.command == "chaos":
             return _chaos(args)
+        if args.command == "serve-bench":
+            return _serve_bench(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -431,20 +478,34 @@ def _chaos(args) -> int:
     if args.list:
         for scenario in scenarios:
             print(f"{scenario.name:<20} {scenario.description}")
+        print(
+            f"{'concurrent':<20} writers mutate the live server while readers "
+            "must match the oracle on their snapshot; plus the "
+            "crash-at-any-WAL-offset recovery sweep"
+        )
         return 0
+    status = 0
+    run_classic = True
     if args.scenario:
         wanted = {name.lower() for name in args.scenario}
+        if "concurrent" in wanted:
+            wanted.discard("concurrent")
+            if not _concurrent_chaos(args):
+                status = 1
+            run_classic = bool(wanted)
         known = {s.name.lower() for s in scenarios}
         unknown = wanted - known
         if unknown:
             raise ReproError(
                 f"unknown scenario(s) {sorted(unknown)}; choose from "
-                + ", ".join(sorted(known))
+                + ", ".join(sorted(known | {'concurrent'}))
             )
         scenarios = [s for s in scenarios if s.name.lower() in wanted]
-    report = run_chaos(seed=args.seed, scale=args.scale, scenarios=scenarios)
-    print(report.describe())
-    status = 0 if report.ok else 1
+    if run_classic:
+        report = run_chaos(seed=args.seed, scale=args.scale, scenarios=scenarios)
+        print(report.describe())
+        if not report.ok:
+            status = 1
     if args.timeout_smoke:
         print()
         outcome = timeout_smoke(scale=args.scale)
@@ -452,6 +513,51 @@ def _chaos(args) -> int:
         if not outcome.ok:
             status = 1
     return status
+
+
+def _concurrent_chaos(args) -> bool:
+    """Run the serving-layer chaos scenario + WAL recovery sweep; True when OK."""
+    import tempfile
+
+    from .resilience.chaos_concurrent import run_concurrent_chaos, wal_recovery_check
+
+    report = run_concurrent_chaos(
+        seed=args.seed,
+        scale=args.scale,
+        writers=args.writers,
+        readers=args.readers,
+        queries_per_reader=args.queries,
+    )
+    print(report.describe())
+    print()
+    with tempfile.TemporaryDirectory(prefix="repro-wal-chaos-") as directory:
+        recovery = wal_recovery_check(directory, seed=args.seed)
+    print(recovery.describe())
+    return report.ok and recovery.ok
+
+
+def _serve_bench(args) -> int:
+    from .serve.bench import serve_bench
+
+    sink = None
+    if args.trace_out:
+        from .obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out)
+    report = serve_bench(
+        threads=args.threads,
+        duration=args.duration,
+        strategy=args.strategy,
+        scale=args.scale,
+        seed=args.seed,
+        queue_limit=args.queue_limit,
+        session_limit=args.session_limit,
+        trace_sink=sink,
+    )
+    print(report.describe())
+    if sink is not None:
+        print(f"serving telemetry appended to {args.trace_out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _print_result(session: Session, result, limit: int) -> None:

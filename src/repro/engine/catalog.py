@@ -60,6 +60,39 @@ class Catalog:
         """All registered tables (unspecified order)."""
         return self._tables.values()
 
+    # -- snapshots ---------------------------------------------------------------
+
+    def fork(self) -> "Catalog":
+        """A catalog sharing table/index/stats *objects* but no containers.
+
+        This is the copy-on-write snapshot step: the fork and the original
+        see the same (frozen) tables until a writer replaces one via
+        :meth:`replace_table`; registry mutations (create/drop table or
+        index, fresh statistics) on either side never surface on the other.
+        """
+        clone = Catalog()
+        clone._tables = dict(self._tables)
+        clone._indexes = {key: list(indexes) for key, indexes in self._indexes.items()}
+        clone._stats = dict(self._stats)
+        return clone
+
+    def replace_table(self, table: Table) -> None:
+        """Swap in a forked table and rebuild its secondary indexes fresh.
+
+        The old table's Index objects keep serving any snapshot that shares
+        them; the replacement gets brand-new indexes over its own rows so
+        in-place index rebuilds after future bulk loads cannot leak across
+        the snapshot boundary.
+        """
+        key = self._key(table.name)
+        if key not in self._tables:
+            raise CatalogError(f"table {table.name!r} does not exist")
+        old_indexes = self._indexes.get(key, [])
+        self._tables[key] = table
+        self._indexes[key] = [
+            build_index(table, index.attrs, index.kind) for index in old_indexes
+        ]
+
     # -- indexes ---------------------------------------------------------------
 
     def create_index(self, table_name: str, attrs: Sequence[str] | str, kind: str = "hash") -> Index:
@@ -90,6 +123,16 @@ class Catalog:
         """Refresh index contents after bulk loads."""
         for index in self._indexes.get(self._key(table_name), []):
             index._build()
+
+    def index_row(self, table_name: str, row) -> None:
+        """Incrementally add one freshly inserted row to the table's indexes.
+
+        Only ever touches live-side indexes: a COW fork rebuilds fresh Index
+        objects via replace_table before any post-snapshot insert reaches
+        here, so snapshots never share the mutated structures.
+        """
+        for index in self._indexes.get(self._key(table_name), []):
+            index.add(row)
 
     # -- statistics --------------------------------------------------------------
 

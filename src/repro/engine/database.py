@@ -1,10 +1,12 @@
-"""The :class:`Database` facade: DDL, DML and native query execution."""
+"""The :class:`Database` facade: DDL, DML, native execution and snapshots."""
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..plan.nodes import PlanNode
+from ..serve.rwlock import RWLock
+from ..errors import CatalogError
 from .catalog import Catalog
 from .iosim import CostModel
 from .native_optimizer import optimize_native
@@ -20,11 +22,78 @@ class Database:
     This is the substrate the preference layer runs on: it owns the catalog,
     runs preference-free plans through the native optimizer and executor,
     and accumulates simulated I/O in :attr:`cost`.
+
+    Concurrency model (see ``docs/SERVING.md``): DDL/DML methods take the
+    exclusive side of an internal readers/writer lock, catalog lookups take
+    the shared side, and :meth:`snapshot` captures a **copy-on-write
+    snapshot** — an immutable `Database` view sharing table storage with the
+    live database until a writer touches a table, at which point the live
+    side forks a private copy.  Queries in a concurrent server always run
+    against a snapshot, so they never need the lock and never observe a
+    half-applied mutation.
     """
 
     def __init__(self) -> None:
         self.catalog = Catalog()
         self.cost = CostModel()
+        #: Monotonic mutation counter: bumped by every DDL/DML call, copied
+        #: into snapshots so results can state which version answered them.
+        self.version = 0
+        #: Salvage-mode loads attach a RecoveryReport here (see persist).
+        self.recovery = None
+        self._rwlock = RWLock()
+        #: Table keys captured by at least one live snapshot and not yet
+        #: forked; the first post-snapshot write forks them (copy-on-write).
+        self._cow: set[str] = set()
+        self._frozen = False
+
+    # -- snapshots -------------------------------------------------------------
+
+    @property
+    def is_snapshot(self) -> bool:
+        """True for the immutable view :meth:`snapshot` returns."""
+        return self._frozen
+
+    def snapshot(self) -> "Database":
+        """An immutable, consistent view of the database as of this instant.
+
+        The snapshot shares row storage with the live database (cheap:
+        O(#tables) dictionary copies), owns a fresh :class:`CostModel` so
+        per-query statistics cannot bleed between concurrent queries, and
+        refuses every mutation.  Writers proceed concurrently: their first
+        write to a captured table forks it, leaving the snapshot's view
+        untouched.  Snapshotting a snapshot returns the snapshot itself.
+        """
+        if self._frozen:
+            return self
+        with self._rwlock.write_locked():
+            shared = set()
+            for table in self.catalog.tables():
+                table.freeze()
+                shared.add(table.name.lower())
+            self._cow = shared
+            snap = Database()
+            snap.catalog = self.catalog.fork()
+            snap.version = self.version
+            snap._frozen = True
+            return snap
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise CatalogError(
+                "database snapshot is read-only; mutate the live database "
+                "it was taken from"
+            )
+
+    def _writable_table(self, name: str) -> Table:
+        """The copy-on-write gate: fork a snapshot-shared table before writing."""
+        table = self.catalog.table(name)
+        key = table.name.lower()
+        if key in self._cow:
+            table = table.fork()
+            self.catalog.replace_table(table)
+            self._cow.discard(key)
+        return table
 
     # -- DDL -----------------------------------------------------------------
 
@@ -36,43 +105,70 @@ class Database:
     ) -> Table:
         """Create a table from ``(name, type)`` column specs (CREATE TABLE)."""
         schema = make_schema(name.upper(), columns, primary_key)
-        return self.catalog.create_table(schema)
+        return self.create_table_from_schema(schema)
 
     def create_table_from_schema(self, schema: TableSchema) -> Table:
         """Create a table from an existing :class:`TableSchema`."""
-        return self.catalog.create_table(schema)
+        with self._rwlock.write_locked():
+            self._ensure_mutable()
+            table = self.catalog.create_table(schema)
+            self.version += 1
+            return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table, its indexes and statistics (DROP TABLE)."""
-        self.catalog.drop_table(name)
+        with self._rwlock.write_locked():
+            self._ensure_mutable()
+            self.catalog.drop_table(name)
+            self._cow.discard(name.lower())
+            self.version += 1
 
     def create_index(self, table: str, attrs: Sequence[str] | str, kind: str = "hash"):
         """Build a secondary ``hash`` or ``btree`` index (CREATE INDEX)."""
-        return self.catalog.create_index(table, attrs, kind)
+        with self._rwlock.write_locked():
+            self._ensure_mutable()
+            index = self.catalog.create_index(table, attrs, kind)
+            self.version += 1
+            return index
 
     # -- DML -----------------------------------------------------------------
 
     def insert(self, table: str, values: Sequence[Any] | Mapping[str, Any]) -> Row:
         """Insert one row (positional tuple or column mapping)."""
-        return self.catalog.table(table).insert(values)
+        with self._rwlock.write_locked():
+            self._ensure_mutable()
+            writable = self._writable_table(table)
+            row = writable.insert(values)
+            self.catalog.index_row(writable.name, row)
+            self.version += 1
+            return row
 
     def insert_many(
         self, table: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
     ) -> int:
         """Bulk-insert rows and refresh the table's secondary indexes."""
-        count = self.catalog.table(table).insert_many(rows)
-        self.catalog.rebuild_indexes(table)
-        return count
+        with self._rwlock.write_locked():
+            self._ensure_mutable()
+            writable = self._writable_table(table)
+            count = writable.insert_many(rows)
+            self.catalog.rebuild_indexes(writable.name)
+            self.version += 1
+            return count
 
     def analyze(self, table: str | None = None) -> None:
         """Collect optimizer statistics (PostgreSQL's ANALYZE)."""
-        self.catalog.analyze(table)
+        with self._rwlock.write_locked():
+            # Statistics objects are replaced, never mutated in place, so
+            # snapshots keep the TableStats they captured; allowed on
+            # snapshots too (their catalog dictionaries are private).
+            self.catalog.analyze(table)
 
     # -- queries --------------------------------------------------------------
 
     def table(self, name: str) -> Table:
         """Look up a table by (case-insensitive) name."""
-        return self.catalog.table(name)
+        with self._rwlock.read_locked():
+            return self.catalog.table(name)
 
     def execute(
         self, plan: PlanNode, optimize: bool = True

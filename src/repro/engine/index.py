@@ -43,6 +43,15 @@ class Index:
     def lookup(self, key: Any) -> list[Row]:
         raise NotImplementedError
 
+    def add(self, row: Row) -> None:
+        """Incrementally index one newly inserted row.
+
+        Single-row inserts maintain indexes through this hook (bulk loads
+        rebuild instead); an index that misses rows its table holds silently
+        un-answers queries whose plans use index access paths.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Index({self.name})"
 
@@ -60,6 +69,9 @@ class HashIndex(Index):
 
     def lookup(self, key: Any) -> list[Row]:
         return self._buckets.get(key, [])
+
+    def add(self, row: Row) -> None:
+        self._buckets.setdefault(self.key_of(row), []).append(row)
 
     def distinct_keys(self) -> int:
         return len(self._buckets)
@@ -96,6 +108,14 @@ class OrderedIndex(Index):
         lo = bisect.bisect_left(self._keys, key)
         hi = bisect.bisect_right(self._keys, key)
         return self._rows[lo:hi]
+
+    def add(self, row: Row) -> None:
+        key = self.key_of(row)
+        if not self._key_is_indexable(key):
+            return  # NULL keys are not stored (see class docstring)
+        pos = bisect.bisect_right(self._keys, key)
+        self._keys.insert(pos, key)
+        self._rows.insert(pos, row)
 
     def range(
         self,

@@ -25,6 +25,7 @@ class Table:
         self.rows: list[Row] = []
         self._pk_indexes = schema.primary_key_indexes()
         self._pk_map: dict[tuple, int] = {}
+        self._frozen = False
 
     @property
     def name(self) -> str:
@@ -34,10 +35,43 @@ class Table:
     def __len__(self) -> int:
         return len(self.rows)
 
+    # -- snapshots -------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True once a snapshot captured this table (writes must fork first)."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Mark the table immutable: it is now shared with a snapshot.
+
+        Further :meth:`insert` calls raise; :class:`~repro.engine.database.
+        Database` write paths fork a private copy first (copy-on-write), so
+        snapshot readers keep seeing exactly the rows they captured.
+        """
+        self._frozen = True
+
+    def fork(self) -> "Table":
+        """A mutable copy sharing nothing writable with this table.
+
+        Row tuples themselves are immutable and therefore shared; the row
+        list and primary-key map are copied, so appends to the fork never
+        surface in a frozen original.
+        """
+        clone = Table(self.schema)
+        clone.rows = list(self.rows)
+        clone._pk_map = dict(self._pk_map)
+        return clone
+
     # -- mutation ------------------------------------------------------------
 
     def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> Row:
         """Validate and append one row; returns the stored tuple."""
+        if self._frozen:
+            raise CatalogError(
+                f"table {self.name} is frozen (captured by a snapshot); "
+                "write through Database for copy-on-write semantics"
+            )
         row = self._coerce(values)
         if self._pk_indexes:
             key = tuple(row[i] for i in self._pk_indexes)

@@ -128,6 +128,25 @@ class CircuitOpen(ResilienceError):
         )
 
 
+class Overloaded(ResilienceError):
+    """The serving layer shed this request instead of admitting it.
+
+    ``reason`` says which admission check tripped: ``"queue-full"`` (the
+    bounded request queue is at capacity), ``"session-limit"`` (the session
+    already has its maximum number of in-flight queries) or
+    ``"shutting-down"`` (the server is draining and admits nothing new).
+    ``limit`` carries the configured ceiling where one applies.
+    """
+
+    def __init__(self, reason: str, limit: int | None = None, session: str | None = None):
+        self.reason = reason
+        self.limit = limit
+        self.session = session
+        detail = f" (limit {limit})" if limit is not None else ""
+        who = f" for session {session!r}" if session is not None else ""
+        super().__init__(f"request shed: {reason}{who}{detail}")
+
+
 class DataCorruption(ResilienceError):
     """Persisted data failed an integrity check, or a result carried invalid pairs.
 

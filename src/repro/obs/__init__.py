@@ -15,7 +15,9 @@ from .tracer import (
     NullTracer,
     Span,
     Tracer,
+    capture_tracer,
     current_tracer,
+    restore_tracer,
     traced_rows,
     use_tracer,
 )
@@ -27,6 +29,8 @@ __all__ = [
     "NULL_TRACER",
     "NULL_SPAN",
     "current_tracer",
+    "capture_tracer",
+    "restore_tracer",
     "use_tracer",
     "traced_rows",
     "InMemorySink",

@@ -286,6 +286,30 @@ def current_tracer() -> "Tracer | NullTracer":
     return _CURRENT.get()
 
 
+def capture() -> "Tracer | NullTracer":
+    """Capture the ambient tracer for explicit hand-off to a worker thread.
+
+    ``ContextVar`` values do not cross thread boundaries: a worker thread
+    that merely calls :func:`current_tracer` gets :data:`NULL_TRACER` and
+    traces nothing.  Capture on the submitting thread and :func:`restore`
+    inside the worker (the serving layer does this automatically through
+    ``contextvars.copy_context``).  Note a :class:`Tracer` is not itself
+    thread-safe — hand one captured tracer to one worker at a time.
+    """
+    return _CURRENT.get()
+
+
+def restore(tracer: "Tracer | NullTracer | None"):
+    """Install a captured tracer in this thread; returns a context manager."""
+    return use_tracer(tracer if tracer is not None else NULL_TRACER)
+
+
+#: Package-level aliases (``repro.obs.capture_tracer``) so call sites can
+#: import guard and tracer capture helpers side by side without clashing.
+capture_tracer = capture
+restore_tracer = restore
+
+
 @contextmanager
 def use_tracer(tracer: "Tracer | NullTracer"):
     """Install *tracer* as the ambient tracer for the enclosed block."""
@@ -293,7 +317,13 @@ def use_tracer(tracer: "Tracer | NullTracer"):
     try:
         yield tracer
     finally:
-        _CURRENT.reset(token)
+        # Exception-safe restore: reset() raises ValueError for a token
+        # minted in a different Context (cross-thread generator teardown);
+        # reinstall the no-op default rather than leaking a stale tracer.
+        try:
+            _CURRENT.reset(token)
+        except ValueError:  # pragma: no cover - cross-context teardown
+            _CURRENT.set(NULL_TRACER)
 
 
 def traced_rows(rows, span: Span):

@@ -16,22 +16,73 @@ from ..core.context import ContextualPreference
 from ..core.preference import Preference
 from ..engine.database import Database
 from ..errors import PreferenceError
+from ..serve.rwlock import RWLock
 from .session import Session
 
 StoredPreference = "Preference | ContextualPreference"
 
 
 class PreferenceStore:
-    """Preferences collected per user, with session and blending helpers."""
+    """Preferences collected per user, with session and blending helpers.
+
+    Thread safety: every mutation takes the exclusive side of an internal
+    readers/writer lock and bumps :attr:`version`; readers take the shared
+    side and always observe a complete bucket.  :meth:`snapshot` captures a
+    frozen copy for running queries against (preference objects themselves
+    are immutable, so copying the per-user dictionaries suffices).
+    """
 
     def __init__(self, db: Database):
         self.db = db
         self._by_user: dict[str, dict[str, object]] = {}
+        self._lock = RWLock()
+        #: Monotonic mutation counter, copied into snapshots.
+        self.version = 0
+        self._frozen = False
+
+    # -- snapshots --------------------------------------------------------------
+
+    @property
+    def is_snapshot(self) -> bool:
+        return self._frozen
+
+    def snapshot(self, db: "Database | None" = None) -> "PreferenceStore":
+        """A frozen copy of every user's preferences as of this instant.
+
+        *db* lets callers bind the snapshot to a matching
+        :meth:`Database.snapshot` so sessions built from it see one
+        consistent (data, preferences) pair.  Snapshotting a snapshot
+        returns it unchanged (possibly rebound to *db*).
+        """
+        if self._frozen and db is None:
+            return self
+        with self._lock.read_locked():
+            clone = PreferenceStore(db if db is not None else self.db)
+            clone._by_user = {
+                user: dict(bucket) for user, bucket in self._by_user.items()
+            }
+            clone.version = self.version
+            clone._frozen = True
+            return clone
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise PreferenceError(
+                "preference-store snapshot is read-only; mutate the live store"
+            )
 
     # -- bookkeeping -----------------------------------------------------------
 
     def add(self, user: str, preference: "Preference | ContextualPreference") -> None:
         """Store *preference* for *user* (names are unique per user)."""
+        with self._lock.write_locked():
+            self._ensure_mutable()
+            self._add_locked(user, preference)
+            self.version += 1
+
+    def _add_locked(
+        self, user: str, preference: "Preference | ContextualPreference"
+    ) -> None:
         bucket = self._by_user.setdefault(user, {})
         key = preference.name.lower()
         if key in bucket:
@@ -43,23 +94,54 @@ class PreferenceStore:
     def add_all(
         self, user: str, preferences: Iterable["Preference | ContextualPreference"]
     ) -> None:
-        for preference in preferences:
-            self.add(user, preference)
+        """Store several preferences atomically: all of them or none.
+
+        A name collision anywhere in the batch — against the user's existing
+        preferences or within the batch itself — raises
+        :exc:`~repro.errors.PreferenceError` naming the offending preference
+        and leaves the store exactly as it was (no partial bucket).
+        """
+        batch = list(preferences)
+        with self._lock.write_locked():
+            self._ensure_mutable()
+            staged = dict(self._by_user.get(user, {}))
+            for preference in batch:
+                key = preference.name.lower()
+                if key in staged:
+                    raise PreferenceError(
+                        f"add_all rolled back: user {user!r} would get a "
+                        f"duplicate preference named {preference.name!r}"
+                    )
+                staged[key] = preference
+            if staged:
+                self._by_user[user] = staged
+            self.version += 1
 
     def remove(self, user: str, name: str) -> bool:
         """Drop one stored preference; False when the user didn't have it."""
-        removed = self._by_user.get(user, {}).pop(name.lower(), None)
-        return removed is not None
+        with self._lock.write_locked():
+            self._ensure_mutable()
+            removed = self._by_user.get(user, {}).pop(name.lower(), None)
+            if removed is not None:
+                self.version += 1
+            return removed is not None
 
     def clear(self, user: str) -> int:
         """Drop all of *user*'s preferences; returns how many were removed."""
-        return len(self._by_user.pop(user, {}))
+        with self._lock.write_locked():
+            self._ensure_mutable()
+            dropped = len(self._by_user.pop(user, {}))
+            if dropped:
+                self.version += 1
+            return dropped
 
     def preferences_of(self, user: str) -> list[object]:
-        return list(self._by_user.get(user, {}).values())
+        with self._lock.read_locked():
+            return list(self._by_user.get(user, {}).values())
 
     def users(self) -> list[str]:
-        return sorted(self._by_user)
+        with self._lock.read_locked():
+            return sorted(self._by_user)
 
     # -- sessions ---------------------------------------------------------------
 

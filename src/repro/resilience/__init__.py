@@ -28,7 +28,9 @@ from .guard import (
     NULL_GUARD,
     CancellationToken,
     QueryGuard,
+    capture_guard,
     current_guard,
+    restore_guard,
     use_guard,
 )
 from .policy import DEFAULT_FALLBACK, ResiliencePolicy
@@ -39,6 +41,8 @@ __all__ = [
     "CancellationToken",
     "NULL_GUARD",
     "current_guard",
+    "capture_guard",
+    "restore_guard",
     "use_guard",
     "FaultPlan",
     "FaultSpec",

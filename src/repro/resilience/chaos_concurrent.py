@@ -1,0 +1,534 @@
+"""Concurrent chaos: writers mutate state while readers must stay exact.
+
+Two fixtures extend the single-threaded conformance suite in
+:mod:`repro.resilience.chaos` to the serving layer
+(``python -m repro chaos --scenario concurrent``):
+
+* :func:`run_concurrent_chaos` — N writer threads stream preference
+  mutations and row inserts through a live
+  :class:`~repro.serve.server.PreferenceServer` while M reader tasks,
+  admitted through a :class:`~repro.serve.executor.ServeExecutor`, each
+  capture a snapshot and run a preferential IMDB query under seeded fault
+  injection.  The contract is the snapshot-isolation analogue of the chaos
+  contract: every query must **exactly** match the reference oracle
+  evaluated *on its own snapshot* — whatever preference set and row set the
+  snapshot captured — or fail with a typed resilience error; fallback-mode
+  cells must additionally recover the oracle answer.  A sampled
+  digest-before/digest-after check proves no writer mutated a captured
+  snapshot in place.
+* :func:`wal_recovery_check` — builds a durable server, records the state
+  digest at every LSN, then simulates a crash at a spread of byte offsets
+  in the WAL (record boundaries and mid-record).  Re-opening the truncated
+  directory must recover **exactly** the state whose digest was recorded
+  after the last record surviving below the cut — i.e. recovery equals
+  replaying the surviving prefix, verified by sha256.
+
+Verdicts are deterministic even though thread interleavings are not: each
+cell is judged against the snapshot it actually captured, so *every*
+interleaving must pass.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import threading
+from dataclasses import dataclass, field
+
+from ..core.preference import Preference
+from ..core.scoring import recency_score
+from ..engine.expressions import cmp, eq
+from ..errors import ReproError
+from .chaos import _no_sleep, _triples
+from .faults import FaultPlan, FaultSpec
+from .guard import QueryGuard
+from .policy import ResiliencePolicy
+from .retry import RetryPolicy
+
+#: The query template readers run; the PREFERRING list is whatever the
+#: captured snapshot holds for the chosen user.
+READER_SQL = """
+    SELECT title, director, year FROM MOVIES
+      NATURAL JOIN GENRES
+      NATURAL JOIN DIRECTORS
+    WHERE year >= 1980
+    PREFERRING {names}
+    TOP 10 BY score
+"""
+
+
+def preference_pool() -> list[Preference]:
+    """The WAL-loggable preferences writers shuffle in and out of buckets."""
+    pool: list[Preference] = []
+    for genre in ("Comedy", "Drama", "Action", "Thriller"):
+        pool.append(
+            Preference(f"g_{genre.lower()}", "GENRES", eq("genre", genre), 0.8, 0.9)
+        )
+    for d_id in (1, 2, 3, 5, 8):
+        pool.append(Preference(f"d_{d_id}", "DIRECTORS", eq("d_id", d_id), 0.9, 0.8))
+    for year in (1990, 2000, 2005):
+        pool.append(
+            Preference(
+                f"y_{year}",
+                "MOVIES",
+                cmp("year", ">=", year),
+                recency_score("year", 2011),
+                0.7,
+            )
+        )
+    return pool
+
+
+def _base_preference() -> Preference:
+    """The per-user preference writers never remove, so PREFERRING is never empty."""
+    return Preference(
+        "base", "MOVIES", cmp("year", ">=", 1900), recency_score("year", 2011), 1.0
+    )
+
+
+def _fault_plan(index: int, seed: int) -> "FaultPlan | None":
+    """Deterministic rotation over the fault kinds (every 4th pair unfaulted).
+
+    Paired with the strict/fallback mode alternation on ``index % 2``, the
+    ``index // 2`` rotation gives every fault kind to both modes.
+    """
+    kind = (index // 2) % 4
+    cell_seed = seed * 7919 + index
+    if kind == 0:
+        return FaultPlan.transient("strategy.*", times=1, seed=cell_seed)
+    if kind == 1:
+        return FaultPlan(
+            [FaultSpec("iosim.scan", "latency", delay=0.0002, times=2)], seed=cell_seed
+        )
+    if kind == 2:
+        return FaultPlan.corrupting("pexec.scores", times=1, seed=cell_seed)
+    return None
+
+
+@dataclass
+class ConcurrentCell:
+    """Outcome of one reader query: who ran what against which snapshot."""
+
+    reader: int
+    index: int
+    user: str
+    strategy: str
+    mode: str  # 'strict' | 'fallback'
+    outcome: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ConcurrentChaosReport:
+    """Everything a concurrent chaos run observed, plus the verdict."""
+
+    seed: int
+    scale: float
+    writers: int
+    readers: int
+    cells: list[ConcurrentCell] = field(default_factory=list)
+    writer_ops: int = 0
+    snapshot_checks: int = 0
+    latency: dict = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> list[ConcurrentCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def describe(self) -> str:
+        lines = [
+            f"concurrent chaos: seed={self.seed} scale={self.scale} "
+            f"writers={self.writers} readers={self.readers}"
+        ]
+        by_outcome: dict[str, int] = {}
+        for cell in self.cells:
+            by_outcome[cell.outcome] = by_outcome.get(cell.outcome, 0) + 1
+        for outcome in sorted(by_outcome):
+            lines.append(f"  {outcome:<24} {by_outcome[outcome]}")
+        lines.append(
+            f"  writer mutations applied: {self.writer_ops}; "
+            f"snapshot immutability checks: {self.snapshot_checks}"
+        )
+        if self.latency:
+            lines.append(
+                "  admission: admitted={admitted} shed={shed}  "
+                "p50={p50_ms}ms p95={p95_ms}ms p99={p99_ms}ms".format(**self.latency)
+            )
+        for cell in self.failures:
+            lines.append(
+                f"  FAIL reader{cell.reader}#{cell.index} user={cell.user} "
+                f"{cell.strategy} [{cell.mode}]: {cell.outcome} — {cell.detail}"
+            )
+        for error in self.errors:
+            lines.append(f"  ERROR {error}")
+        good = sum(1 for c in self.cells if c.ok)
+        lines.append(
+            f"concurrent chaos: {good}/{len(self.cells)} cells conformant — "
+            + ("OK" if self.ok else "FAILED")
+        )
+        return "\n".join(lines)
+
+
+def run_concurrent_chaos(
+    seed: int = 42,
+    scale: float = 0.001,
+    writers: int = 4,
+    readers: int = 4,
+    queries_per_reader: int = 8,
+    strategies=None,
+) -> ConcurrentChaosReport:
+    """N writers mutate the live server while M readers must stay exact.
+
+    Writers stream preference add/remove/clear (plus movie inserts from
+    writer 0) through the single server write path; each reader task
+    captures a fresh :class:`~repro.serve.server.ServerSnapshot`, computes
+    the reference oracle *on that snapshot*, then re-runs the query under a
+    seeded fault plan — strict cells must match or fail typed, fallback
+    cells must recover the oracle answer.  Reader tasks are admitted
+    through a :class:`~repro.serve.executor.ServeExecutor`, so the run also
+    exercises admission accounting and cross-thread guard/tracer capture.
+    """
+    from ..pexec.engine import STRATEGIES
+    from ..serve.executor import ServeExecutor
+    from ..serve.server import PreferenceServer
+    from ..workloads.imdb import generate_imdb
+
+    if strategies is None:
+        strategies = [s for s in STRATEGIES if s != "reference"]
+    report = ConcurrentChaosReport(
+        seed=seed, scale=scale, writers=writers, readers=readers
+    )
+    server = PreferenceServer(generate_imdb(scale=scale, seed=seed))
+    users = [f"u{i}" for i in range(max(1, writers))]
+    for user in users:
+        server.add_preference(user, _base_preference())
+    pool = preference_pool()
+
+    stop_writers = threading.Event()
+    ops_lock = threading.Lock()
+
+    def writer_loop(writer_id: int) -> None:
+        rng = random.Random(seed * 1009 + writer_id)
+        applied = 0
+        next_m_id = 10_000_000 + writer_id * 100_000
+        while not stop_writers.is_set():
+            user = rng.choice(users)
+            roll = rng.random()
+            try:
+                if roll < 0.55:
+                    server.add_preference(user, rng.choice(pool))
+                elif roll < 0.80:
+                    server.remove_preference(user, rng.choice(pool).name)
+                elif roll < 0.90:
+                    server.clear_preferences(user)
+                    server.add_preference(user, _base_preference())
+                elif writer_id == 0:
+                    next_m_id += 1
+                    year = 1980 + rng.randrange(30)
+                    server.insert(
+                        "MOVIES",
+                        (next_m_id, f"chaos movie {next_m_id}", year, 100, 1),
+                    )
+                    server.insert("GENRES", (next_m_id, rng.choice(("Comedy", "Drama"))))
+                applied += 1
+            except ReproError as err:
+                # Duplicate adds / races on remove are expected churn; anything
+                # else is a real serving-layer bug and fails the run.
+                if "duplicate" not in str(err) and "already" not in str(err):
+                    report.errors.append(f"writer{writer_id}: {err!r}")
+                    return
+            except Exception as err:  # noqa: BLE001 - untyped writer crash fails the run
+                report.errors.append(f"writer{writer_id} crashed untyped: {err!r}")
+                return
+        with ops_lock:
+            report.writer_ops += applied
+
+    def reader_cell(reader_id: int, index: int) -> ConcurrentCell:
+        rng = random.Random(seed * 31 + reader_id * 1000 + index)
+        user = rng.choice(users)
+        strategy = strategies[(reader_id + index) % len(strategies)]
+        mode = "strict" if index % 2 == 0 else "fallback"
+        cell = ConcurrentCell(reader_id, index, user, strategy, mode, "", ok=False)
+        snapshot = server.snapshot()
+        names = sorted(p.name for p in snapshot.store.preferences_of(user))
+        if not names:
+            # A reader can land between clear() and the base re-add; that
+            # snapshot simply has nothing to prefer.
+            cell.outcome, cell.ok = "empty-bucket", True
+            return cell
+        sql = READER_SQL.format(names=", ".join(names))
+        check_digest = index % 3 == 0
+        digest_before = snapshot.digest() if check_digest else None
+
+        def judge() -> None:
+            oracle = _triples(
+                snapshot.session_for(user).execute(sql, strategy="reference")
+            )
+            plan = _fault_plan(index, seed)
+            session = snapshot.session_for(user)
+            guard = QueryGuard(timeout=60.0)
+            try:
+                if mode == "strict":
+                    result = session.execute(
+                        sql, strategy=strategy, faults=plan, guard=guard
+                    )
+                else:
+                    policy = ResiliencePolicy(
+                        retry=RetryPolicy(attempts=3, base_delay=0.0, sleep=_no_sleep)
+                    )
+                    result = session.execute(
+                        sql, strategy=strategy, faults=plan, guard=guard,
+                        resilience=policy,
+                    )
+            except ReproError as err:
+                if mode == "strict":
+                    cell.outcome, cell.ok = f"typed-error:{type(err).__name__}", True
+                else:
+                    cell.outcome = f"unrecovered:{type(err).__name__}"
+                    cell.detail = repr(err)
+                return
+            except Exception as err:  # noqa: BLE001 - untyped escape is the bug we hunt
+                cell.outcome = f"untyped-error:{type(err).__name__}"
+                cell.detail = repr(err)
+                return
+            answer = _triples(result)
+            if answer != oracle:
+                cell.outcome = "silent-mismatch"
+                dump = os.environ.get("REPRO_CHAOS_DUMP")
+                if dump:  # debugging aid: preserve the failing snapshot
+                    from ..engine.persist import save_database
+                    from ..serve.server import _save_preferences
+
+                    target = os.path.join(dump, f"cell-{reader_id}-{index}")
+                    save_database(snapshot.db, os.path.join(target, "db"))
+                    _save_preferences(os.path.join(target, "prefs.json"), snapshot.store)
+                # A clean re-run on the same snapshot pins the blame: if it
+                # matches the oracle, the faulted execution itself was wrong;
+                # if it differs too, the snapshot's query-visible state moved.
+                rerun = _triples(snapshot.session_for(user).execute(sql, strategy=strategy))
+                cell.detail = (
+                    f"answer differs from the oracle computed on this snapshot "
+                    f"(prefs={names}, |oracle|={len(oracle)}, |answer|={len(answer)}, "
+                    f"clean-rerun-{'matches' if rerun == oracle else 'differs'})"
+                )
+                return
+            injected = [] if plan is None else [
+                i for i in plan.injections if i.kind != "latency"
+            ]
+            if mode == "fallback" and injected and not result.stats.degraded:
+                cell.outcome = "undeclared-degradation"
+                cell.detail = f"{len(injected)} failure(s) injected, degraded not set"
+                return
+            cell.outcome = (
+                "recovered-degraded" if (injected and result.stats.degraded) else "match"
+            )
+            cell.ok = True
+
+        judge()
+        if check_digest:
+            # Runs whatever the verdict was: a snapshot must stay bit-identical
+            # through oracle runs, faulted runs, and concurrent writer churn.
+            with ops_lock:
+                report.snapshot_checks += 1
+            if snapshot.digest() != digest_before:
+                cell.outcome = "torn-snapshot"
+                cell.detail = "snapshot digest changed while the query ran"
+                cell.ok = False
+        return cell
+
+    writer_threads = [
+        threading.Thread(target=writer_loop, args=(i,), name=f"chaos-writer-{i}")
+        for i in range(writers)
+    ]
+    for thread in writer_threads:
+        thread.start()
+    executor = ServeExecutor(
+        workers=max(1, readers),
+        queue_limit=readers * queries_per_reader,
+        name="chaos-readers",
+    )
+    try:
+        futures = [
+            executor.submit(reader_cell, reader, index, session=f"reader-{reader}")
+            for reader in range(readers)
+            for index in range(queries_per_reader)
+        ]
+        for future in futures:
+            try:
+                report.cells.append(future.result(timeout=600))
+            except Exception as err:  # noqa: BLE001 - a lost cell fails the run
+                report.errors.append(f"reader task died: {err!r}")
+    finally:
+        stop_writers.set()
+        for thread in writer_threads:
+            thread.join()
+        executor.shutdown()
+    report.latency = executor.stats.snapshot()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Crash-at-arbitrary-WAL-offset recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WalRecoveryReport:
+    """Outcome of the crash-at-offset sweep."""
+
+    seed: int
+    wal_bytes: int
+    offsets_checked: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.offsets_checked > 0 and not self.mismatches
+
+    def describe(self) -> str:
+        lines = [
+            f"wal recovery sweep: seed={self.seed} wal={self.wal_bytes}B "
+            f"offsets={self.offsets_checked}"
+        ]
+        lines.extend(f"  FAIL {m}" for m in self.mismatches)
+        lines.append(
+            "wal recovery: "
+            + ("OK — every crash offset recovered the surviving prefix" if self.ok else "FAILED")
+        )
+        return "\n".join(lines)
+
+
+def _scripted_mutations(server, seed: int, count: int) -> None:
+    """A deterministic mutation stream mixing every WAL op kind."""
+    rng = random.Random(seed)
+    pool = preference_pool()
+    users = ["alice", "bob", "carol"]
+    for user in users:
+        server.add_preference(user, _base_preference())
+    next_id = 500_000
+    for index in range(count):
+        user = users[index % len(users)]
+        roll = rng.random()
+        try:
+            if roll < 0.5:
+                server.add_preference(user, rng.choice(pool))
+            elif roll < 0.7:
+                server.remove_preference(user, rng.choice(pool).name)
+            elif roll < 0.8:
+                server.clear_preferences(user)
+                server.add_preference(user, _base_preference())
+            else:
+                next_id += 1
+                server.insert("MOVIES", (next_id, f"wal movie {next_id}", 2001, 95, 1))
+        except ReproError:
+            pass  # duplicate add: no WAL record, no state change
+
+
+def wal_recovery_check(
+    directory: str,
+    seed: int = 42,
+    mutations: int = 40,
+    max_offsets: int = 24,
+) -> WalRecoveryReport:
+    """Crash the WAL at a spread of byte offsets; recovery must equal the prefix.
+
+    Builds a durable server under ``directory/origin`` while recording the
+    live state digest at every LSN.  Then, for a deterministic sample of
+    byte offsets (every record boundary plus seeded mid-record cuts, capped
+    at *max_offsets*), copies the directory, truncates the WAL copy at the
+    offset — the simulated crash — reopens it, and asserts the recovered
+    digest equals the digest recorded after the last record wholly below
+    the cut.  sha256 equality means recovery restored *exactly* the state
+    of replaying the surviving prefix: nothing lost, nothing invented.
+    """
+    from ..engine.database import Database
+    from ..engine.types import DataType
+    from ..serve.server import PreferenceServer
+    from ..serve.wal import WAL_FILE
+
+    origin = os.path.join(directory, "origin")
+    db = Database()
+    db.create_table(
+        "MOVIES",
+        [
+            ("m_id", DataType.INT),
+            ("title", DataType.TEXT),
+            ("year", DataType.INT),
+            ("duration", DataType.INT),
+            ("d_id", DataType.INT),
+        ],
+        primary_key=["m_id"],
+    )
+    db.insert_many("MOVIES", [(1, "seed one", 1999, 100, 1), (2, "seed two", 2004, 110, 2)])
+    server, _ = PreferenceServer.open(origin, initial=db, sync=False)
+    digests = {server.wal.lsn: server.state_digest()}
+    rng = random.Random(seed)
+
+    class _Recorder:
+        """Wrap the server so every applied mutation records its digest."""
+
+        def __getattr__(self, name):
+            method = getattr(server, name)
+
+            def recorded(*args, **kwargs):
+                outcome = method(*args, **kwargs)
+                digests[server.wal.lsn] = server.state_digest()
+                return outcome
+
+            return recorded
+
+    _scripted_mutations(_Recorder(), seed, mutations)
+    server.close()
+
+    wal_path = os.path.join(origin, WAL_FILE)
+    with open(wal_path, "rb") as handle:
+        raw = handle.read()
+    report = WalRecoveryReport(seed=seed, wal_bytes=len(raw))
+    if not raw:
+        report.mismatches.append("mutation script produced an empty WAL")
+        return report
+    boundaries = [i + 1 for i, byte in enumerate(raw) if byte == 0x0A]
+    candidates = {0, len(raw)}
+    candidates.update(boundaries)
+    for boundary in boundaries:
+        candidates.add(max(0, boundary - 3))  # mid-record: torn tail
+        candidates.add(min(len(raw), boundary + 2))  # cuts into the next record
+    candidates.update(rng.randrange(len(raw)) for _ in range(8))
+    offsets = sorted(candidates)
+    if len(offsets) > max_offsets:
+        step = len(offsets) / max_offsets
+        offsets = sorted({offsets[int(i * step)] for i in range(max_offsets)} | {0, len(raw)})
+
+    for offset in offsets:
+        surviving = sum(1 for boundary in boundaries if boundary <= offset)
+        expected = digests[surviving]
+        crashed = os.path.join(directory, f"crash-{offset}")
+        shutil.copytree(origin, crashed)
+        crash_wal = os.path.join(crashed, WAL_FILE)
+        with open(crash_wal, "rb+") as handle:
+            handle.truncate(offset)
+        recovered, replay = PreferenceServer.open(crashed, sync=False)
+        try:
+            actual = recovered.state_digest()
+            if actual != expected:
+                report.mismatches.append(
+                    f"offset {offset}: recovered digest {actual[:12]}… != "
+                    f"expected {expected[:12]}… (surviving records: {surviving})"
+                )
+            if replay.last_lsn != surviving:
+                report.mismatches.append(
+                    f"offset {offset}: replay reports lsn {replay.last_lsn}, "
+                    f"expected {surviving}"
+                )
+        finally:
+            recovered.close()
+            shutil.rmtree(crashed, ignore_errors=True)
+        report.offsets_checked += 1
+    return report

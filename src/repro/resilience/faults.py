@@ -213,4 +213,9 @@ def use_faults(plan: "FaultPlan | _NullFaults | None"):
     try:
         yield plan
     finally:
-        _CURRENT.reset(token)
+        # Mirror guard/tracer: tolerate a token from another Context rather
+        # than leaking a fault plan into the next query on this thread.
+        try:
+            _CURRENT.reset(token)
+        except ValueError:  # pragma: no cover - cross-context teardown
+            _CURRENT.set(NULL_FAULTS)

@@ -178,6 +178,39 @@ def current_guard() -> "QueryGuard | _NullGuard":
     return _CURRENT.get()
 
 
+def capture() -> "QueryGuard | _NullGuard":
+    """Capture the ambient guard for explicit hand-off to a worker thread.
+
+    ``ContextVar`` values do **not** cross thread boundaries: a worker
+    thread that merely calls :func:`current_guard` silently gets
+    :data:`NULL_GUARD` and runs unguarded.  Capture on the submitting
+    thread, then :func:`restore` (or :func:`use_guard`) inside the worker::
+
+        guard = capture()
+        pool.submit(lambda: restore(guard).__enter__() and work())
+
+    (The serving layer's :class:`~repro.serve.executor.ServeExecutor` does
+    this automatically via ``contextvars.copy_context``.)
+    """
+    return _CURRENT.get()
+
+
+def restore(guard: "QueryGuard | _NullGuard | None"):
+    """Install a guard captured with :func:`capture` in this thread.
+
+    Returns the same context manager as :func:`use_guard`; use it in a
+    ``with`` block so the worker's ambient state is cleaned up even when
+    the query raises.
+    """
+    return use_guard(guard)
+
+
+#: Package-level aliases (``repro.resilience.capture_guard``) mirroring
+#: ``repro.obs.capture_tracer``.
+capture_guard = capture
+restore_guard = restore
+
+
 @contextmanager
 def use_guard(guard: "QueryGuard | _NullGuard | None"):
     """Install *guard* as the ambient guard for the enclosed block."""
@@ -185,4 +218,11 @@ def use_guard(guard: "QueryGuard | _NullGuard | None"):
     try:
         yield guard
     finally:
-        _CURRENT.reset(token)
+        # Exception-safe restore: a token minted in another Context (e.g. a
+        # generator finalized on a different worker thread) makes reset()
+        # raise ValueError; fall back to reinstalling the no-op default so
+        # a stale guard can never leak into the next query on this thread.
+        try:
+            _CURRENT.reset(token)
+        except ValueError:  # pragma: no cover - cross-context teardown
+            _CURRENT.set(NULL_GUARD)

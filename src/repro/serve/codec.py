@@ -1,0 +1,207 @@
+"""JSON codec for preferences, used by the WAL and the checkpoint files.
+
+Expression trees (:mod:`repro.engine.expressions`) and the expression-based
+scoring functions are closed sets, so they round-trip through plain JSON —
+no pickling, which keeps WAL records human-readable, diffable, and safe to
+checksum byte-for-byte.  Two things are *not* loggable and raise a typed
+:exc:`~repro.errors.PreferenceError` at write time (before anything hits
+the log):
+
+* :class:`~repro.core.scoring.CallableScore` — an arbitrary Python callable
+  has no faithful serialized form;
+* :class:`~repro.core.context.ContextualPreference` with a *predicate*
+  activation condition (mapping conditions round-trip fine).
+
+``canonical_json`` is the byte form both the WAL checksums and the
+recovery-equivalence digests (:func:`repro.serve.server.state_digest`) are
+computed over: sorted keys, no whitespace, so equal states hash equal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.context import ContextualPreference
+from ..core.preference import Preference
+from ..core.scoring import CallableScore, ConstantScore, ExprScore, ScoringFunction
+from ..engine import expressions as ex
+from ..errors import DataCorruption, PreferenceError
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+def expr_to_dict(expr: ex.Expr) -> dict:
+    """Serialize an expression tree to a JSON-compatible dictionary."""
+    if isinstance(expr, ex.Literal):
+        return {"t": "lit", "v": expr.value}
+    if isinstance(expr, ex.Attr):
+        return {"t": "attr", "name": expr.name}
+    if isinstance(expr, ex.Comparison):
+        return {
+            "t": "cmp",
+            "op": expr.op,
+            "l": expr_to_dict(expr.left),
+            "r": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.InList):
+        return {
+            "t": "in",
+            "e": expr_to_dict(expr.expr),
+            "vs": sorted(expr.values, key=repr),
+        }
+    if isinstance(expr, ex.Between):
+        return {
+            "t": "between",
+            "e": expr_to_dict(expr.expr),
+            "lo": expr.low,
+            "hi": expr.high,
+        }
+    if isinstance(expr, ex.IsNull):
+        return {"t": "isnull", "e": expr_to_dict(expr.expr), "neg": expr.negated}
+    if isinstance(expr, ex.And):
+        return {"t": "and", "ops": [expr_to_dict(op) for op in expr.operands]}
+    if isinstance(expr, ex.Or):
+        return {"t": "or", "ops": [expr_to_dict(op) for op in expr.operands]}
+    if isinstance(expr, ex.Not):
+        return {"t": "not", "e": expr_to_dict(expr.operand)}
+    if isinstance(expr, ex.Arithmetic):
+        return {
+            "t": "arith",
+            "op": expr.op,
+            "l": expr_to_dict(expr.left),
+            "r": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.Func):
+        return {
+            "t": "func",
+            "name": expr.name,
+            "args": [expr_to_dict(arg) for arg in expr.args],
+        }
+    raise PreferenceError(f"cannot serialize expression node {expr!r} for the WAL")
+
+
+def expr_from_dict(data: dict) -> ex.Expr:
+    """Rebuild an expression tree serialized by :func:`expr_to_dict`."""
+    try:
+        kind = data["t"]
+        if kind == "lit":
+            return ex.Literal(data["v"])
+        if kind == "attr":
+            return ex.Attr(data["name"])
+        if kind == "cmp":
+            return ex.Comparison(
+                data["op"], expr_from_dict(data["l"]), expr_from_dict(data["r"])
+            )
+        if kind == "in":
+            return ex.InList(expr_from_dict(data["e"]), data["vs"])
+        if kind == "between":
+            return ex.Between(expr_from_dict(data["e"]), data["lo"], data["hi"])
+        if kind == "isnull":
+            return ex.IsNull(expr_from_dict(data["e"]), data["neg"])
+        if kind == "and":
+            return ex.And(*(expr_from_dict(op) for op in data["ops"]))
+        if kind == "or":
+            return ex.Or(*(expr_from_dict(op) for op in data["ops"]))
+        if kind == "not":
+            return ex.Not(expr_from_dict(data["e"]))
+        if kind == "arith":
+            return ex.Arithmetic(
+                data["op"], expr_from_dict(data["l"]), expr_from_dict(data["r"])
+            )
+        if kind == "func":
+            return ex.Func(data["name"], *(expr_from_dict(arg) for arg in data["args"]))
+    except (KeyError, TypeError) as err:
+        raise DataCorruption(f"malformed expression record: {err}") from err
+    raise DataCorruption(f"unknown expression node kind {kind!r} in WAL record")
+
+
+# ---------------------------------------------------------------------------
+# Scoring functions
+# ---------------------------------------------------------------------------
+
+
+def scoring_to_dict(scoring: ScoringFunction) -> dict:
+    if isinstance(scoring, ConstantScore):
+        return {"t": "const", "v": scoring.value}
+    if isinstance(scoring, ExprScore):
+        return {"t": "expr", "e": expr_to_dict(scoring.expr), "label": scoring.label}
+    if isinstance(scoring, CallableScore):
+        raise PreferenceError(
+            f"CallableScore {scoring.describe()!r} cannot be written to the "
+            "WAL: arbitrary Python callables have no faithful serialized "
+            "form — use ExprScore or register it outside the durable store"
+        )
+    raise PreferenceError(f"cannot serialize scoring function {scoring!r} for the WAL")
+
+
+def scoring_from_dict(data: dict) -> ScoringFunction:
+    try:
+        kind = data["t"]
+        if kind == "const":
+            return ConstantScore(data["v"])
+        if kind == "expr":
+            return ExprScore(expr_from_dict(data["e"]), data.get("label"))
+    except (KeyError, TypeError) as err:
+        raise DataCorruption(f"malformed scoring record: {err}") from err
+    raise DataCorruption(f"unknown scoring kind {kind!r} in WAL record")
+
+
+# ---------------------------------------------------------------------------
+# Preferences
+# ---------------------------------------------------------------------------
+
+
+def preference_to_dict(stored: "Preference | ContextualPreference") -> dict:
+    """Serialize a stored preference (plain or contextual)."""
+    if isinstance(stored, ContextualPreference):
+        if callable(stored.when):
+            raise PreferenceError(
+                f"contextual preference {stored.name!r} uses a predicate "
+                "callable activation condition, which cannot be written to "
+                "the WAL — use a mapping condition for durable preferences"
+            )
+        return {
+            "t": "contextual",
+            "pref": preference_to_dict(stored.preference),
+            "when": dict(stored.when),
+        }
+    if not isinstance(stored, Preference):
+        raise PreferenceError(f"cannot serialize {stored!r} as a preference")
+    return {
+        "t": "pref",
+        "name": stored.name,
+        "relations": list(stored.relations),
+        "condition": expr_to_dict(stored.condition),
+        "scoring": scoring_to_dict(stored.scoring),
+        "confidence": stored.confidence,
+    }
+
+
+def preference_from_dict(data: dict) -> "Preference | ContextualPreference":
+    try:
+        kind = data["t"]
+        if kind == "contextual":
+            inner = preference_from_dict(data["pref"])
+            return ContextualPreference(inner, data["when"])
+        if kind == "pref":
+            return Preference(
+                data["name"],
+                data["relations"],
+                expr_from_dict(data["condition"]),
+                scoring_from_dict(data["scoring"]),
+                data["confidence"],
+            )
+    except DataCorruption:
+        raise
+    except (KeyError, TypeError) as err:
+        raise DataCorruption(f"malformed preference record: {err}") from err
+    raise DataCorruption(f"unknown preference kind {kind!r} in WAL record")

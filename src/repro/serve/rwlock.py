@@ -1,0 +1,94 @@
+"""A writer-preference readers/writer lock for the serving layer.
+
+Snapshots and catalog reads take the shared side; DDL/DML and snapshot
+creation take the exclusive side.  Writer preference keeps a steady stream
+of readers from starving preference updates under load: once a writer is
+waiting, new readers queue behind it.
+
+The lock is deliberately *not* reentrant — the code it guards is structured
+so that a locked public method only ever calls unlocked internals
+(re-acquiring from the same thread would deadlock, which the stress suite
+would catch immediately).  This module has no dependencies on the rest of
+the package so :mod:`repro.engine` and :mod:`repro.query` can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import Condition
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference.
+
+    Use the context-manager helpers::
+
+        with lock.read_locked():
+            ...  # any number of concurrent readers
+        with lock.write_locked():
+            ...  # exactly one writer, no readers
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- shared side -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive side ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer}, "
+            f"waiting={self._writers_waiting})"
+        )

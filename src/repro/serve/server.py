@@ -1,0 +1,354 @@
+"""The preference server: one durable, concurrently served state.
+
+A :class:`PreferenceServer` owns the *live* pair (database, preference
+store) and is the single write path to both.  It stitches the three serving
+pillars together:
+
+* **Snapshot isolation** — :meth:`snapshot` captures an immutable
+  :class:`ServerSnapshot` (a :meth:`Database.snapshot` plus the matching
+  :meth:`PreferenceStore.snapshot`) under the server mutex, so a reader
+  never sees a database from one instant paired with preferences from
+  another.  Readers then run entire workloads against the snapshot while
+  writers keep mutating the live state.
+* **Durability** — every mutation is applied and then appended to the
+  :class:`~repro.serve.wal.PreferenceWAL` before the call returns (the
+  append is the commit point: a crash loses only writes that were never
+  acknowledged).  :meth:`checkpoint` flushes the full state through the
+  format-2 persistence layer (:func:`repro.engine.persist.save_database`
+  plus a checksummed ``preferences.json``) and resets the log.
+* **Recovery** — :meth:`open` loads the newest checkpoint, replays the
+  surviving WAL prefix (tolerantly: a record whose effect is already in
+  the checkpoint is skipped, so replay is idempotent), and truncates any
+  torn tail.
+
+:func:`state_digest` condenses the whole logical state — schemas, rows,
+preferences — to one sha256, which is how the crash-recovery fixtures
+assert "recovered state == replaying the surviving prefix" byte-for-byte.
+
+Directory layout (``server.directory``)::
+
+    checkpoint/        format-2 database checkpoint (schema.json, *.jsonl)
+    preferences.json   checksummed preference checkpoint
+    preferences.wal    mutations since the checkpoint
+
+A server opened without a directory is *ephemeral*: same write path and
+snapshot semantics, no durability — what the pure-concurrency stress tests
+use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from threading import Lock
+
+from ..engine.database import Database
+from ..engine.persist import SCHEMA_FILE, _atomic_write, load_database, save_database
+from ..errors import DataCorruption, PreferenceError, ReproError
+from ..query.store import PreferenceStore
+from .codec import canonical_json, preference_from_dict, preference_to_dict
+from .wal import WAL_FILE, PreferenceWAL, WalReplay
+
+PREFS_FILE = "preferences.json"
+CHECKPOINT_DIR = "checkpoint"
+
+
+@dataclass(frozen=True)
+class ServerSnapshot:
+    """An immutable, mutually consistent (database, preferences) pair.
+
+    ``db_version``/``store_version`` identify the instant it was taken;
+    ``lsn`` is the last WAL record reflected in it (0 for ephemeral
+    servers).  Sessions built from the snapshot see exactly this state no
+    matter what writers do afterwards.
+    """
+
+    db: Database
+    store: PreferenceStore
+    db_version: int
+    store_version: int
+    lsn: int
+
+    def session_for(self, user: str, strategy: str = "gbu", **kwargs):
+        """A session over the snapshot with *user*'s preferences registered."""
+        return self.store.session_for(user, strategy=strategy, **kwargs)
+
+    def digest(self) -> str:
+        """sha256 of the snapshot's full logical state (see :func:`state_digest`)."""
+        return state_digest(self.db, self.store)
+
+
+def state_digest(db: Database, store: PreferenceStore) -> str:
+    """One sha256 over the complete logical state of (*db*, *store*).
+
+    Built from canonical JSON of every table's schema and rows plus every
+    user's serialized preferences, so two states digest equal iff they are
+    logically identical.  Used by the recovery fixtures to compare a
+    crash-recovered server against an oracle that replayed the same WAL
+    prefix in memory.
+    """
+    tables = {}
+    for table in sorted(db.catalog.tables(), key=lambda t: t.name):
+        tables[table.name] = {
+            "columns": [[c.name, c.dtype.value] for c in table.schema.columns],
+            "primary_key": list(table.schema.primary_key),
+            "rows": sorted((list(row) for row in table.rows), key=canonical_json),
+        }
+    prefs = {
+        user: sorted(
+            (preference_to_dict(stored) for stored in store.preferences_of(user)),
+            key=canonical_json,
+        )
+        for user in store.users()
+    }
+    payload = canonical_json({"tables": tables, "preferences": prefs})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PreferenceServer:
+    """Single-writer-path façade over a live database and preference store.
+
+    All mutations funnel through here (under one mutex, so WAL order equals
+    apply order); reads go through :meth:`snapshot`.  Construct directly
+    for an ephemeral server, or use :meth:`open` for a durable one.
+    """
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        store: PreferenceStore | None = None,
+        *,
+        directory: str | None = None,
+        wal: PreferenceWAL | None = None,
+        auto_checkpoint: int | None = None,
+    ):
+        self.db = db if db is not None else Database()
+        self.store = store if store is not None else PreferenceStore(self.db)
+        self.directory = directory
+        self.wal = wal
+        #: Checkpoint automatically after this many WAL appends (None: manual).
+        self.auto_checkpoint = auto_checkpoint
+        self._appends_since_checkpoint = 0
+        # Serializes writers against each other and against snapshot capture,
+        # so a snapshot can never pair a database from one instant with
+        # preferences from another.
+        self._mutex = Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        *,
+        initial: Database | None = None,
+        sync: bool = True,
+        auto_checkpoint: int | None = None,
+    ) -> tuple["PreferenceServer", WalReplay]:
+        """Open (or create) the durable server state under *directory*.
+
+        Recovery order: load the checkpoint (or adopt *initial* / an empty
+        database when none exists yet), replay the WAL's surviving prefix on
+        top, truncate any torn tail.  Returns the server and the
+        :class:`~repro.serve.wal.WalReplay` describing what recovery found.
+        A brand-new directory gets an immediate baseline checkpoint so a
+        later recovery always has a base to replay onto.
+        """
+        os.makedirs(directory, exist_ok=True)
+        checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
+        had_checkpoint = os.path.exists(os.path.join(checkpoint_dir, SCHEMA_FILE))
+        if had_checkpoint:
+            db = load_database(checkpoint_dir)
+        else:
+            db = initial if initial is not None else Database()
+        if db.is_snapshot:
+            raise ReproError("cannot serve from a snapshot database")
+        store = PreferenceStore(db)
+        prefs_path = os.path.join(directory, PREFS_FILE)
+        if os.path.exists(prefs_path):
+            _load_preferences(prefs_path, store)
+        wal, replay = PreferenceWAL.open(
+            os.path.join(directory, WAL_FILE), sync=sync
+        )
+        server = cls(
+            db,
+            store,
+            directory=directory,
+            wal=wal,
+            auto_checkpoint=auto_checkpoint,
+        )
+        for record in replay.records:
+            server._apply_replay(record.op, record.payload)
+        if not had_checkpoint:
+            server.checkpoint()
+        return server, replay
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> ServerSnapshot:
+        """Capture an immutable, consistent view of the entire server state."""
+        with self._mutex:
+            db_snap = self.db.snapshot()
+            store_snap = self.store.snapshot(db_snap)
+            return ServerSnapshot(
+                db=db_snap,
+                store=store_snap,
+                db_version=db_snap.version,
+                store_version=store_snap.version,
+                lsn=self.wal.lsn if self.wal is not None else 0,
+            )
+
+    # -- the write path ----------------------------------------------------------
+
+    def add_preference(self, user: str, preference) -> None:
+        """Store a preference for *user*, durably (WAL append = commit)."""
+        # Serialize before applying: a non-loggable preference (callable
+        # scoring, predicate context) must be rejected before it reaches
+        # either the store or the log.
+        payload = (
+            {"user": user, "pref": preference_to_dict(preference)}
+            if self.wal is not None
+            else None
+        )
+        with self._mutex:
+            self.store.add(user, preference)
+            self._log("pref.add", payload)
+
+    def remove_preference(self, user: str, name: str) -> bool:
+        with self._mutex:
+            removed = self.store.remove(user, name)
+            if removed:
+                self._log("pref.remove", {"user": user, "name": name})
+            return removed
+
+    def clear_preferences(self, user: str) -> int:
+        with self._mutex:
+            dropped = self.store.clear(user)
+            if dropped:
+                self._log("pref.clear", {"user": user})
+            return dropped
+
+    def insert(self, table: str, values) -> None:
+        """Insert one row through the copy-on-write write path, durably."""
+        with self._mutex:
+            self.db.insert(table, values)
+            self._log("row.insert", {"table": table, "values": list(values)})
+
+    def _log(self, op: str, payload: dict | None) -> None:
+        if self.wal is None:
+            return
+        self.wal.append(op, payload if payload is not None else {})
+        self._appends_since_checkpoint += 1
+        if (
+            self.auto_checkpoint is not None
+            and self._appends_since_checkpoint >= self.auto_checkpoint
+        ):
+            self._checkpoint_locked()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _apply_replay(self, op: str, payload: dict) -> None:
+        """Apply one recovered WAL record, idempotently.
+
+        A crash between "checkpoint written" and "WAL reset" leaves records
+        whose effects the checkpoint already holds; redo must therefore
+        tolerate already-applied mutations (the duplicate-name / missing-name
+        cases below) rather than fail recovery on them.
+        """
+        if op == "pref.add":
+            try:
+                self.store.add(payload["user"], preference_from_dict(payload["pref"]))
+            except PreferenceError:
+                pass  # already present: record predates the checkpoint
+        elif op == "pref.remove":
+            self.store.remove(payload["user"], payload["name"])
+        elif op == "pref.clear":
+            self.store.clear(payload["user"])
+        elif op == "row.insert":
+            try:
+                self.db.insert(payload["table"], payload["values"])
+            except ReproError:
+                pass  # duplicate primary key: row is already in the checkpoint
+        else:
+            raise DataCorruption(f"write-ahead log carries unknown operation {op!r}")
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush the full state to disk and reset the WAL.
+
+        Checkpoint files land first (each atomically, via the format-2
+        persistence layer), the log is reset after: a crash in between
+        replays the old log onto the new checkpoint, which the idempotent
+        redo in :meth:`_apply_replay` absorbs.
+        """
+        if self.directory is None:
+            raise ReproError("ephemeral server has nowhere to checkpoint")
+        with self._mutex:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        save_database(self.db, os.path.join(self.directory, CHECKPOINT_DIR))
+        _save_preferences(os.path.join(self.directory, PREFS_FILE), self.store)
+        if self.wal is not None:
+            self.wal.reset()
+        self._appends_since_checkpoint = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def state_digest(self) -> str:
+        """sha256 of the live logical state (consistent: captured via snapshot)."""
+        return self.snapshot().digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.directory if self.directory is not None else "ephemeral"
+        return f"PreferenceServer({where}, lsn={self.wal.lsn if self.wal else 0})"
+
+
+# ---------------------------------------------------------------------------
+# Preference checkpoint file
+# ---------------------------------------------------------------------------
+
+
+def _save_preferences(path: str, store: PreferenceStore) -> None:
+    users = {
+        user: [preference_to_dict(stored) for stored in store.preferences_of(user)]
+        for user in store.users()
+    }
+    body = canonical_json(users)
+    document = {
+        "format": 1,
+        "checksum": "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        "users": users,
+    }
+    _atomic_write(path, json.dumps(document, indent=2, sort_keys=True))
+
+
+def _load_preferences(path: str, store: PreferenceStore) -> None:
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as err:
+            raise DataCorruption(
+                f"preference checkpoint is not valid JSON: {err}", path=path
+            ) from err
+    users = document.get("users")
+    if not isinstance(users, dict):
+        raise DataCorruption("preference checkpoint lacks a users mapping", path=path)
+    expected = document.get("checksum")
+    actual = "sha256:" + hashlib.sha256(
+        canonical_json(users).encode("utf-8")
+    ).hexdigest()
+    if expected is not None and expected != actual:
+        raise DataCorruption(
+            f"preference checkpoint checksum mismatch (expected {expected})",
+            path=path,
+        )
+    for user, stored_list in users.items():
+        store.add_all(user, [preference_from_dict(data) for data in stored_list])

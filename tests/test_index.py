@@ -92,3 +92,61 @@ class TestBuildIndex:
 
     def test_name(self, table):
         assert build_index(table, "k").name == "hash:T(k)"
+
+
+class TestIncrementalAdd:
+    """Single-row inserts must keep secondary indexes current: a stale index
+    silently drops rows from any plan that uses an index access path."""
+
+    def test_hash_add(self, table):
+        index = HashIndex(table, ["k"])
+        row = table.insert((6, 10, "z"))
+        index.add(row)
+        assert {r[0] for r in index.lookup(10)} == {1, 3, 6}
+
+    def test_ordered_add_keeps_sort_order(self, table):
+        index = OrderedIndex(table, ["k"])
+        index.add(table.insert((6, 15, "z")))
+        index.add(table.insert((7, 5, "z")))
+        assert index._keys == sorted(index._keys)
+        assert {r[0] for r in index.range(low=5, high=15)} == {1, 3, 6, 7}
+
+    def test_ordered_add_skips_null_keys(self, table):
+        index = OrderedIndex(table, ["k"])
+        before = list(index._keys)
+        index.add(table.insert((6, None, "z")))
+        assert index._keys == before
+
+    def test_database_insert_maintains_indexes(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        db.create_table(
+            "T",
+            [("id", DataType.INT), ("k", DataType.INT)],
+            primary_key=["id"],
+        )
+        db.insert_many("T", [(1, 10), (2, 20)])
+        hash_index = db.create_index("T", "k", "hash")
+        btree_index = db.create_index("T", "k", "btree")
+        db.insert("T", (3, 10))
+        assert {r[0] for r in hash_index.lookup(10)} == {1, 3}
+        assert {r[0] for r in btree_index.lookup(10)} == {1, 3}
+
+    def test_snapshot_indexes_unaffected_by_live_insert(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        db.create_table(
+            "T",
+            [("id", DataType.INT), ("k", DataType.INT)],
+            primary_key=["id"],
+        )
+        db.insert_many("T", [(1, 10), (2, 20)])
+        db.create_index("T", "k", "hash")
+        snap = db.snapshot()
+        snap_index = snap.catalog.find_index("T", "k")
+        db.insert("T", (3, 10))
+        assert [r[0] for r in snap_index.lookup(10)] == [1]  # frozen
+        live_index = db.catalog.find_index("T", "k")
+        assert {r[0] for r in live_index.lookup(10)} == {1, 3}

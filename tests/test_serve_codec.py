@@ -1,0 +1,107 @@
+"""WAL/checkpoint codec: preferences round-trip through canonical JSON.
+
+Non-loggable preferences (callable scoring, predicate activation) are
+rejected with PreferenceError before anything reaches the log; malformed
+records coming *out* of the log raise DataCorruption.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Preference, cmp, eq, recency_score
+from repro.core.context import ContextualPreference
+from repro.core.scoring import CallableScore
+from repro.engine import expressions as ex
+from repro.errors import DataCorruption, PreferenceError
+from repro.serve.codec import (
+    canonical_json,
+    expr_from_dict,
+    expr_to_dict,
+    preference_from_dict,
+    preference_to_dict,
+)
+
+
+def round_trip(preference):
+    data = preference_to_dict(preference)
+    json.dumps(data)  # must be JSON-compatible as-is
+    rebuilt = preference_from_dict(data)
+    assert canonical_json(preference_to_dict(rebuilt)) == canonical_json(data)
+    return rebuilt
+
+
+def test_plain_preference_round_trip():
+    original = Preference("p1", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+    rebuilt = round_trip(original)
+    assert rebuilt.name == "p1"
+    assert list(rebuilt.relations) == ["GENRES"]
+    assert rebuilt.confidence == 0.9
+
+
+def test_expr_scoring_round_trip():
+    original = Preference(
+        "recent", "MOVIES", cmp("year", ">=", 1990), recency_score("year", 2011), 0.7
+    )
+    rebuilt = round_trip(original)
+    assert rebuilt.scoring.describe() == original.scoring.describe()
+
+
+def test_contextual_mapping_round_trip():
+    inner = Preference("ctx", "MOVIES", eq("m_id", 1), 1.0, 1.0)
+    original = ContextualPreference(inner, {"mood": "family"})
+    rebuilt = round_trip(original)
+    assert isinstance(rebuilt, ContextualPreference)
+    assert dict(rebuilt.when) == {"mood": "family"}
+    assert rebuilt.preference.name == "ctx"
+
+
+def test_expr_shapes_round_trip():
+    shapes = [
+        ex.And(eq("genre", "Comedy"), cmp("year", ">", 2000)),
+        ex.Or(eq("d_id", 1), eq("d_id", 2)),
+        ex.Not(eq("genre", "Horror")),
+        ex.InList(ex.Attr("genre"), ["Comedy", "Drama"]),
+        ex.Between(ex.Attr("year"), 1990, 2010),
+        ex.IsNull(ex.Attr("duration"), False),
+    ]
+    for expr in shapes:
+        data = expr_to_dict(expr)
+        assert canonical_json(expr_to_dict(expr_from_dict(data))) == canonical_json(data)
+
+
+def test_callable_score_is_rejected():
+    pref = Preference(
+        "bad",
+        "MOVIES",
+        eq("m_id", 1),
+        CallableScore(lambda year: 1.0, ["year"], label="opaque"),
+        1.0,
+    )
+    with pytest.raises(PreferenceError) as excinfo:
+        preference_to_dict(pref)
+    assert "CallableScore" in str(excinfo.value)
+
+
+def test_predicate_contextual_is_rejected():
+    inner = Preference("ctx", "MOVIES", eq("m_id", 1), 1.0, 1.0)
+    pref = ContextualPreference(inner, lambda context: True)
+    with pytest.raises(PreferenceError) as excinfo:
+        preference_to_dict(pref)
+    assert "predicate" in str(excinfo.value)
+
+
+def test_malformed_records_raise_corruption():
+    with pytest.raises(DataCorruption):
+        preference_from_dict({"t": "no-such-kind"})
+    with pytest.raises(DataCorruption):
+        preference_from_dict({"t": "pref", "name": "p"})  # missing fields
+    with pytest.raises(DataCorruption):
+        expr_from_dict({"t": "cmp", "op": "="})  # missing operands
+
+
+def test_canonical_json_is_deterministic():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+    assert canonical_json({"a": 2, "b": 1}) == '{"a":2,"b":1}'

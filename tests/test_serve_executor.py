@@ -1,0 +1,231 @@
+"""ServeExecutor: admission control, load shedding, drain, context hand-off."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.obs import InMemorySink, Tracer, current_tracer, use_tracer
+from repro.resilience import QueryGuard, current_guard, use_guard
+from repro.serve.executor import LatencyStats, ServeExecutor, percentile
+
+
+class Blocker:
+    """A job that parks on an event until the test releases it."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def __call__(self):
+        self.entered.set()
+        assert self.release.wait(timeout=10)
+        return "done"
+
+
+# -- happy path ----------------------------------------------------------------
+
+
+def test_run_returns_result_and_records_stats():
+    with ServeExecutor(workers=2) as executor:
+        assert executor.run(lambda a, b: a + b, 2, 3) == 5
+        assert executor.run(str.upper, "ok") == "OK"
+    assert executor.stats.completed == 2
+    assert executor.stats.failed == 0
+    assert executor.stats.p50_ms >= 0.0
+
+
+def test_job_exception_relayed_and_counted():
+    with ServeExecutor(workers=1) as executor:
+        future = executor.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=5)
+    assert executor.stats.failed == 1
+    assert executor.stats.completed == 0
+
+
+# -- load shedding -------------------------------------------------------------
+
+
+def test_queue_full_sheds_with_typed_overloaded():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=1, queue_limit=0)
+    try:
+        running = executor.submit(blocker)
+        assert blocker.entered.wait(timeout=5)
+        with pytest.raises(Overloaded) as excinfo:
+            executor.submit(lambda: "rejected")
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.limit == 0
+        assert executor.stats.shed == 1
+    finally:
+        blocker.release.set()
+        assert running.result(timeout=5) == "done"
+        executor.shutdown()
+
+
+def test_queue_limit_zero_still_admits_one_per_worker():
+    blockers = [Blocker() for _ in range(2)]
+    executor = ServeExecutor(workers=2, queue_limit=0)
+    try:
+        futures = [executor.submit(b) for b in blockers]
+        for b in blockers:
+            assert b.entered.wait(timeout=5)  # both admitted, both running
+    finally:
+        for b in blockers:
+            b.release.set()
+        for f in futures:
+            assert f.result(timeout=5) == "done"
+        executor.shutdown()
+
+
+def test_session_limit_caps_one_client_without_starving_others():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=2, queue_limit=4, session_limit=1)
+    try:
+        hog = executor.submit(blocker, session="alice")
+        assert blocker.entered.wait(timeout=5)
+        with pytest.raises(Overloaded) as excinfo:
+            executor.submit(lambda: "no", session="alice")
+        assert excinfo.value.reason == "session-limit"
+        assert excinfo.value.session == "alice"
+        # another session is unaffected by alice's cap
+        assert executor.run(lambda: "yes", session="bob") == "yes"
+    finally:
+        blocker.release.set()
+        assert hog.result(timeout=5) == "done"
+        executor.shutdown()
+
+
+def test_shutting_down_sheds_new_arrivals():
+    executor = ServeExecutor(workers=1)
+    executor.shutdown()
+    with pytest.raises(Overloaded) as excinfo:
+        executor.submit(lambda: "late")
+    assert excinfo.value.reason == "shutting-down"
+
+
+# -- drain and shutdown --------------------------------------------------------
+
+
+def test_drain_waits_for_admitted_work():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=1)
+    future = executor.submit(blocker)
+    assert blocker.entered.wait(timeout=5)
+    assert executor.drain(timeout=0.05) is False  # still running
+    assert executor.draining
+    blocker.release.set()
+    assert executor.drain(timeout=5) is True
+    assert future.result(timeout=1) == "done"
+    assert executor.pending() == 0
+    executor.shutdown()
+
+
+def test_shutdown_without_wait_cancels_queued_jobs():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=1, queue_limit=4)
+    running = executor.submit(blocker)
+    assert blocker.entered.wait(timeout=5)
+    queued = executor.submit(lambda: "never ran")
+    executor_thread = threading.Thread(
+        target=executor.shutdown, kwargs={"wait": False}
+    )
+    executor_thread.start()
+    with pytest.raises(CancelledError):
+        queued.result(timeout=5)  # cancelled while the worker is still busy
+    blocker.release.set()
+    executor_thread.join(timeout=10)
+    assert running.result(timeout=5) == "done"
+
+
+# -- ambient context crosses the thread boundary -------------------------------
+
+
+def test_guard_and_tracer_propagate_into_workers():
+    guard = QueryGuard(timeout=60.0)
+    tracer = Tracer()
+
+    def observed():
+        return current_guard(), current_tracer()
+
+    with ServeExecutor(workers=1) as executor:
+        # Without anything installed, the worker sees the no-op defaults.
+        bare_guard, bare_tracer = executor.run(observed)
+        assert bare_guard is not guard and bare_tracer is not tracer
+        # Installed at submit time, the copied context carries both across.
+        with use_guard(guard), use_tracer(tracer):
+            seen_guard, seen_tracer = executor.run(observed)
+        assert seen_guard is guard
+        assert seen_tracer is tracer
+
+
+def test_context_is_per_submission_not_sticky():
+    guard = QueryGuard(timeout=60.0)
+    with ServeExecutor(workers=1) as executor:
+        with use_guard(guard):
+            assert executor.run(current_guard) is guard
+        assert executor.run(current_guard) is not guard  # later jobs run clean
+
+
+# -- latency accounting --------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.95) == 0.0
+    assert percentile([7.0], 0.5) == 7.0
+    samples = [float(n) for n in range(1, 101)]
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 1.0) == 100.0
+    assert percentile(samples, 0.5) == 51.0  # nearest rank over 100 samples
+    assert percentile(samples, 0.95) in samples  # always an observed value
+
+
+def test_latency_stats_snapshot_and_span():
+    stats = LatencyStats()
+    for ms in (1.0, 2.0, 3.0, 4.0):
+        stats.observe(ms, queue_ms=0.5, ok=True)
+    stats.observe(100.0, queue_ms=50.0, ok=False)
+    stats.count_shed()
+    snap = stats.snapshot()
+    assert snap["admitted"] == 5
+    assert snap["completed"] == 4
+    assert snap["failed"] == 1
+    assert snap["shed"] == 1
+    assert snap["p99_ms"] == 100.0
+    assert snap["queue_p95_ms"] == 50.0
+
+    span = stats.to_span(label="unit")
+    assert span.name == "serve.latency"
+    data = span.to_dict()
+    assert data["attrs"]["p99_ms"] == 100.0
+    assert "p50" in stats.describe()
+
+
+def test_report_to_writes_serving_telemetry_to_sink():
+    sink = InMemorySink()
+    with ServeExecutor(workers=2, name="unit") as executor:
+        executor.run(lambda: 1)
+        executor.run(lambda: 2)
+    executor.report_to(sink, meta={"benchmark": "test"})
+    assert len(sink) == 1
+    meta, span = sink.records[0]
+    assert meta["executor"] == "unit"
+    assert meta["workers"] == 2
+    assert meta["benchmark"] == "test"
+    assert span.name == "serve.latency"
+
+
+# -- constructor guard rails ---------------------------------------------------
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        ServeExecutor(workers=0)
+    with pytest.raises(ValueError):
+        ServeExecutor(workers=1, queue_limit=-1)
+    with pytest.raises(ValueError):
+        ServeExecutor(workers=1, session_limit=0)

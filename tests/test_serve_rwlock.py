@@ -1,0 +1,101 @@
+"""RWLock: shared readers, exclusive writers, writer preference."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.rwlock import RWLock
+
+
+def test_readers_overlap():
+    lock = RWLock()
+    inside = threading.Barrier(2, timeout=5)
+    done = []
+
+    def reader():
+        with lock.read_locked():
+            inside.wait()  # both readers hold the lock at the same time
+            done.append(True)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert done == [True, True]
+
+
+def test_writer_is_exclusive():
+    lock = RWLock()
+    counter = {"value": 0}
+
+    def writer():
+        for _ in range(500):
+            with lock.write_locked():
+                seen = counter["value"]
+                counter["value"] = seen + 1
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert counter["value"] == 4 * 500  # no lost updates under contention
+
+
+def test_writer_blocks_readers():
+    lock = RWLock()
+    lock.acquire_write()
+    observed = []
+
+    def reader():
+        with lock.read_locked():
+            observed.append("read")
+
+    t = threading.Thread(target=reader)
+    t.start()
+    time.sleep(0.05)
+    assert observed == []  # reader waits while the writer holds the lock
+    lock.release_write()
+    t.join(timeout=5)
+    assert observed == ["read"]
+
+
+def test_waiting_writer_blocks_new_readers():
+    """Writer preference: once a writer queues, fresh readers line up behind it."""
+    lock = RWLock()
+    lock.acquire_read()
+    order = []
+
+    def writer():
+        lock.acquire_write()
+        order.append("write")
+        lock.release_write()
+
+    def late_reader():
+        with lock.read_locked():
+            order.append("read")
+
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.05)  # writer is now waiting on the held read lock
+    r = threading.Thread(target=late_reader)
+    r.start()
+    time.sleep(0.05)
+    assert order == []  # the late reader must not sneak past the waiting writer
+    lock.release_read()
+    w.join(timeout=5)
+    r.join(timeout=5)
+    assert order[0] == "write"
+
+
+def test_read_lock_released_on_exception():
+    lock = RWLock()
+    try:
+        with lock.read_locked():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    lock.acquire_write()  # would deadlock if the read side leaked
+    lock.release_write()

@@ -1,0 +1,208 @@
+"""PreferenceServer: snapshot isolation, durability, crash recovery."""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro import Preference, eq
+from repro.errors import CatalogError, PreferenceError, ReproError
+from repro.serve.server import PreferenceServer, state_digest
+
+from .conftest import build_movie_db
+
+
+def comedy(name: str = "comedy") -> Preference:
+    return Preference(name, "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+
+
+def drama(name: str = "drama") -> Preference:
+    return Preference(name, "DIRECTORS", eq("d_id", 1), 0.9, 0.8)
+
+
+NEW_MOVIE = (99, "New Release", 2012, 100, 1)
+
+
+# -- ephemeral: snapshot isolation -------------------------------------------
+
+
+def test_snapshot_isolated_from_later_writes():
+    server = PreferenceServer(build_movie_db())
+    server.add_preference("alice", comedy())
+    snap = server.snapshot()
+    before_rows = len(snap.db.catalog.table("MOVIES").rows)
+    before_digest = snap.digest()
+
+    server.insert("MOVIES", NEW_MOVIE)
+    server.add_preference("alice", drama())
+    server.add_preference("bob", comedy())
+
+    assert len(snap.db.catalog.table("MOVIES").rows) == before_rows
+    assert [p.name for p in snap.store.preferences_of("alice")] == ["comedy"]
+    assert snap.store.preferences_of("bob") == []
+    assert snap.digest() == before_digest  # the snapshot never moves
+
+    live = server.snapshot()
+    assert len(live.db.catalog.table("MOVIES").rows) == before_rows + 1
+    assert len(live.store.preferences_of("alice")) == 2
+    assert live.db_version > snap.db_version
+    assert live.store_version > snap.store_version
+
+
+def test_snapshot_is_read_only():
+    server = PreferenceServer(build_movie_db())
+    snap = server.snapshot()
+    with pytest.raises(CatalogError):
+        snap.db.insert("MOVIES", NEW_MOVIE)
+    with pytest.raises(PreferenceError):
+        snap.store.add("alice", comedy())
+
+
+def test_snapshot_sessions_answer_from_the_snapshot():
+    server = PreferenceServer(build_movie_db())
+    server.add_preference("alice", comedy())
+    snap = server.snapshot()
+    server.insert("MOVIES", NEW_MOVIE)
+    server.insert("GENRES", (99, "Comedy"))
+
+    session = snap.session_for("alice")
+    result = session.execute(
+        "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING comedy"
+    )
+    titles = {row[0] for row in result.presented().rows}
+    assert "New Release" not in titles  # rows born after the snapshot are invisible
+
+    live_result = server.snapshot().session_for("alice").execute(
+        "SELECT title FROM MOVIES NATURAL JOIN GENRES PREFERRING comedy"
+    )
+    assert "New Release" in {row[0] for row in live_result.presented().rows}
+
+
+def test_ephemeral_server_cannot_checkpoint():
+    server = PreferenceServer(build_movie_db())
+    with pytest.raises(ReproError):
+        server.checkpoint()
+
+
+# -- durable: WAL + recovery --------------------------------------------------
+
+
+def test_recovery_replays_wal_onto_checkpoint(tmp_path):
+    directory = str(tmp_path / "state")
+    server, replay = PreferenceServer.open(directory, initial=build_movie_db())
+    assert replay.records == []  # brand-new directory
+    server.add_preference("alice", comedy())
+    server.add_preference("alice", drama())
+    server.remove_preference("alice", "drama")
+    server.add_preference("bob", drama())
+    server.insert("MOVIES", NEW_MOVIE)
+    digest = server.state_digest()
+    lsn = server.wal.lsn
+    server.close()  # no checkpoint: recovery must come entirely from the WAL
+
+    recovered, replay = PreferenceServer.open(directory)
+    assert replay.clean
+    assert replay.last_lsn == lsn
+    assert recovered.state_digest() == digest
+    assert [p.name for p in recovered.store.preferences_of("alice")] == ["comedy"]
+    recovered.close()
+
+
+def test_checkpoint_resets_wal_and_preserves_state(tmp_path):
+    directory = str(tmp_path / "state")
+    server, _ = PreferenceServer.open(directory, initial=build_movie_db())
+    server.add_preference("alice", comedy())
+    server.insert("MOVIES", NEW_MOVIE)
+    server.checkpoint()
+    assert os.path.getsize(os.path.join(directory, "preferences.wal")) == 0
+    digest = server.state_digest()
+    server.close()
+
+    recovered, replay = PreferenceServer.open(directory)
+    assert replay.records == []  # everything came from the checkpoint
+    assert recovered.state_digest() == digest
+    recovered.close()
+
+
+def test_replay_is_idempotent_over_checkpoint(tmp_path):
+    """Crash between checkpoint-written and WAL-reset: redo must tolerate
+    records whose effects the checkpoint already holds."""
+    directory = str(tmp_path / "state")
+    server, _ = PreferenceServer.open(directory, initial=build_movie_db())
+    server.add_preference("alice", comedy())
+    server.insert("MOVIES", NEW_MOVIE)
+    wal_path = os.path.join(directory, "preferences.wal")
+    saved_wal = wal_path + ".saved"
+    shutil.copy(wal_path, saved_wal)
+    server.checkpoint()
+    digest = server.state_digest()
+    server.close()
+    shutil.copy(saved_wal, wal_path)  # the crash left the old log behind
+
+    recovered, replay = PreferenceServer.open(directory)
+    assert len(replay.records) == 2  # both records replayed...
+    assert recovered.state_digest() == digest  # ...with no double effects
+    recovered.close()
+
+
+def test_auto_checkpoint_after_n_appends(tmp_path):
+    directory = str(tmp_path / "state")
+    server, _ = PreferenceServer.open(
+        directory, initial=build_movie_db(), auto_checkpoint=3
+    )
+    for i in range(3):
+        server.add_preference("alice", comedy(f"p{i}"))
+    assert os.path.getsize(os.path.join(directory, "preferences.wal")) == 0
+    server.close()
+
+    recovered, replay = PreferenceServer.open(directory)
+    assert replay.records == []
+    assert len(recovered.store.preferences_of("alice")) == 3
+    recovered.close()
+
+
+def test_non_loggable_preference_rejected_before_store_or_log(tmp_path):
+    from repro.core.scoring import CallableScore
+
+    directory = str(tmp_path / "state")
+    server, _ = PreferenceServer.open(directory, initial=build_movie_db())
+    digest = server.state_digest()
+    lsn = server.wal.lsn
+    bad = Preference(
+        "bad", "MOVIES", eq("m_id", 1), CallableScore(lambda y: 1.0, ["year"]), 1.0
+    )
+    with pytest.raises(PreferenceError):
+        server.add_preference("alice", bad)
+    assert server.wal.lsn == lsn  # nothing hit the log
+    assert server.state_digest() == digest  # nothing hit the store
+    server.close()
+
+
+# -- the digest itself ---------------------------------------------------------
+
+
+def test_state_digest_tracks_logical_state():
+    db_a, db_b = build_movie_db(), build_movie_db()
+    server_a = PreferenceServer(db_a)
+    server_b = PreferenceServer(db_b)
+    assert server_a.state_digest() == server_b.state_digest()
+
+    server_a.add_preference("alice", comedy())
+    assert server_a.state_digest() != server_b.state_digest()
+    server_b.add_preference("alice", comedy())
+    assert server_a.state_digest() == server_b.state_digest()
+
+    server_a.insert("MOVIES", NEW_MOVIE)
+    assert server_a.state_digest() != server_b.state_digest()
+    server_b.insert("MOVIES", NEW_MOVIE)
+    assert server_a.state_digest() == server_b.state_digest()
+
+
+def test_state_digest_matches_snapshot_digest():
+    server = PreferenceServer(build_movie_db())
+    server.add_preference("alice", comedy())
+    snap = server.snapshot()
+    assert snap.digest() == server.state_digest()
+    assert state_digest(snap.db, snap.store) == snap.digest()
