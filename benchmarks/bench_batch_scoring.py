@@ -1,0 +1,226 @@
+"""Fused batch preference scoring vs the sequential per-preference fold.
+
+Sweeps the number of preferences |λ| and the input size |R| on two IMDB
+workloads and times each cell twice: fused batch scoring on (the default)
+and off (``use_batch_scoring(False)``, the sequential reference fold).
+Both modes return byte-identical results — see ``tests/test_batchscore.py``
+— so this measures pure execution-path cost.
+
+* **scan workload** (the λ and |R| sweeps): preferences over the MOVIES
+  relation, top-10.  Scoring dominates, so the cells expose the
+  O(|R|·|λ|) → O(|R| + matches) asymptotic change directly.
+* **join workload** (reported, not gated): the Fig.-10 4-relation join
+  with a mixed preference pool.  Join work is shared by both modes, so
+  speedups are diluted toward 1 — included to show the fused path never
+  loses on join-heavy plans either.
+
+Writes ``results/BENCH_batch_scoring.json`` with every cell (median wall
+time, p50/p95 tail latency, speedup).
+
+Run standalone:  python benchmarks/bench_batch_scoring.py [--quick] [--check]
+
+``--check`` is the CI perf-smoke gate: exit 1 unless fused beats unfused by
+at least ``GATE_MIN_SPEEDUP`` on the largest |λ| scan cell for every gated
+strategy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench import bench_repeats, bench_scale, format_table, measure
+from repro.pexec.batchscore import use_batch_scoring
+from repro.plan.builder import scan
+from repro.query.session import Session
+from repro.workloads import generate_imdb, preference_pool
+
+LAMBDAS = (4, 16, 64)
+ROW_SCALES = (0.5, 1.0, 2.0)
+STRATEGIES = ("ftp", "gbu", "bu")
+
+#: CI gate: fused must beat unfused by this factor on the |λ|=max scan cell.
+#: Deliberately coarse (the FtP headline speedup is far larger, see
+#: docs/PERFORMANCE.md) so CI machine jitter cannot flake the job.
+GATE_MIN_SPEEDUP = 1.2
+GATE_STRATEGIES = ("ftp", "gbu")
+
+
+def movie_pool(db, count: int, selectivity: float = 0.03):
+    """*count* preferences touching only MOVIES (cycling year/duration/d_id)."""
+    mixed = preference_pool(db, count * 3, selectivity=selectivity)
+    pool = [p for p in mixed if set(p.relations) <= {"MOVIES"}][:count]
+    assert len(pool) == count
+    return pool
+
+
+def build_scan_plan(db, num_preferences: int):
+    return (
+        scan("MOVIES")
+        .prefer_all(movie_pool(db, num_preferences))
+        .top(10, by="score")
+        .build()
+    )
+
+
+def build_join_plan(db, num_preferences: int):
+    pool = preference_pool(db, num_preferences, selectivity=0.03)
+    return (
+        scan("MOVIES")
+        .natural_join(scan("GENRES"), db.catalog)
+        .natural_join(scan("DIRECTORS"), db.catalog)
+        .natural_join(scan("RATINGS"), db.catalog)
+        .prefer_all(pool)
+        .top(10, by="score")
+        .build()
+    )
+
+
+def _cell(session, plan, strategy, repeats, label) -> dict:
+    fused = measure(session, plan, strategy, repeats, label=label)
+    with use_batch_scoring(False):
+        unfused = measure(session, plan, strategy, repeats, label=label)
+    speedup = unfused.wall_ms / fused.wall_ms if fused.wall_ms > 0 else float("inf")
+    return {
+        "strategy": strategy,
+        "fused_ms": round(fused.wall_ms, 4),
+        "unfused_ms": round(unfused.wall_ms, 4),
+        "speedup": round(speedup, 2),
+        "fused_p50_ms": round(fused.p50_ms, 4),
+        "fused_p95_ms": round(fused.p95_ms, 4),
+        "unfused_p50_ms": round(unfused.p50_ms, 4),
+        "unfused_p95_ms": round(unfused.p95_ms, 4),
+        "rows": fused.rows,
+    }
+
+
+def sweep(scale: float, repeats: int) -> dict:
+    data: dict = {
+        "benchmark": "batch_scoring",
+        "scan_workload": "MOVIES scan + |λ| MOVIES preferences + top-10",
+        "join_workload": "fig10 4-relation IMDB join + mixed pool + top-10",
+        "scale": scale,
+        "repeats": repeats,
+        "lambda_sweep": [],
+        "rows_sweep": [],
+        "join_sweep": [],
+    }
+    db = generate_imdb(scale=scale, seed=42)
+    session = Session(db)
+    for num in LAMBDAS:
+        plan = build_scan_plan(db, num)
+        for strategy in STRATEGIES:
+            cell = _cell(session, plan, strategy, repeats, f"scan |λ|={num}")
+            cell["lambda"] = num
+            data["lambda_sweep"].append(cell)
+    join_plan = build_join_plan(db, max(LAMBDAS))
+    for strategy in STRATEGIES:
+        cell = _cell(session, join_plan, strategy, repeats, f"join |λ|={max(LAMBDAS)}")
+        cell["lambda"] = max(LAMBDAS)
+        data["join_sweep"].append(cell)
+    for factor in ROW_SCALES:
+        row_db = generate_imdb(scale=scale * factor, seed=42)
+        row_session = Session(row_db)
+        plan = build_scan_plan(row_db, max(LAMBDAS))
+        base_rows = len(row_db.table("MOVIES").rows)
+        for strategy in GATE_STRATEGIES:
+            cell = _cell(
+                row_session, plan, strategy, repeats, f"|R|x{factor:g}"
+            )
+            cell["row_scale"] = factor
+            cell["movies_rows"] = base_rows
+            data["rows_sweep"].append(cell)
+    return data
+
+
+def render(data: dict) -> str:
+    rows = [
+        [c["lambda"], c["strategy"], c["fused_ms"], c["unfused_ms"], c["speedup"]]
+        for c in data["lambda_sweep"]
+    ]
+    table1 = format_table(
+        ["|λ|", "strategy", "fused (ms)", "unfused (ms)", "speedup"],
+        rows,
+        title="Batch scoring — scan workload, query time vs number of preferences",
+    )
+    rows = [
+        [f"x{c['row_scale']:g}", c["strategy"], c["fused_ms"], c["unfused_ms"], c["speedup"]]
+        for c in data["rows_sweep"]
+    ]
+    table2 = format_table(
+        ["|R| scale", "strategy", "fused (ms)", "unfused (ms)", "speedup"],
+        rows,
+        title=f"Batch scoring — scan workload, query time vs input size (|λ|={max(LAMBDAS)})",
+    )
+    rows = [
+        [c["lambda"], c["strategy"], c["fused_ms"], c["unfused_ms"], c["speedup"]]
+        for c in data["join_sweep"]
+    ]
+    table3 = format_table(
+        ["|λ|", "strategy", "fused (ms)", "unfused (ms)", "speedup"],
+        rows,
+        title="Batch scoring — join workload (shared join cost dilutes speedup)",
+    )
+    return table1 + "\n\n" + table2 + "\n\n" + table3
+
+
+def check_gate(data: dict) -> list[str]:
+    """The CI perf-smoke assertions; returns failure messages (empty = pass)."""
+    failures = []
+    top = max(LAMBDAS)
+    for cell in data["lambda_sweep"]:
+        if cell["lambda"] != top or cell["strategy"] not in GATE_STRATEGIES:
+            continue
+        if cell["speedup"] < GATE_MIN_SPEEDUP:
+            failures.append(
+                f"{cell['strategy']} at |λ|={top}: fused {cell['fused_ms']}ms vs "
+                f"unfused {cell['unfused_ms']}ms — speedup {cell['speedup']} < "
+                f"{GATE_MIN_SPEEDUP}"
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float)
+    parser.add_argument("--repeats", type=int)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: tiny scale, 1 repeat"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail unless fused ≥ {GATE_MIN_SPEEDUP}x unfused at |λ|={max(LAMBDAS)}",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.001")
+        os.environ.setdefault("REPRO_BENCH_REPEATS", "1")
+    scale = args.scale if args.scale is not None else bench_scale()
+    repeats = args.repeats if args.repeats is not None else bench_repeats()
+
+    data = sweep(scale, repeats)
+    print(render(data))
+
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_batch_scoring.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print(f"\nmeasurements written to {path}")
+
+    if args.check:
+        failures = check_gate(data)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: fused ≥ {GATE_MIN_SPEEDUP}x at |λ|={max(LAMBDAS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,15 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--scale 0.002] [--repeats 3] [--quick]
+    python benchmarks/run_all.py [--scale 0.002] [--repeats 3] [--quick] [--json]
 
 Each report is also printed as it completes.  This is the driver behind the
 tables recorded in EXPERIMENTS.md.  ``--quick`` is the CI smoke mode: a tiny
 scale, one repeat, a subset of reports, plus a traced run of the workload
 queries whose JSONL trace lands in ``results/traces.jsonl`` (uploaded as a
-CI artifact).
+CI artifact).  ``--json`` additionally writes every report's raw
+measurements — including p50/p95/p99 tail latency per cell — to
+``results/<report>.json`` for machine consumption.
 """
 
 from __future__ import annotations
@@ -89,6 +91,12 @@ def main() -> int:
         help="CI smoke mode: tiny scale, 1 repeat, report subset, traced "
         "workload run written to <out>/traces.jsonl",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write each report's raw measurements (with p50/p95/p99 "
+        "tail latency) to <out>/<report>.json",
+    )
     args = parser.parse_args()
     if args.quick:
         os.environ.setdefault("REPRO_BENCH_SCALE", "0.0005")
@@ -103,17 +111,35 @@ def main() -> int:
     from contextlib import redirect_stdout
     import io
 
+    from repro.bench.harness import bench_repeats, bench_scale, collect_measurements
+
     reports = QUICK_REPORTS if args.quick else REPORTS
     for name in reports:
         started = time.perf_counter()
         module = load(name)
         buffer = io.StringIO()
-        with redirect_stdout(buffer):
+        with collect_measurements() as cells, redirect_stdout(buffer):
             module.main()
         text = buffer.getvalue()
         path = os.path.join(args.out, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
+        if args.json:
+            import json
+
+            json_path = os.path.join(args.out, f"{name}.json")
+            with open(json_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "report": name,
+                        "scale": bench_scale(),
+                        "repeats": bench_repeats(),
+                        "measurements": [cell.as_dict() for cell in cells],
+                    },
+                    handle,
+                    indent=2,
+                )
+                handle.write("\n")
         elapsed = time.perf_counter() - started
         print(f"### {name}  ({elapsed:.1f}s → {path})")
         print(text)

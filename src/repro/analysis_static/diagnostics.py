@@ -59,6 +59,7 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "LN103": (Severity.ERROR, "strict plan-node dispatch is missing subclasses"),
     "LN104": (Severity.ERROR, "aggregate registry mutated outside register_aggregate"),
     "LN105": (Severity.ERROR, "registered aggregate function violates the algebraic laws"),
+    "LN201": (Severity.WARNING, "per-preference prefer loop; use the fused group API (prefer_group/apply_prefer_group)"),
 }
 
 

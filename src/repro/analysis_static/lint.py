@@ -22,6 +22,13 @@ package).  Rules (catalog codes LN1xx, see ``docs/STATIC_ANALYSIS.md``):
 * **LN105** — every registered aggregate function must satisfy Definition
   3's laws (associativity, commutativity, identity ``⟨⊥,0⟩``); checked by
   re-running the law suite against the live registry.
+* **LN201** *(warning)* — a ``for`` loop over a preference collection whose
+  body applies preferences one at a time (``prefer`` / ``apply_prefer`` /
+  ``apply_prefer_to_rows`` / ``prefer_scores_from_rows``) re-scans the input
+  once per preference, O(|R|·|λ|).  Use the fused group API
+  (:func:`repro.pexec.batchscore.prefer_group` /
+  ``apply_prefer_group``) — or mark intentional reference folds with
+  ``# noqa: LN201``.
 
 Suppression: append ``# noqa: LN103`` (or a comma-separated code list, or a
 bare ``# noqa``) to the reported line.
@@ -41,6 +48,15 @@ _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 #: Minimum number of distinct concrete plan classes an isinstance chain must
 #: mention before LN103 treats the function as a plan-node dispatcher.
 _DISPATCH_THRESHOLD = 3
+
+#: Single-preference application entry points; calling one of these inside a
+#: loop over a preference collection is the LN201 anti-pattern.
+_PER_PREFERENCE_CALLS = frozenset(
+    {"prefer", "apply_prefer", "apply_prefer_to_rows", "prefer_scores_from_rows"}
+)
+
+#: Names that read as "a collection of preferences" when looped over.
+_PREFERENCE_COLLECTION_NAMES = frozenset({"prefs", "pool", "preference_pool"})
 
 
 @dataclass(frozen=True)
@@ -216,6 +232,37 @@ class _FileChecker(ast.NodeVisitor):
                 )
             )
 
+    # -- LN201: per-preference prefer loop ----------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _iterates_preferences(node.iter):
+            call = self._per_preference_call(node)
+            if call is not None:
+                self.findings.append(
+                    LintFinding(
+                        self.path,
+                        node.lineno,
+                        "LN201",
+                        f"loop over preferences applies {call}() once per "
+                        "preference (O(|R|·|λ|) passes); use the fused group "
+                        "API (prefer_group / apply_prefer_group / "
+                        "prefer_seq) instead",
+                    )
+                )
+        self.generic_visit(node)
+
+    def _per_preference_call(self, loop: ast.For) -> str | None:
+        for statement in loop.body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call):
+                    name = _callee_name(node.func)
+                    # Every single-preference *application* takes the input
+                    # relation plus the preference; one-argument calls (e.g.
+                    # the plan builder's .prefer(p)) construct plan nodes.
+                    if name in _PER_PREFERENCE_CALLS and len(node.args) >= 2:
+                        return name
+        return None
+
     # -- LN104: registry mutation -------------------------------------------
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -267,6 +314,25 @@ class _FileChecker(ast.NodeVisitor):
         if isinstance(node, ast.Call):
             self._check_registry_method(node)
         super().generic_visit(node)
+
+
+def _iterates_preferences(expr: ast.AST) -> bool:
+    """Does this ``for`` iterable read as a collection of preferences?"""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Call):
+        callee = _callee_name(expr.func)
+        if callee == "preferences":  # e.g. plan.preferences()
+            return True
+        if callee in ("reversed", "sorted", "list", "tuple", "iter") and expr.args:
+            return _iterates_preferences(expr.args[0])
+        return False
+    else:
+        return False
+    lowered = name.lower()
+    return lowered.endswith("preferences") or lowered in _PREFERENCE_COLLECTION_NAMES
 
 
 def _registry_ref(node: ast.AST) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import statistics
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..engine.database import Database
@@ -75,6 +76,48 @@ class Measurement:
     @property
     def p99_ms(self) -> float:
         return self.percentile_ms(0.99)
+
+    def as_dict(self) -> dict:
+        """JSON-ready cell: headline numbers plus tail latency and raw runs."""
+        return {
+            "query": self.query,
+            "strategy": self.strategy,
+            "wall_ms": round(self.wall_ms, 4),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "total_io": self.total_io,
+            "rows": self.rows,
+            "runs_ms": [round(t, 4) for t in self.runs],
+            "traced": self.traced,
+        }
+
+
+#: Active measurement collectors (innermost last); every Measurement that
+#: :func:`measure` produces is appended to each — the hook behind
+#: ``run_all.py --json``.
+_COLLECTORS: list[list[Measurement]] = []
+
+
+@contextmanager
+def collect_measurements():
+    """Collect every :func:`measure` result produced in the ``with`` body.
+
+    Yields the (initially empty) list the measurements accumulate in::
+
+        with collect_measurements() as cells:
+            run_report()
+        json.dump([c.as_dict() for c in cells], out)
+
+    Nesting is allowed; inner collectors see only their own extent's cells,
+    outer collectors see everything.
+    """
+    cells: list[Measurement] = []
+    _COLLECTORS.append(cells)
+    try:
+        yield cells
+    finally:
+        _COLLECTORS.remove(cells)
 
 
 def measure(
@@ -141,6 +184,8 @@ def measure(
                     "wall_ms_traced": round(traced_ms, 3),
                 },
             )
+    for cells in _COLLECTORS:
+        cells.append(measurement)
     return measurement
 
 

@@ -1,0 +1,587 @@
+"""Preference groups — fused single-pass evaluation of many preferences.
+
+A :class:`PreferenceGroup` is an *ordered* sequence of preferences sharing
+one aggregate function F.  Evaluating the group sequentially — one full pass
+over the input per preference, the shape of the naive prefer fold — costs
+O(|R|·|λ|) condition checks.  Compiling the group against a schema yields a
+:class:`CompiledGroup` that evaluates every preference in a **single pass**
+over the rows, with three cooperating optimizations:
+
+* **Preference dispatch index** — preferences whose conditional part carries
+  an equality conjunct (``attr = v``, or ``attr IN (v1..vk)``) are bucketed
+  into per-attribute hash maps ``value → [preferences]``.  Each row then
+  *probes* one map per distinct dispatch attribute instead of testing every
+  condition: O(|R| + matches) instead of O(|R|·|λ|).  Conditions with no
+  usable equality conjunct fall back to a residual always-check list, so the
+  index is a pure optimization, never a semantic restriction.
+* **Fused combining** — all matching ⟨S, C⟩ pairs of a row are folded
+  through F in one loop.  Fold safety rests on Definition 3: F is
+  associative and commutative (asserted via the registered-aggregate law
+  checks before any group is built), which is exactly what makes the
+  per-row fused fold order equivalent to the per-preference sequential
+  order.  Where float identity matters (duplicate score-relation keys) the
+  fold replays the sequential ``(preference, row)`` order bit-for-bit.
+* **Memoized distinct-value scoring** — condition and scoring outcomes
+  depend only on the *preference-relevant* attributes, and workload rows
+  share few distinct values on preferred attributes.  The compiled group
+  caches the full match list per projection of those attributes, so a
+  repeated value combination costs one dict lookup.  Caches live on the
+  compiled group — created per evaluation, on the Intermediate/PRelation
+  side — never on shared tables, so snapshot isolation is preserved.
+
+Chomicki's semantic-optimization line of work (see PAPERS.md) prunes and
+reuses preference evaluation by exploiting the structure of the preference
+formula; this module is the same idea applied at the physical layer.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Sequence
+
+from ..engine.expressions import (
+    Attr,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    conjoin,
+    conjuncts,
+    is_true,
+)
+from ..engine.schema import TableSchema
+from ..engine.table import Row
+from ..errors import PreferenceError, SchemaError
+from .aggregates import AggregateFunction, failed_laws
+from .preference import Preference
+from .scorepair import ScorePair
+from .scoring import ConstantScore
+
+#: Memoization is skipped when a group reads more than this many distinct
+#: attributes: building a wide projection tuple per row would cost more than
+#: the dispatch probes it saves.
+MEMO_MAX_ATTRS = 8
+
+#: Adaptive memo bailout: after this many distinct projections, a pass whose
+#: hit rate is below one hit per ``MEMO_BAILOUT_RATIO`` misses abandons the
+#: memo — the projections are evidently near-unique (e.g. keyed on an id
+#: column), so every lookup is a wasted key build.
+MEMO_BAILOUT_MISSES = 512
+MEMO_BAILOUT_RATIO = 4
+
+#: Aggregate instances whose Definition 3 laws have been verified for fused
+#: folding (value keeps the instance alive so ids stay unambiguous).
+_FOLD_SAFE: dict[int, AggregateFunction] = {}
+
+
+def ensure_fold_safe(aggregate: AggregateFunction) -> None:
+    """Assert (once per instance) that *aggregate* may be folded in any order.
+
+    The fused combiner reorders applications relative to the sequential
+    per-preference fold; that is only sound for an associative, commutative
+    F with identity ⟨⊥,0⟩ — Definition 3, re-checked here via the same law
+    suite :func:`repro.core.aggregates.register_aggregate` runs.
+    """
+    if id(aggregate) in _FOLD_SAFE:
+        return
+    failures = failed_laws(aggregate)
+    if failures:
+        raise PreferenceError(
+            f"aggregate {aggregate.name!r} is not safe for fused batch "
+            "scoring; Definition 3 violations: " + "; ".join(failures)
+        )
+    _FOLD_SAFE[id(aggregate)] = aggregate
+
+
+class GroupStats:
+    """Counters of one fused evaluation pass (reported as ``prefer.batch``)."""
+
+    __slots__ = (
+        "rows_in",
+        "probes",
+        "dispatch_hits",
+        "residual_checks",
+        "memo_hits",
+        "fused_combines",
+        "matches",
+    )
+
+    def __init__(self) -> None:
+        self.rows_in = 0
+        self.probes = 0
+        self.dispatch_hits = 0
+        self.residual_checks = 0
+        self.memo_hits = 0
+        self.fused_combines = 0
+        self.matches = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _Entry:
+    """One compiled preference: dispatch metadata plus row closures."""
+
+    __slots__ = ("index", "condition", "residual", "scoring", "confidence", "pair")
+
+    def __init__(self, index, condition, residual, scoring, confidence, pair=None):
+        self.index = index
+        #: Full compiled condition (used on the residual always-check list).
+        self.condition = condition
+        #: Non-equality conjuncts of an indexed condition; ``None`` when the
+        #: dispatch probe alone decides the match.
+        self.residual = residual
+        self.scoring = scoring
+        self.confidence = confidence
+        #: Precomputed ⟨S,C⟩ when S is row-independent (``ConstantScore``) —
+        #: the common workload shape; saves a NamedTuple build per match.
+        self.pair = pair
+
+
+def dispatch_probe(condition: Expr) -> "tuple[str, tuple, Expr | None] | None":
+    """Extract an equality probe ``(attr, values, residual)`` from *condition*.
+
+    Returns ``None`` when the condition has no top-level equality conjunct a
+    hash index can serve — the preference then joins the residual list.
+    ``values`` is every constant the attribute may equal (one for ``=``,
+    several for ``IN``); ``residual`` is the conjunction of the remaining
+    conjuncts, or ``None`` when the probe alone is the condition.
+
+    NULL care: ``attr = NULL`` never matches (engine NULL semantics), and an
+    ``IN`` list containing NULL *does* match NULL rows — a hash probe keyed
+    on the row value cannot honour both, so the former is registered with no
+    values and the latter is declared non-indexable.
+    """
+    parts = conjuncts(condition)
+    for position, part in enumerate(parts):
+        probe = _single_probe(part)
+        if probe is None:
+            continue
+        attr, values = probe
+        rest = conjoin(parts[:position] + parts[position + 1 :])
+        return attr, values, (None if is_true(rest) else rest)
+    return None
+
+
+def _single_probe(part: Expr) -> "tuple[str, tuple] | None":
+    if isinstance(part, Comparison) and part.op == "=":
+        left, right = part.left, part.right
+        if isinstance(left, Literal) and isinstance(right, Attr):
+            left, right = right, left
+        if isinstance(left, Attr) and isinstance(right, Literal):
+            if right.value is None:
+                return left.name, ()  # attr = NULL: matches nothing
+            return left.name, (right.value,)
+        return None
+    if isinstance(part, InList) and isinstance(part.expr, Attr):
+        if any(value is None for value in part.values):
+            return None  # IN (... NULL ...) matches NULL rows; not probe-able
+        return part.expr.name, tuple(part.values)
+    return None
+
+
+class PreferenceGroup:
+    """An ordered run of preferences evaluated under one aggregate F.
+
+    Order is semantic: it is the sequential fold order the fused evaluation
+    replays exactly (innermost/first preference applied first).
+    """
+
+    __slots__ = ("preferences", "aggregate")
+
+    def __init__(
+        self, preferences: Sequence[Preference], aggregate: AggregateFunction
+    ):
+        if not preferences:
+            raise PreferenceError("a preference group needs at least one preference")
+        ensure_fold_safe(aggregate)
+        self.preferences: tuple[Preference, ...] = tuple(preferences)
+        self.aggregate = aggregate
+
+    def __len__(self) -> int:
+        return len(self.preferences)
+
+    def compile(self, schema: TableSchema) -> "CompiledGroup":
+        return CompiledGroup(self, schema)
+
+
+class CompiledGroup:
+    """A :class:`PreferenceGroup` compiled against one row schema."""
+
+    __slots__ = (
+        "group",
+        "schema",
+        "combine",
+        "stats",
+        "_dispatch",
+        "_fast",
+        "_residual",
+        "_memo",
+        "_memo_positions",
+        "_memo_key",
+        "_indexed_count",
+    )
+
+    def __init__(self, group: PreferenceGroup, schema: TableSchema):
+        self.group = group
+        self.schema = schema
+        self.combine = group.aggregate.combine
+        self.stats = GroupStats()
+        #: row position → (value → [entry, ...])  — the dispatch index.
+        self._dispatch: list[tuple[int, dict]] = []
+        self._residual: list[_Entry] = []
+        dispatch_tables: dict[int, dict] = {}
+        relevant: set[str] = set()
+        self._indexed_count = 0
+        for index, preference in enumerate(group.preferences):
+            relevant |= preference.attributes()
+            scoring = preference.scoring.compile(schema)
+            confidence = preference.confidence
+            pair = (
+                ScorePair(preference.scoring.value, confidence)
+                if isinstance(preference.scoring, ConstantScore)
+                else None
+            )
+            probe = dispatch_probe(preference.condition)
+            if probe is not None:
+                attr, values, residual_expr = probe
+                try:
+                    position = schema.index_of(attr)
+                except SchemaError:
+                    probe = None
+                else:
+                    residual = (
+                        None
+                        if residual_expr is None
+                        else residual_expr.compile(schema)
+                    )
+                    entry = _Entry(index, None, residual, scoring, confidence, pair)
+                    table = dispatch_tables.setdefault(position, {})
+                    for value in values:
+                        table.setdefault(value, []).append(entry)
+                    self._indexed_count += 1
+            if probe is None:
+                condition = preference.condition.compile(schema)
+                self._residual.append(
+                    _Entry(index, condition, None, scoring, confidence, pair)
+                )
+        self._dispatch = sorted(dispatch_tables.items())
+        # Pure-dispatch fast path: with no residual list, no per-entry
+        # residual conjuncts and row-independent scoring, a probe's match
+        # list is fully determined by the probed value — precompute it, so a
+        # row costs one dict lookup per dispatch attribute and nothing else.
+        self._fast: "list[tuple[int, dict]] | None" = None
+        if self._dispatch and not self._residual:
+            eligible = all(
+                entry.residual is None and entry.pair is not None
+                for _, table in self._dispatch
+                for entries in table.values()
+                for entry in entries
+            )
+            if eligible:
+                self._fast = [
+                    (
+                        position,
+                        {
+                            value: [(e.index, e.pair) for e in entries]
+                            for value, entries in table.items()
+                        },
+                    )
+                    for position, table in self._dispatch
+                ]
+        self._memo: dict[tuple, list] = {}
+        if all(_resolves(schema, a) for a in relevant):
+            positions = sorted({schema.index_of(a) for a in relevant})
+        else:
+            positions = None
+        if positions is not None and len(positions) <= MEMO_MAX_ATTRS:
+            self._memo_positions: tuple[int, ...] | None = tuple(positions)
+            # itemgetter builds the projection key at C speed; with one
+            # position it yields a bare value, which is an equally good (and
+            # cheaper) dict key than a 1-tuple.
+            self._memo_key: "Callable[[Row], object] | None" = (
+                itemgetter(*positions) if positions else _EMPTY_KEY
+            )
+        else:
+            # Wide or unresolvable projections: memoization would cost more
+            # than it saves (or would be unsound); fall back to dispatch.
+            self._memo_positions = None
+            self._memo_key = None
+
+    # -- introspection (unit tests / docs) -----------------------------------
+
+    @property
+    def indexed_count(self) -> int:
+        """How many preferences the dispatch index serves."""
+        return self._indexed_count
+
+    @property
+    def residual_count(self) -> int:
+        """How many preferences fall back to the always-check list."""
+        return len(self._residual)
+
+    @property
+    def memo_enabled(self) -> bool:
+        return self._memo_positions is not None
+
+    # -- per-row match computation -------------------------------------------
+
+    def matches(self, row: Row) -> "list[tuple[int, ScorePair]]":
+        """The row's matching ``(preference index, ⟨S,C⟩)`` list, in group order."""
+        stats = self.stats
+        stats.rows_in += 1
+        memo_key = self._memo_key
+        if memo_key is not None:
+            key = memo_key(row)
+            cached = self._memo.get(key)
+            if cached is not None:
+                stats.memo_hits += 1
+                stats.matches += len(cached)
+                return cached
+            result = self._compute_matches(row)
+            self._memo[key] = result
+            stats.matches += len(result)
+            return result
+        result = self._compute_matches(row)
+        stats.matches += len(result)
+        return result
+
+    def _compute_matches(self, row: Row) -> "list[tuple[int, ScorePair]]":
+        stats = self.stats
+        fast = self._fast
+        if fast is not None:
+            found: "list[tuple[int, ScorePair]] | None" = None
+            merged = False
+            hit_count = 0
+            for position, table in fast:
+                value = row[position]
+                if value is None:
+                    continue  # equality never matches NULL
+                lst = table.get(value)
+                if not lst:
+                    continue
+                hit_count += len(lst)
+                if found is None:
+                    found = lst  # the shared precomputed list; never mutated
+                else:
+                    found = found + lst
+                    merged = True
+            stats.probes += len(fast)
+            if found is None:
+                return _NO_MATCHES
+            stats.dispatch_hits += hit_count
+            if merged:
+                # Concatenation of per-table lists: restore group order.
+                found.sort(key=_match_index)
+            return found
+        hits: list[_Entry] = []
+        probes = 0
+        dispatch_hits = 0
+        residual_checks = 0
+        for position, table in self._dispatch:
+            probes += 1
+            value = row[position]
+            if value is None:
+                continue  # equality never matches NULL
+            entries = table.get(value)
+            if not entries:
+                continue
+            dispatch_hits += len(entries)
+            for entry in entries:
+                residual = entry.residual
+                if residual is not None:
+                    residual_checks += 1
+                    if not residual(row):
+                        continue
+                hits.append(entry)
+        for entry in self._residual:
+            residual_checks += 1
+            if entry.condition(row):
+                hits.append(entry)
+        stats.probes += probes
+        stats.dispatch_hits += dispatch_hits
+        stats.residual_checks += residual_checks
+        if not hits:
+            return _NO_MATCHES
+        if len(hits) > 1:
+            hits.sort(key=_entry_index)
+        return [
+            (
+                entry.index,
+                entry.pair
+                if entry.pair is not None
+                else ScorePair(entry.scoring(row), entry.confidence),
+            )
+            for entry in hits
+        ]
+
+    def _bail_out_of_memo(self) -> None:
+        """Drop the memo for this group: projections proved near-unique.
+
+        Called from the bulk loops once ``MEMO_BAILOUT_MISSES`` distinct
+        projections accumulated with a sub-``1/MEMO_BAILOUT_RATIO`` hit rate;
+        returns ``None`` so callers can rebind their local ``memo_key``.
+        """
+        self._memo_key = None
+        self._memo_positions = None
+        self._memo.clear()
+        return None
+
+    # -- fused evaluation ----------------------------------------------------
+
+    def score_pairs(self, rows: Sequence[Row], pairs: Sequence[ScorePair]) -> list[ScorePair]:
+        """Fused prefer fold over parallel (row, pair) arrays (PRelation form).
+
+        Bit-identical to folding each preference over the arrays in group
+        order: rows are independent here, so the per-row fused fold *is* the
+        sequential order.
+        """
+        combine = self.combine
+        memo = self._memo
+        memo_key = self._memo_key
+        compute = self._compute_matches
+        memo_hits = 0
+        misses = 0
+        match_count = 0
+        out: list[ScorePair] = []
+        append = out.append
+        for row, current in zip(rows, pairs):
+            if memo_key is not None:
+                key = memo_key(row)
+                matched = memo.get(key)
+                if matched is None:
+                    matched = compute(row)
+                    memo[key] = matched
+                    misses += 1
+                    if (
+                        misses == MEMO_BAILOUT_MISSES
+                        and memo_hits * MEMO_BAILOUT_RATIO < misses
+                    ):
+                        memo_key = self._bail_out_of_memo()
+                else:
+                    memo_hits += 1
+            else:
+                matched = compute(row)
+            if matched:
+                match_count += len(matched)
+                for _, fresh in matched:
+                    current = combine(current, fresh)
+            append(current)
+        stats = self.stats
+        stats.rows_in += len(out)
+        stats.memo_hits += memo_hits
+        stats.matches += match_count
+        stats.fused_combines += match_count
+        return out
+
+    def score_rows(
+        self,
+        rows: Sequence[Row],
+        key_fn: Callable[[Row], tuple],
+        base: "dict[tuple, ScorePair] | None" = None,
+    ) -> "dict[tuple, ScorePair]":
+        """Fused prefer fold into a sparse score relation (Intermediate form).
+
+        Replays the sequential semantics of ``scorerel.apply_prefer`` exactly,
+        including the removal of keys whose pair collapses to the default:
+        matches are folded per key in ``(preference, row)`` order — the order
+        |λ| separate passes would have produced — so results stay
+        bit-identical even when several rows share a score-relation key.
+        """
+        stats = self.stats
+        combine = self.combine
+        memo = self._memo
+        memo_key = self._memo_key
+        compute = self._compute_matches
+        memo_hits = 0
+        misses = 0
+        match_count = 0
+        rows_in = 0
+        scores: dict[tuple, ScorePair] = dict(base) if base else {}
+        buckets: dict[tuple, list] = {}
+        for sequence, row in enumerate(rows):
+            rows_in += 1
+            if memo_key is not None:
+                mkey = memo_key(row)
+                matched = memo.get(mkey)
+                if matched is None:
+                    matched = compute(row)
+                    memo[mkey] = matched
+                    misses += 1
+                    if (
+                        misses == MEMO_BAILOUT_MISSES
+                        and memo_hits * MEMO_BAILOUT_RATIO < misses
+                    ):
+                        memo_key = self._bail_out_of_memo()
+                else:
+                    memo_hits += 1
+            else:
+                matched = compute(row)
+            if not matched:
+                continue
+            match_count += len(matched)
+            key = key_fn(row)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [(sequence, matched)]
+            else:
+                bucket.append((sequence, matched))
+        stats.rows_in += rows_in
+        stats.memo_hits += memo_hits
+        stats.matches += match_count
+        for key, per_row in buckets.items():
+            if len(per_row) == 1:
+                flat = per_row[0][1]
+            else:
+                # Re-serialize to the sequential fold order: preference-major,
+                # then row order — what per-preference passes would have done.
+                triples = [
+                    (index, sequence, fresh)
+                    for sequence, matched in per_row
+                    for index, fresh in matched
+                ]
+                triples.sort(key=_triple_order)
+                flat = [(index, fresh) for index, _, fresh in triples]
+            previous = scores.get(key)
+            for _, fresh in flat:
+                if previous is None:
+                    combined = fresh
+                else:
+                    combined = combine(previous, fresh)
+                    stats.fused_combines += 1
+                previous = None if combined.is_default else combined
+            if previous is None:
+                scores.pop(key, None)
+            else:
+                scores[key] = previous
+        return scores
+
+
+#: Shared result for rows matching no preference — by far the common case
+#: under selective pools; never mutated by callers.
+_NO_MATCHES: "list[tuple[int, ScorePair]]" = []
+
+
+def _EMPTY_KEY(row: Row) -> tuple:
+    """Memo key for attribute-free groups: every row projects to ``()``."""
+    return ()
+
+
+#: Sort key restoring group order after merging per-table match lists.
+_match_index = itemgetter(0)
+
+
+def _entry_index(entry: _Entry) -> int:
+    return entry.index
+
+
+def _triple_order(triple) -> tuple[int, int]:
+    return (triple[0], triple[1])
+
+
+def _resolves(schema: TableSchema, attr: str) -> bool:
+    try:
+        schema.index_of(attr)
+    except SchemaError:
+        return False
+    return True

@@ -242,24 +242,27 @@ def reorder_prefers(plan: PlanNode, catalog: Catalog) -> PlanNode:
     conditional parts first materializes fewer score-relation entries early
     (the paper's "from less to more expensive").
     """
+    if isinstance(plan, Prefer):
+        # Consume the whole maximal chain here rather than re-sorting every
+        # suffix on the way up — that cost O(|λ|²) selectivity estimates per
+        # chain, which dominated planning time for wide preference pools.
+        chain: list[Prefer] = []
+        node: PlanNode = plan
+        while isinstance(node, Prefer):
+            chain.append(node)
+            node = node.child
+        base = reorder_prefers(node, catalog)
+        if len(chain) == 1:
+            return plan if base is node else Prefer(base, plan.preference, plan.aggregate)
+        ranked = sorted(
+            chain, key=lambda p: preference_selectivity(p.preference, base, catalog)
+        )
+        rebuilt = base
+        # The most selective preference must be evaluated first, i.e. sit lowest.
+        for prefer_node in ranked:
+            rebuilt = Prefer(rebuilt, prefer_node.preference, prefer_node.aggregate)
+        return rebuilt
     children = plan.children()
     if children:
         plan = plan.with_children([reorder_prefers(child, catalog) for child in children])
-    if not isinstance(plan, Prefer):
-        return plan
-    chain: list[Prefer] = []
-    node: PlanNode = plan
-    while isinstance(node, Prefer):
-        chain.append(node)
-        node = node.child
-    if len(chain) == 1:
-        return plan
-    base = node
-    ranked = sorted(
-        chain, key=lambda p: preference_selectivity(p.preference, base, catalog)
-    )
-    rebuilt = base
-    # The most selective preference must be evaluated first, i.e. sit lowest.
-    for prefer_node in ranked:
-        rebuilt = Prefer(rebuilt, prefer_node.preference, prefer_node.aggregate)
-    return rebuilt
+    return plan

@@ -31,7 +31,8 @@ from ..plan.nodes import (
     TopK,
     Union,
 )
-from . import scorerel
+from . import batchscore, scorerel
+from .batchscore import batch_scoring_enabled
 from .scorerel import Intermediate
 
 
@@ -85,34 +86,62 @@ class _Evaluator:
         if isinstance(plan, (Union, Intersect, Difference)):
             return self._setop(plan)
         if isinstance(plan, Prefer):
-            aggregate = plan.aggregate or self.aggregate
-            self.db.cost.count_operator("prefer")
-            if isinstance(plan.child, Relation):
-                # Base-relation prefer: run the conditional part natively so
-                # index access paths apply (Heuristic 4's rationale).
-                table = self.db.table(plan.child.name)
-                child = Intermediate.from_table(
-                    table, plan.child.schema(self.db.catalog)
-                )
-                child.source = plan.child
-                _, qualifying = execute_native(
-                    Select(plan.child, plan.preference.condition),
-                    self.db.catalog,
-                    self.db.cost,
-                )
-                result = scorerel.apply_prefer_to_rows(
-                    child, plan.preference, list(qualifying), aggregate
-                )
-            else:
-                child = self.evaluate(plan.child)
-                self.db.cost.scan(len(child.rows))
-                result = scorerel.apply_prefer(child, plan.preference, aggregate)
-            self.db.cost.materialize(len(result.scores))
-            return result
+            return self._prefer(plan)
         if isinstance(plan, TopK):
             child = self.evaluate(plan.child)
             return scorerel.apply_topk(child, plan.k, plan.by)
         raise ExecutionError(f"BU cannot execute node {plan!r}")
+
+    def _prefer_chain(self, plan: Prefer) -> "tuple[list[Prefer], AggregateFunction]":
+        """Longest run of adjacent Prefer nodes sharing one effective aggregate.
+
+        Returned innermost-first, matching the order a per-node postorder
+        traversal would apply them in.
+        """
+        aggregate = plan.aggregate or self.aggregate
+        chain = [plan]
+        node = plan.child
+        while isinstance(node, Prefer) and (node.aggregate or self.aggregate) is aggregate:
+            chain.append(node)
+            node = node.child
+        chain.reverse()
+        return chain, aggregate
+
+    def _prefer(self, plan: Prefer) -> Intermediate:
+        chain, aggregate = self._prefer_chain(plan)
+        for _ in chain:
+            self.db.cost.count_operator("prefer")
+        innermost = chain[0]
+        if len(chain) == 1 and isinstance(innermost.child, Relation):
+            # Base-relation prefer: run the conditional part natively so
+            # index access paths apply (Heuristic 4's rationale).
+            table = self.db.table(innermost.child.name)
+            child = Intermediate.from_table(
+                table, innermost.child.schema(self.db.catalog)
+            )
+            child.source = innermost.child
+            _, qualifying = execute_native(
+                Select(innermost.child, innermost.preference.condition),
+                self.db.catalog,
+                self.db.cost,
+            )
+            result = scorerel.apply_prefer_to_rows(
+                child, innermost.preference, list(qualifying), aggregate
+            )
+            self.db.cost.materialize(len(result.scores))
+            return result
+        child = self.evaluate(innermost.child)
+        preferences = [node.preference for node in chain]
+        if batch_scoring_enabled():
+            # Fused: one pass over the materialized child for the whole run.
+            self.db.cost.scan(len(child.rows))
+            result = batchscore.apply_prefer_group(child, preferences, aggregate)
+        else:
+            for _ in preferences:
+                self.db.cost.scan(len(child.rows))
+            result = scorerel.apply_prefer_seq(child, preferences, aggregate)
+        self.db.cost.materialize(len(result.scores))
+        return result
 
     def _native(self, plan: PlanNode) -> tuple:
         schema, rows = execute_native(plan, self.db.catalog, self.db.cost)

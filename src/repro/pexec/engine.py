@@ -56,6 +56,7 @@ from ..plan.analysis import (
     widen_projections,
 )
 from ..plan.nodes import PlanNode
+from .batchscore import use_batch_scoring
 from .bottom_up import execute_bu
 from .conform import conform
 from .ftp import execute_ftp
@@ -202,6 +203,7 @@ class ExecutionEngine:
         guard=None,
         faults=None,
         resilience: ResiliencePolicy | None = None,
+        batch_scoring: bool | None = None,
     ) -> QueryResult:
         """Execute *plan* with *strategy*, returning result and statistics.
 
@@ -219,6 +221,11 @@ class ExecutionEngine:
         circuit breakers and the strategy fallback chain; a result produced
         after any failure has ``stats.degraded`` set and the causes recorded
         both in ``stats.failures`` and on the query's tracer span.
+
+        *batch_scoring* selects fused group evaluation of preference runs
+        (see :mod:`repro.pexec.batchscore`); ``None`` keeps the ambient
+        setting (fused, unless a surrounding ``use_batch_scoring(False)``
+        turned it off), ``False`` forces the sequential per-preference fold.
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
@@ -232,6 +239,13 @@ class ExecutionEngine:
             faults = current_faults()
         if resilience is None:
             resilience = self.resilience
+        if batch_scoring is not None:
+            with use_batch_scoring(batch_scoring):
+                if resilience is None:
+                    return self._run_once(plan, strategy, tracer, guard, faults)
+                return self._run_resilient(
+                    plan, strategy, tracer, guard, faults, resilience
+                )
         if resilience is None:
             return self._run_once(plan, strategy, tracer, guard, faults)
         return self._run_resilient(plan, strategy, tracer, guard, faults, resilience)

@@ -29,6 +29,7 @@ from ..filtering import topk as topk_filter
 from ..obs import current_tracer
 from ..resilience import current_faults, current_guard
 from ..plan.analysis import strip_prefers
+from .batchscore import batch_scoring_enabled, prefer_group
 from .conform import conform
 from ..plan.nodes import (
     Difference,
@@ -168,16 +169,34 @@ def _make_ftp_region(db: Database, aggregate: AggregateFunction) -> RegionFn:
         # so the aggregate combines pairs in the same order as the written
         # plan — Property 4.3 makes the orders algebraically equivalent, but
         # the floating-point folds differ by ULPs and filtering cuts exactly.
-        for preference in reversed(plan.preferences()):
-            db.cost.scan(len(rows))
+        preferences = list(reversed(plan.preferences()))
+        if not preferences:
+            return result
+        for _ in preferences:
             db.cost.count_operator("prefer")
-            with tracer.span("ftp.prefer", label=preference.name) as span:
-                result = apply_prefer(result, preference, aggregate)
+        if batch_scoring_enabled():
+            # Fused group evaluation: one pass over the delegated result,
+            # dispatch index + memoized distinct-value scoring underneath.
+            db.cost.scan(len(rows))
+            with tracer.span("ftp.prefer", label=f"batch |λ|={len(preferences)}") as span:
+                result = prefer_group(result, preferences, aggregate)
                 if tracer.enabled:
                     span.add(
                         "scores",
                         sum(1 for p in result.pairs if not p.is_default),
                     )
+        else:
+            # Unfused reference path: one pass per preference (scores list
+            # still copied once per group, see core.prefer.prefer_seq).
+            for preference in preferences:  # noqa: LN201 — reference fold
+                db.cost.scan(len(rows))
+                with tracer.span("ftp.prefer", label=preference.name) as span:
+                    result = apply_prefer(result, preference, aggregate)
+                    if tracer.enabled:
+                        span.add(
+                            "scores",
+                            sum(1 for p in result.pairs if not p.is_default),
+                        )
         return result
 
     return run_region

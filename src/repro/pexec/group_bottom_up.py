@@ -34,7 +34,8 @@ from ..plan.nodes import (
     TopK,
     Union,
 )
-from . import scorerel
+from . import batchscore, scorerel
+from .batchscore import batch_scoring_enabled
 from .scorerel import Intermediate
 
 
@@ -127,7 +128,20 @@ class _Evaluator:
         """
         aggregate = plan.aggregate or self.aggregate
         preference = plan.preference
-        self.db.cost.count_operator("prefer")
+
+        chain: list[Prefer] = [plan]
+        if batch_scoring_enabled():
+            node = plan.child
+            while isinstance(node, Prefer) and (
+                node.aggregate or self.aggregate
+            ) is aggregate:
+                chain.append(node)
+                node = node.child
+            chain.reverse()
+        for _ in chain:
+            self.db.cost.count_operator("prefer")
+        if len(chain) > 1:
+            return self._prefer_fused(chain, aggregate)
 
         child = self.evaluate(plan.child)
         block: PlanNode | None = None
@@ -159,6 +173,56 @@ class _Evaluator:
         )
         self.db.cost.materialize(len(scores))
         return Intermediate(schema, None, key_attrs, scores, source=block)
+
+    def _prefer_fused(self, chain: "list[Prefer]", aggregate: AggregateFunction) -> Intermediate:
+        """Evaluate a run of adjacent prefer operators as one fused pass.
+
+        Instead of one native ``σ_φᵢ(block)`` per preference, the block runs
+        **once** and the whole run is scored through the dispatch index
+        (:mod:`repro.core.prefgroup`).  The block result is kept on the
+        intermediate so a later :meth:`force` is free, while ``source`` still
+        lets :meth:`_as_deferred` embed the block into a larger delegated
+        query.
+        """
+        innermost = chain[0]
+        preferences = [node.preference for node in chain]
+        child = self.evaluate(innermost.child)
+
+        block: PlanNode | None = None
+        base_scores: dict = {}
+        if isinstance(child, Intermediate):
+            if child.rows is None:
+                block = child.source
+                base_scores = child.scores
+        elif not self._has_embedded(child):
+            block = child
+
+        if block is None:
+            forced = self.force(child)
+            self.db.cost.scan(len(forced.rows))
+            result = batchscore.apply_prefer_group(forced, preferences, aggregate)
+            self.db.cost.materialize(len(result.scores))
+            return result
+
+        if isinstance(block, Relation):
+            # Base-relation chain (the common shape after prefer pushdown):
+            # read the table directly, no per-query native machinery needed.
+            result_schema = block.schema(self.db.catalog)
+            rows = list(self.db.table(block.name).rows)
+            self.db.cost.scan(len(rows))
+        else:
+            optimized = optimize_native(block, self.db.catalog)
+            result_schema, rows = execute_native(
+                optimized, self.db.catalog, self.db.cost
+            )
+            rows = list(rows)
+        self.db.cost.materialize(len(rows))
+        key_attrs = self._block_key_attrs(block, block.schema(self.db.catalog))
+        scores = batchscore.group_scores_from_rows(
+            result_schema, rows, key_attrs, preferences, aggregate, base_scores
+        )
+        self.db.cost.materialize(len(scores))
+        return Intermediate(result_schema, rows, key_attrs, scores, source=block)
 
     def _block_key_attrs(self, block: PlanNode, schema) -> list[str]:
         """Qualified primary keys of the block's base relations (its R_P key)."""

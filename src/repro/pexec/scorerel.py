@@ -11,6 +11,7 @@ from the inputs' score relations.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Sequence
 
 from ..core.aggregates import F_S, AggregateFunction
@@ -98,7 +99,10 @@ class Intermediate:
             range(len(positions))
         ):
             return lambda row: row
-        return lambda row: tuple(row[i] for i in positions)
+        if len(positions) == 1:
+            position = positions[0]
+            return lambda row: (row[position],)
+        return itemgetter(*positions)
 
     def pair_of(self, row: Row) -> ScorePair:
         return self.scores.get(self.key_fn()(row), IDENTITY)
@@ -137,23 +141,24 @@ def _report_prefer(rows_in: int, qualifying: int, combined: int) -> None:
         tracer.count("aggregate.combine", combined)
 
 
-def apply_prefer(
+def _apply_prefer_into(
+    scores: dict,
     inter: Intermediate,
     preference: Preference,
-    aggregate: AggregateFunction = F_S,
-) -> Intermediate:
-    """Evaluate a prefer operator on an intermediate (§VI, prefer UDF).
+    aggregate: AggregateFunction,
+    key,
+) -> None:
+    """One sequential prefer pass, mutating *scores* in place.
 
-    The conditional part runs over the base rows; qualifying tuples already
-    present in the score relation have their pairs updated, qualifying
-    tuples absent from it are inserted with their fresh pair.
+    Shared core of :func:`apply_prefer` and :func:`apply_prefer_seq`: the
+    callers decide how often the score relation is copied (once per call vs
+    once per *group* — the latter keeps the unfused path linear in |λ|
+    instead of quadratic in the size of the score relation).
     """
     condition = preference.condition.compile(inter.schema)
     scoring = preference.scoring.compile(inter.schema)
     confidence = preference.confidence
     combine = aggregate.combine
-    key = inter.key_fn()
-    scores = dict(inter.scores)
     qualifying = combined = 0
     for row in inter.rows:
         if not condition(row):
@@ -172,6 +177,41 @@ def apply_prefer(
         else:
             scores[k] = pair
     _report_prefer(len(inter.rows), qualifying, combined)
+
+
+def apply_prefer(
+    inter: Intermediate,
+    preference: Preference,
+    aggregate: AggregateFunction = F_S,
+) -> Intermediate:
+    """Evaluate a prefer operator on an intermediate (§VI, prefer UDF).
+
+    The conditional part runs over the base rows; qualifying tuples already
+    present in the score relation have their pairs updated, qualifying
+    tuples absent from it are inserted with their fresh pair.
+    """
+    scores = dict(inter.scores)
+    _apply_prefer_into(scores, inter, preference, aggregate, inter.key_fn())
+    return Intermediate(inter.schema, inter.rows, inter.key_attrs, scores, inter.source)
+
+
+def apply_prefer_seq(
+    inter: Intermediate,
+    preferences: Sequence[Preference],
+    aggregate: AggregateFunction = F_S,
+) -> Intermediate:
+    """Sequential (unfused) evaluation of a prefer run, copying scores ONCE.
+
+    Semantically identical to folding :func:`apply_prefer` per preference —
+    each preference still scans every row — but the score relation is copied
+    once per group instead of once per preference, so the unfused path costs
+    O(|R|·|λ|) instead of O((|R| + |R_P|)·|λ|) dict copies.  The fused
+    counterpart is :func:`repro.pexec.batchscore.apply_prefer_group`.
+    """
+    scores = dict(inter.scores)
+    key = inter.key_fn()
+    for preference in preferences:
+        _apply_prefer_into(scores, inter, preference, aggregate, key)
     return Intermediate(inter.schema, inter.rows, inter.key_attrs, scores, inter.source)
 
 

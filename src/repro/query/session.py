@@ -102,6 +102,7 @@ class Session:
         guard: QueryGuard | None = None,
         faults=None,
         resilience: ResiliencePolicy | None = None,
+        batch_scoring: bool | None = None,
     ) -> QueryResult:
         """Run SQL text, a plan, or a compiled query; returns a QueryResult.
 
@@ -114,6 +115,10 @@ class Session:
         are mutually exclusive.  *resilience* overrides the session's
         degradation policy for this call; *faults* installs a chaos
         :class:`~repro.resilience.FaultPlan`.
+
+        *batch_scoring* toggles fused batch preference scoring (default on;
+        see :mod:`repro.pexec.batchscore`): ``False`` runs the sequential
+        per-preference reference fold instead.
         """
         if guard is not None and (timeout is not None or max_rows is not None):
             raise PreferenceError(
@@ -149,6 +154,7 @@ class Session:
             guard=guard,
             faults=faults,
             resilience=resilience,
+            batch_scoring=batch_scoring,
         )
         if order_by:
             result.relation = ranked(result.relation, order_by)

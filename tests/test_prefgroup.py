@@ -1,0 +1,236 @@
+"""Unit tests for the preference dispatch index (repro.core.prefgroup)."""
+
+import pytest
+
+from repro.core.aggregates import F_MAX, F_S
+from repro.core.preference import Preference
+from repro.core.prefgroup import (
+    MEMO_MAX_ATTRS,
+    CompiledGroup,
+    PreferenceGroup,
+    dispatch_probe,
+)
+from repro.core.scorepair import IDENTITY, ScorePair
+from repro.core.scoring import ConstantScore
+from repro.engine.expressions import (
+    TRUE,
+    And,
+    InList,
+    cmp,
+    col,
+    eq,
+)
+from repro.errors import PreferenceError
+from repro.plan.builder import scan
+
+
+def genres_schema(movie_db):
+    return scan("GENRES").build().schema(movie_db.catalog)
+
+
+def pref(name, condition, score=0.5, conf=0.8):
+    return Preference(name, "GENRES", condition, ConstantScore(score), conf)
+
+
+class TestDispatchProbe:
+    def test_equality_is_probeable(self):
+        assert dispatch_probe(eq("GENRES.genre", "Drama")) == (
+            "GENRES.genre",
+            ("Drama",),
+            None,
+        )
+
+    def test_reversed_operands_probe_too(self):
+        from repro.engine.expressions import Comparison, lit
+
+        condition = Comparison("=", lit("Drama"), col("GENRES.genre"))
+        assert dispatch_probe(condition) == ("GENRES.genre", ("Drama",), None)
+
+    def test_in_list_probes_every_value(self):
+        condition = InList(col("GENRES.genre"), ("Drama", "Comedy"))
+        attr, values, residual = dispatch_probe(condition)
+        assert attr == "GENRES.genre"
+        assert set(values) == {"Drama", "Comedy"}
+        assert residual is None
+
+    def test_in_list_with_null_is_not_probeable(self):
+        # IN (..., NULL) matches NULL rows; a hash probe keyed on the row
+        # value cannot reproduce that, so the preference must stay residual.
+        condition = InList(col("GENRES.genre"), ("Drama", None))
+        assert dispatch_probe(condition) is None
+
+    def test_equals_null_matches_nothing(self):
+        from repro.engine.expressions import Comparison, lit
+
+        condition = Comparison("=", col("GENRES.genre"), lit(None))
+        assert dispatch_probe(condition) == ("GENRES.genre", (), None)
+
+    def test_range_condition_is_not_probeable(self):
+        assert dispatch_probe(cmp("GENRES.m_id", ">=", 2)) is None
+
+    def test_residual_conjunct_is_kept(self):
+        condition = And(eq("GENRES.genre", "Drama"), cmp("GENRES.m_id", ">=", 2))
+        attr, values, residual = dispatch_probe(condition)
+        assert (attr, values) == ("GENRES.genre", ("Drama",))
+        assert residual is not None  # the range conjunct survives as residual
+
+
+class TestCompiledGroup:
+    def test_indexed_vs_residual_partition(self, movie_db):
+        group = PreferenceGroup(
+            [
+                pref("a", eq("GENRES.genre", "Drama")),
+                pref("b", InList(col("GENRES.genre"), ("Comedy", "Action"))),
+                pref("c", cmp("GENRES.m_id", ">=", 2)),  # no equality conjunct
+                pref("d", TRUE),
+            ],
+            F_S,
+        )
+        compiled = group.compile(genres_schema(movie_db))
+        assert compiled.indexed_count == 2
+        assert compiled.residual_count == 2
+
+    def test_dispatch_skips_non_matching_rows(self, movie_db):
+        schema = genres_schema(movie_db)
+        compiled = PreferenceGroup(
+            [pref("a", eq("GENRES.genre", "Drama"))], F_S
+        ).compile(schema)
+        drama = (1, "Drama")
+        comedy = (2, "Comedy")
+        assert [i for i, _ in compiled.matches(drama)] == [0]
+        assert compiled.matches(comedy) == []
+        # One probe per row, but only the Drama row produced a hit.
+        assert compiled.stats.probes == 2
+        assert compiled.stats.dispatch_hits == 1
+
+    def test_null_row_value_never_matches_equality(self, movie_db):
+        schema = genres_schema(movie_db)
+        compiled = PreferenceGroup(
+            [pref("a", eq("GENRES.genre", "Drama"))], F_S
+        ).compile(schema)
+        assert compiled.matches((1, None)) == []
+
+    def test_residual_conjunct_filters_dispatch_hits(self, movie_db):
+        schema = genres_schema(movie_db)
+        condition = And(eq("GENRES.genre", "Drama"), cmp("GENRES.m_id", ">=", 2))
+        compiled = PreferenceGroup([pref("a", condition)], F_S).compile(schema)
+        assert compiled.indexed_count == 1
+        assert compiled.matches((5, "Drama"))
+        assert compiled.matches((1, "Drama")) == []
+        assert compiled.stats.residual_checks == 2
+
+    def test_matches_preserve_group_order(self, movie_db):
+        schema = genres_schema(movie_db)
+        compiled = PreferenceGroup(
+            [
+                pref("late", TRUE),  # residual, but index 0
+                pref("early", eq("GENRES.genre", "Drama")),  # indexed, index 1
+            ],
+            F_S,
+        ).compile(schema)
+        assert [i for i, _ in compiled.matches((1, "Drama"))] == [0, 1]
+
+    def test_memo_caches_repeated_projections(self, movie_db):
+        schema = genres_schema(movie_db)
+        compiled = PreferenceGroup(
+            [pref("a", eq("GENRES.genre", "Drama"))], F_S
+        ).compile(schema)
+        assert compiled.memo_enabled
+        rows = [(1, "Drama"), (2, "Drama"), (3, "Comedy"), (4, "Drama")]
+        for row in rows:
+            compiled.matches(row)
+        # m_id is not preference-relevant, so rows 2 and 4 hit row 1's entry.
+        assert compiled.stats.memo_hits == 2
+
+    def test_memo_disabled_for_wide_projections(self):
+        from repro.engine.schema import Column, TableSchema
+        from repro.engine.types import DataType
+
+        width = MEMO_MAX_ATTRS + 1
+        schema = TableSchema(
+            "W", [Column(f"a{i}", DataType.INT, "W") for i in range(width)]
+        )
+        preferences = [
+            Preference(f"p{i}", "W", cmp(f"W.a{i}", ">=", 0), ConstantScore(0.5), 0.5)
+            for i in range(width)
+        ]
+        compiled = PreferenceGroup(preferences, F_S).compile(schema)
+        assert not compiled.memo_enabled
+        # The dispatch/residual machinery still answers correctly.
+        row = tuple(range(width))
+        assert len(compiled.matches(row)) == width
+
+    def test_attribute_free_group_memoizes_trivially(self, movie_db):
+        schema = genres_schema(movie_db)
+        compiled = PreferenceGroup([pref("a", TRUE), pref("b", TRUE)], F_S).compile(
+            schema
+        )
+        assert compiled.memo_enabled
+        compiled.matches((1, "Drama"))
+        compiled.matches((2, "Comedy"))
+        # Every row projects to the empty tuple: one compute, then cache.
+        assert compiled.stats.memo_hits == 1
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceGroup([], F_S)
+
+    def test_unlawful_aggregate_rejected(self):
+        class Broken:
+            name = "broken"
+            identity = IDENTITY
+
+            def combine(self, a, b):  # not commutative, no identity
+                return ScorePair(1.0, 1.0)
+
+        with pytest.raises(PreferenceError):
+            PreferenceGroup([pref("a", TRUE)], Broken())
+
+
+class TestScoreRows:
+    def test_default_pairs_are_popped(self, movie_db):
+        schema = genres_schema(movie_db)
+        # Scoring to ⟨0, conf⟩ via F_MAX over a base of IDENTITY keeps the
+        # pair non-default, so craft a base entry that collapses instead.
+        compiled = PreferenceGroup([pref("a", eq("GENRES.genre", "Drama"))], F_S).compile(
+            schema
+        )
+        rows = [(1, "Drama")]
+        scores = compiled.score_rows(rows, lambda r: (r[0],), None)
+        assert (1,) in scores
+        assert not scores[(1,)].is_default
+
+    def test_rows_sharing_a_key_fold_in_sequential_order(self, movie_db):
+        from repro.pexec.scorerel import Intermediate, apply_prefer
+
+        schema = genres_schema(movie_db)
+        preferences = [
+            pref("a", eq("GENRES.genre", "Drama"), score=0.3, conf=0.9),
+            pref("b", cmp("GENRES.m_id", ">=", 0), score=0.7, conf=0.4),
+        ]
+        rows = [(1, "Drama"), (2, "Drama"), (3, "Comedy")]
+        # Key on genre so several rows share one score-relation key.
+        inter = Intermediate(schema, rows, ["GENRES.genre"], {})
+        sequential = inter
+        for preference in preferences:  # noqa: LN201 — reference fold
+            sequential = apply_prefer(sequential, preference, F_S)
+        compiled = PreferenceGroup(preferences, F_S).compile(schema)
+        fused = compiled.score_rows(rows, inter.key_fn(), inter.scores)
+        assert fused == sequential.scores
+
+    def test_score_pairs_matches_sequential_for_fmax(self, movie_db):
+        from repro.core.prefer import prefer
+        from repro.core.prelation import PRelation
+
+        schema = genres_schema(movie_db)
+        preferences = [
+            pref("a", eq("GENRES.genre", "Drama"), score=0.3, conf=0.9),
+            pref("b", TRUE, score=0.7, conf=0.4),
+        ]
+        rows = [(1, "Drama"), (2, "Comedy")]
+        relation = PRelation(schema, rows)
+        sequential = relation
+        for preference in preferences:  # noqa: LN201 — reference fold
+            sequential = prefer(sequential, preference, F_MAX)
+        compiled = PreferenceGroup(preferences, F_MAX).compile(schema)
+        assert compiled.score_pairs(rows, relation.pairs) == sequential.pairs
