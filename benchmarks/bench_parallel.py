@@ -1,0 +1,191 @@
+"""Columnar + partition-parallel execution vs the row engine (fig. 13 workload).
+
+Sweeps the partition count on the IMDB-1 query (``k=10, year=2000``) over a
+generated IMDB database and times three execution paths per cell:
+
+* **row reference** — the oracle evaluator, the baseline every speedup is
+  reported against;
+* **row gbu** — the fastest row strategy, so the table separates "columnar
+  wins" from "optimizer wins";
+* **columnar / columnar-parallel** — ``session.execute(..., columnar=True,
+  partitions=n)`` for each n in ``WORKERS`` (n=1 is the serial columnar
+  path, n>1 ships horizontal partitions to a fork pool).
+
+All paths return byte-identical results — see ``tests/test_parallel_exec.py``
+— so this measures pure execution-path cost.  On a single-core host the
+pool adds overhead rather than parallel speedup; the headline factor is the
+columnar core (vectorized selection + exact pushdown + fused scoring)
+against the row reference, which is what the gate checks.
+
+Writes ``results/BENCH_parallel.json`` with every cell (median wall time,
+p50/p95 tail latency, speedup vs the row reference).
+
+Run standalone:  python benchmarks/bench_parallel.py [--quick] [--check]
+
+``--check`` is the CI perf-smoke gate: exit 1 unless the columnar path at
+``GATE_WORKERS`` partitions beats the row reference by ``GATE_MIN_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench import bench_repeats, bench_scale, format_table, measure
+from repro.pexec.parallel import shutdown_pools
+from repro.workloads import generate_imdb, imdb_1
+
+#: Partition counts swept (1 = serial columnar, no pool).
+WORKERS = (1, 2, 4, 8)
+
+#: CI gate: columnar at GATE_WORKERS partitions must beat the row reference
+#: by this factor.  Deliberately below the ~2x the committed full run shows,
+#: so CI machine jitter cannot flake the job.
+GATE_MIN_SPEEDUP = 1.5
+GATE_WORKERS = 4
+
+
+def _measurement_dict(measurement, reference_ms: float) -> dict:
+    speedup = (
+        reference_ms / measurement.wall_ms if measurement.wall_ms > 0 else float("inf")
+    )
+    return {
+        "wall_ms": round(measurement.wall_ms, 4),
+        "p50_ms": round(measurement.p50_ms, 4),
+        "p95_ms": round(measurement.p95_ms, 4),
+        "rows": measurement.rows,
+        "speedup_vs_reference": round(speedup, 2),
+    }
+
+
+def sweep(scale: float, repeats: int) -> dict:
+    data: dict = {
+        "benchmark": "parallel",
+        "workload": "fig13 IMDB-1 (k=10, year=2000)",
+        "scale": scale,
+        "repeats": repeats,
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "row_baselines": [],
+        "partition_sweep": [],
+    }
+    db = generate_imdb(scale=scale, seed=42)
+    query = imdb_1(k=10, year=2000)
+    session = query.session(db)
+    data["movies_rows"] = len(db.table("MOVIES").rows)
+
+    reference = measure(session, query.sql, "reference", repeats, label="imdb_1")
+    reference_ms = reference.wall_ms
+    for strategy, measurement in (
+        ("reference", reference),
+        ("gbu", measure(session, query.sql, "gbu", repeats, label="imdb_1")),
+    ):
+        cell = _measurement_dict(measurement, reference_ms)
+        cell["strategy"] = strategy
+        data["row_baselines"].append(cell)
+
+    try:
+        for workers in WORKERS:
+            measurement = measure(
+                session,
+                query.sql,
+                "gbu",
+                repeats,
+                label=f"imdb_1 p={workers}",
+                columnar=True,
+                partitions=workers,
+            )
+            cell = _measurement_dict(measurement, reference_ms)
+            cell["partitions"] = workers
+            cell["mode"] = "columnar" if workers == 1 else "columnar-parallel"
+            data["partition_sweep"].append(cell)
+    finally:
+        shutdown_pools()
+    return data
+
+
+def render(data: dict) -> str:
+    rows = [
+        [c["strategy"], c["wall_ms"], c["speedup_vs_reference"]]
+        for c in data["row_baselines"]
+    ]
+    table1 = format_table(
+        ["strategy", "wall (ms)", "speedup vs reference"],
+        rows,
+        title="Row-engine baselines — fig13 IMDB-1",
+    )
+    rows = [
+        [c["partitions"], c["mode"], c["wall_ms"], c["speedup_vs_reference"]]
+        for c in data["partition_sweep"]
+    ]
+    table2 = format_table(
+        ["partitions", "mode", "wall (ms)", "speedup vs reference"],
+        rows,
+        title="Columnar partition sweep — fig13 IMDB-1",
+    )
+    return table1 + "\n\n" + table2
+
+
+def check_gate(data: dict) -> list[str]:
+    """The CI perf-smoke assertions; returns failure messages (empty = pass)."""
+    failures = []
+    cells = [c for c in data["partition_sweep"] if c["partitions"] == GATE_WORKERS]
+    if not cells:
+        return [f"no partition_sweep cell at partitions={GATE_WORKERS}"]
+    cell = cells[0]
+    if cell["speedup_vs_reference"] < GATE_MIN_SPEEDUP:
+        failures.append(
+            f"columnar at partitions={GATE_WORKERS}: {cell['wall_ms']}ms — "
+            f"speedup {cell['speedup_vs_reference']} < {GATE_MIN_SPEEDUP} "
+            f"vs row reference"
+        )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float)
+    parser.add_argument("--repeats", type=int)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: tiny scale, 1 repeat"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail unless columnar ≥ {GATE_MIN_SPEEDUP}x reference at "
+        f"partitions={GATE_WORKERS}",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.001")
+        os.environ.setdefault("REPRO_BENCH_REPEATS", "1")
+    scale = args.scale if args.scale is not None else bench_scale()
+    repeats = args.repeats if args.repeats is not None else bench_repeats()
+
+    data = sweep(scale, repeats)
+    print(render(data))
+
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_parallel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print(f"\nmeasurements written to {path}")
+
+    if args.check:
+        failures = check_gate(data)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate passed: columnar ≥ {GATE_MIN_SPEEDUP}x reference "
+            f"at partitions={GATE_WORKERS}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,6 +129,7 @@ def measure(
     trace: bool = False,
     trace_sink=None,
     timeout: float | None = None,
+    **execute_kwargs,
 ) -> Measurement:
     """Median-of-*repeats* timing of one query under one strategy.
 
@@ -141,13 +142,22 @@ def measure(
     deadline on every execution (warm-up included), so a hung strategy
     fails a benchmark with a typed :exc:`~repro.errors.QueryTimeout`
     instead of wedging the whole harness.
+
+    Extra keyword arguments are forwarded verbatim to every
+    :meth:`Session.execute` call (warm-up, timed and traced runs alike) —
+    the hook benchmarks use to time executor variants, e.g.
+    ``measure(..., columnar=True, partitions=4)``.
     """
-    session.execute(query, strategy=strategy, timeout=timeout)  # warm-up
+    session.execute(
+        query, strategy=strategy, timeout=timeout, **execute_kwargs
+    )  # warm-up
     times: list[float] = []
     last = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        last = session.execute(query, strategy=strategy, timeout=timeout)
+        last = session.execute(
+            query, strategy=strategy, timeout=timeout, **execute_kwargs
+        )
         times.append((time.perf_counter() - started) * 1e3)
     assert last is not None
     name = label or (query if isinstance(query, str) else "plan")

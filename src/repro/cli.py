@@ -96,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry transient faults and fall back along gbu → bu → ftp → "
         "reference instead of failing (results may be marked degraded)",
     )
+    query.add_argument(
+        "--columnar",
+        action="store_true",
+        help="execute through the columnar engine (exact; unsupported plan "
+        "shapes fall back to the row strategy)",
+    )
+    query.add_argument(
+        "--partitions",
+        type=int,
+        metavar="N",
+        help="partition-parallel columnar execution over N horizontal "
+        "partitions (implies --columnar)",
+    )
     query.add_argument("sql", help="preferential SQL text")
 
     repl = commands.add_parser("repl", help="interactive SQL loop")
@@ -194,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="append the serve.latency span to FILE as JSONL",
+    )
+    serve_bench.add_argument(
+        "--columnar",
+        action="store_true",
+        help="serve queries through the columnar engine",
+    )
+    serve_bench.add_argument(
+        "--partitions",
+        type=int,
+        metavar="N",
+        help="partition-parallel columnar execution per query "
+        "(implies --columnar)",
     )
 
     return parser
@@ -335,6 +360,8 @@ def _query(args) -> int:
             tracer=tracer,
             timeout=args.timeout,
             max_rows=args.max_rows,
+            columnar=args.columnar,
+            partitions=args.partitions,
         )
         _print_result(session, result, args.limit)
         if result.stats.degraded:
@@ -553,6 +580,8 @@ def _serve_bench(args) -> int:
         queue_limit=args.queue_limit,
         session_limit=args.session_limit,
         trace_sink=sink,
+        columnar=args.columnar,
+        partitions=args.partitions,
     )
     print(report.describe())
     if sink is not None:

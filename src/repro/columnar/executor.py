@@ -1,0 +1,238 @@
+"""The columnar plan evaluator: a reference-shaped walk over columns.
+
+``evaluate_columnar`` mirrors :func:`repro.pexec.reference.evaluate_reference`
+node by node — same recursion, same guard checks at operator boundaries,
+fault-injection site ``strategy.columnar`` — but executes Select/Project/
+Join/LeftJoin/TopK through the columnar operators (:mod:`.ops`) and chains
+of adjacent ``Prefer`` nodes as one fused pass through
+:func:`repro.pexec.batchscore.prefer_group` (bit-identical to the sequential
+fold; falls back to the per-preference fold when batch scoring is ambiently
+disabled).  Set operations are rare and not on the hot path: they delegate
+to the reference algebra on materialized p-relations, which keeps them
+identical by construction.
+
+Before evaluating, :func:`push_selections` sinks score-free selection
+conjuncts as deep as the schema allows (below prefers, other selects, and
+into the resolving side of joins — only the *left* side of a left join).
+Every rewrite performed is exact on multisets of ``(row, pair)``: selections
+are per-row and every operator below computes each output row's pair from
+its input rows' pairs independently of the rest of the relation, so
+filtering early removes exactly the rows a later filter would have removed,
+with every surviving pair combined from the same inputs in the same order.
+
+Unknown plan nodes raise :exc:`~repro.errors.ColumnarUnsupported`; the
+engine treats that as a capability miss and re-runs the row strategy.
+"""
+
+from __future__ import annotations
+
+from ..core import algebra
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.prefer import prefer
+from ..core.prelation import PRelation
+from ..errors import ColumnarUnsupported
+from ..plan.nodes import (
+    Difference,
+    Intersect,
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+    Union,
+)
+from ..resilience import current_faults, current_guard
+from . import ops
+from .column import ColumnarRelation, column_store_for
+
+FAULT_SITE = "strategy.columnar"
+
+
+def evaluate_columnar(
+    plan: PlanNode,
+    db,
+    aggregate: AggregateFunction = F_S,
+    *,
+    pushdown: bool = True,
+) -> PRelation:
+    """Evaluate *plan* columnar-wise against *db*, returning a p-relation.
+
+    Exact: the result's raw ``(row, score, conf)`` triples equal the
+    reference evaluator's on every supported plan (the conformance suite
+    asserts this without rounding).
+    """
+    if pushdown:
+        plan = push_selections(plan, db.catalog)
+    return _evaluate(plan, db, aggregate).to_prelation()
+
+
+def _evaluate(plan: PlanNode, db, aggregate: AggregateFunction) -> ColumnarRelation:
+    guard = current_guard()
+    if guard.enabled:
+        guard.check()
+    faults = current_faults()
+    if faults.enabled:
+        faults.at(FAULT_SITE)
+    if isinstance(plan, Relation):
+        store = column_store_for(db, plan.name)
+        return ColumnarRelation(plan.schema(db.catalog), store)
+    if isinstance(plan, Materialized):
+        return ColumnarRelation.from_rows(plan.schema(db.catalog), plan.rows)
+    if isinstance(plan, Select):
+        return ops.select(_evaluate(plan.child, db, aggregate), plan.condition)
+    if isinstance(plan, Project):
+        return ops.project(_evaluate(plan.child, db, aggregate), plan.attrs)
+    if isinstance(plan, Join):
+        return ops.join(
+            _evaluate(plan.left, db, aggregate),
+            _evaluate(plan.right, db, aggregate),
+            plan.condition,
+            aggregate,
+        )
+    if isinstance(plan, LeftJoin):
+        return ops.left_join(
+            _evaluate(plan.left, db, aggregate),
+            _evaluate(plan.right, db, aggregate),
+            plan.condition,
+            aggregate,
+        )
+    if isinstance(plan, Prefer):
+        return _evaluate_prefer_chain(plan, db, aggregate)
+    if isinstance(plan, TopK):
+        return ops.topk(_evaluate(plan.child, db, aggregate), plan.k, plan.by)
+    if isinstance(plan, (Union, Intersect, Difference)):
+        left = _evaluate(plan.left, db, aggregate).to_prelation()
+        right = _evaluate(plan.right, db, aggregate).to_prelation()
+        apply = {
+            Union: algebra.union,
+            Intersect: algebra.intersect,
+            Difference: algebra.difference,
+        }[type(plan)]
+        result = apply(left, right, aggregate)
+        return ColumnarRelation.from_rows(result.schema, result.rows, result.pairs)
+    raise ColumnarUnsupported(f"columnar executor: unknown node {plan!r}")
+
+
+def _evaluate_prefer_chain(
+    plan: Prefer, db, aggregate: AggregateFunction
+) -> ColumnarRelation:
+    """Fold a maximal chain of Prefer nodes, fused per same-aggregate run.
+
+    The chain applies innermost-first (the written preference order).
+    Consecutive prefers sharing one effective aggregate become a single
+    :func:`prefer_group` pass; a change of aggregate starts a new run.
+    """
+    from ..pexec.batchscore import batch_scoring_enabled, prefer_group
+
+    chain: list[Prefer] = []
+    node: PlanNode = plan
+    while isinstance(node, Prefer):
+        chain.append(node)
+        node = node.child
+    child = _evaluate(node, db, aggregate)
+
+    relation = child.to_prelation()
+    fused = batch_scoring_enabled()
+    run: list = []
+    run_aggregate: AggregateFunction | None = None
+    for prefer_node in reversed(chain):
+        effective = prefer_node.aggregate or aggregate
+        if run and effective is not run_aggregate:
+            relation = _apply_run(relation, run, run_aggregate, fused, prefer_group)
+            run = []
+        run.append(prefer_node.preference)
+        run_aggregate = effective
+    if run:
+        relation = _apply_run(relation, run, run_aggregate, fused, prefer_group)
+    return ColumnarRelation.from_rows(relation.schema, relation.rows, relation.pairs)
+
+
+def _apply_run(relation, preferences, aggregate, fused, prefer_group):
+    if fused:
+        return prefer_group(relation, preferences, aggregate)
+    for preference in preferences:  # noqa: LN201 — deliberate sequential fold
+        relation = prefer(relation, preference, aggregate)
+    return relation
+
+
+# ---------------------------------------------------------------------------
+# Exact selection pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_selections(plan: PlanNode, catalog) -> PlanNode:
+    """Sink score-free selection conjuncts toward the leaves, exactly.
+
+    Safe sinks: below another Select, below a Prefer (scoring is per-row),
+    below a Project whose input still resolves every referenced attribute
+    unambiguously, and into the side of a Join that resolves *all* the
+    conjunct's attributes (only the left side for a LeftJoin — right-side
+    filtering would change which left rows get NULL padding).  Conjuncts
+    that fit nowhere deeper stay where they were.
+    """
+    from ..engine.expressions import conjoin, conjuncts
+
+    children = plan.children()
+    if children:
+        plan = plan.with_children([push_selections(c, catalog) for c in children])
+    if not isinstance(plan, Select) or plan.condition.references_score():
+        return plan
+    child = plan.child
+    origin_schema = child.schema(catalog)
+    remaining = []
+    for part in conjuncts(plan.condition):
+        # Only sink conjuncts that already resolve unambiguously where they
+        # stand — an ill-formed condition must keep failing exactly like it
+        # does under the row evaluator.
+        if not all(origin_schema.has(a) for a in part.attributes()):
+            remaining.append(part)
+            continue
+        sunk = _sink(child, part, catalog)
+        if sunk is None:
+            remaining.append(part)
+        else:
+            child = sunk
+    if not remaining:
+        return child
+    return Select(child, conjoin(remaining))
+
+
+def _sink(node: PlanNode, part, catalog) -> PlanNode | None:
+    """*node* with *part* placed strictly below its root, or ``None``."""
+    if isinstance(node, Select):
+        return Select(_sink_or_wrap(node.child, part, catalog), node.condition)
+    if isinstance(node, Prefer):
+        return Prefer(
+            _sink_or_wrap(node.child, part, catalog), node.preference, node.aggregate
+        )
+    if isinstance(node, Project):
+        child_schema = node.child.schema(catalog)
+        if all(child_schema.has(a) for a in part.attributes()):
+            return Project(_sink_or_wrap(node.child, part, catalog), node.attrs)
+        return None
+    if isinstance(node, (Join, LeftJoin)):
+        left_schema = node.left.schema(catalog)
+        right_schema = node.right.schema(catalog)
+        attrs = part.attributes()
+        on_left = all(left_schema.has(a) for a in attrs)
+        on_right = all(right_schema.has(a) for a in attrs)
+        if on_left and not on_right:
+            return node.with_children(
+                [_sink_or_wrap(node.left, part, catalog), node.right]
+            )
+        if on_right and not on_left and isinstance(node, Join):
+            return node.with_children(
+                [node.left, _sink_or_wrap(node.right, part, catalog)]
+            )
+        return None
+    return None
+
+
+def _sink_or_wrap(node: PlanNode, part, catalog) -> PlanNode:
+    """Sink *part* below *node* if possible, else select directly above it."""
+    sunk = _sink(node, part, catalog)
+    return sunk if sunk is not None else Select(node, part)

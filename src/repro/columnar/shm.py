@@ -1,0 +1,64 @@
+"""Shared-memory shipping of materialized column buffers to workers.
+
+Base tables reach partition workers for free: the worker pool is forked
+from the driver process, so the catalog's row storage is shared
+copy-on-write.  *Materialized* plan leaves are different — they exist only
+in the driver's heap — so :func:`pack` pickles their payload once into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and workers
+attach read-only by name instead of receiving a per-task pickle through the
+pool's pipe.
+
+Every created segment is tracked in a module registry; :func:`release` (and
+the pool teardown in :mod:`repro.pexec.parallel`) unlinks it, and
+:func:`active_segments` lets the test suite assert in teardown that no
+segment leaked.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+
+#: Names of segments created by this process and not yet released.
+_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def pack(payload: object) -> tuple[str, int]:
+    """Pickle *payload* into a fresh shared-memory segment.
+
+    Returns ``(name, size)`` — the handle a worker needs for :func:`load`.
+    """
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+    segment.buf[: len(data)] = data
+    _SEGMENTS[segment.name] = segment
+    return segment.name, len(data)
+
+
+def load(handle: tuple[str, int]) -> object:
+    """Attach to a segment by handle and unpickle its payload (worker side)."""
+    name, size = handle
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return pickle.loads(bytes(segment.buf[:size]))
+    finally:
+        segment.close()
+
+
+def release(name: str) -> None:
+    """Close and unlink one segment created by :func:`pack`."""
+    segment = _SEGMENTS.pop(name, None)
+    if segment is not None:
+        segment.close()
+        segment.unlink()
+
+
+def release_all() -> None:
+    """Unlink every live segment (pool teardown / atexit safety net)."""
+    for name in list(_SEGMENTS):
+        release(name)
+
+
+def active_segments() -> list[str]:
+    """Names of segments not yet released — must be empty after a query."""
+    return sorted(_SEGMENTS)

@@ -1,0 +1,144 @@
+"""Vectorized predicate evaluation: expression tree → selection vector.
+
+A selection vector is a strictly increasing list of row positions that
+satisfy a condition.  The kernels here replicate the NULL semantics of the
+compiled row closures in :mod:`repro.engine.expressions` *exactly* — the
+differential conformance suite compares raw values, so "almost the same
+treatment of None" is not good enough:
+
+* ``a = b``  → false unless the left side is non-NULL and equal;
+* other comparisons → false when either side is NULL;
+* ``IN (…)`` → plain membership (``None`` can genuinely be in the list);
+* ``BETWEEN`` → false for NULL;
+* ``AND`` → conjunct vectors intersected in operand order.
+
+Only shapes with a clear columnar evaluation are handled; anything else
+(``OR``, ``NOT``, arithmetic operands, score/conf references…) returns
+``None`` and the caller falls back to the compiled row predicate on exactly
+the same rows — same answer, just row-at-a-time.
+"""
+
+from __future__ import annotations
+
+from ..engine.expressions import (
+    _COMPARATORS,
+    And,
+    Attr,
+    Between,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+)
+from ..engine.schema import TableSchema
+from .column import ColumnStore
+
+
+def selection_vector(
+    condition: Expr, schema: TableSchema, store: ColumnStore
+) -> list[int] | None:
+    """Positions in *store* satisfying *condition*, or ``None`` if the
+    condition has no vectorized kernel (caller must fall back to rows)."""
+    count = len(store)
+    if isinstance(condition, Literal):
+        return list(range(count)) if condition.value else []
+    if isinstance(condition, And):
+        selected: list[int] | None = None
+        for operand in condition.operands:
+            vector = selection_vector(operand, schema, store)
+            if vector is None:
+                return None
+            if selected is None:
+                selected = vector
+            else:
+                keep = set(vector)
+                selected = [i for i in selected if i in keep]
+            if not selected:
+                return []
+        return selected
+    if isinstance(condition, Comparison):
+        return _comparison_vector(condition, schema, store)
+    if isinstance(condition, InList):
+        if not isinstance(condition.expr, Attr):
+            return None
+        column = store.column(schema.index_of(condition.expr.name))
+        values = condition.values
+        return [i for i, v in enumerate(column) if v in values]
+    if isinstance(condition, Between):
+        if not isinstance(condition.expr, Attr):
+            return None
+        column = store.column(schema.index_of(condition.expr.name))
+        low, high = condition.low, condition.high
+        return [
+            i for i, v in enumerate(column) if v is not None and low <= v <= high
+        ]
+    if isinstance(condition, IsNull):
+        if not isinstance(condition.expr, Attr):
+            return None
+        column = store.column(schema.index_of(condition.expr.name))
+        if condition.negated:
+            return [i for i, v in enumerate(column) if v is not None]
+        return [i for i, v in enumerate(column) if v is None]
+    return None
+
+
+def _comparison_vector(
+    condition: Comparison, schema: TableSchema, store: ColumnStore
+) -> list[int] | None:
+    left, right, op = condition.left, condition.right, condition.op
+    if isinstance(left, Attr) and isinstance(right, Literal):
+        column = store.column(schema.index_of(left.name))
+        value = right.value
+        if op == "=":
+            return [
+                i for i, v in enumerate(column) if v is not None and v == value
+            ]
+        if value is None:
+            return []
+        compare = _COMPARATORS[op]
+        return [
+            i for i, v in enumerate(column) if v is not None and compare(v, value)
+        ]
+    if isinstance(left, Literal) and isinstance(right, Attr):
+        column = store.column(schema.index_of(right.name))
+        value = left.value
+        if op == "=":
+            if value is None:
+                return []
+            return [i for i, v in enumerate(column) if value == v]
+        if value is None:
+            return []
+        compare = _COMPARATORS[op]
+        return [
+            i for i, v in enumerate(column) if v is not None and compare(value, v)
+        ]
+    if isinstance(left, Attr) and isinstance(right, Attr):
+        a = store.column(schema.index_of(left.name))
+        b = store.column(schema.index_of(right.name))
+        if op == "=":
+            return [
+                i for i in range(len(a)) if a[i] is not None and a[i] == b[i]
+            ]
+        compare = _COMPARATORS[op]
+        return [
+            i
+            for i in range(len(a))
+            if a[i] is not None and b[i] is not None and compare(a[i], b[i])
+        ]
+    return None
+
+
+def check_selection_invariants(vector: list[int], count: int) -> None:
+    """Assert the selection-vector contract (used by the property tests)."""
+    previous = -1
+    for position in vector:
+        if not isinstance(position, int):
+            raise AssertionError(f"non-integer position {position!r}")
+        if position <= previous:
+            raise AssertionError(
+                f"positions must be strictly increasing: {position} after {previous}"
+            )
+        if not (0 <= position < count):
+            raise AssertionError(f"position {position} outside [0, {count})")
+        previous = position

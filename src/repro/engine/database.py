@@ -41,6 +41,12 @@ class Database:
         self.version = 0
         #: Salvage-mode loads attach a RecoveryReport here (see persist).
         self.recovery = None
+        #: Per-table column caches for the columnar executor, keyed by
+        #: lowercase table name → ``(version, ColumnStore)``; entries built
+        #: against an older version are rebuilt on next access (see
+        #: :func:`repro.columnar.column.column_store_for`).  Snapshots get a
+        #: fresh dict, so cached columns never alias across versions.
+        self.columnar_cache: dict = {}
         self._rwlock = RWLock()
         #: Table keys captured by at least one live snapshot and not yet
         #: forked; the first post-snapshot write forks them (copy-on-write).

@@ -58,6 +58,15 @@ class ExecutionError(ReproError):
     """A physical operator failed during plan execution."""
 
 
+class ColumnarUnsupported(ExecutionError):
+    """The columnar executor cannot evaluate this plan shape.
+
+    A capability miss, not a failure: the engine catches it and silently
+    re-dispatches to the requested row strategy (the result is *not* marked
+    degraded).
+    """
+
+
 class PreferenceError(ReproError):
     """A preference definition is invalid (bad confidence, scoring range...)."""
 

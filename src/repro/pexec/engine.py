@@ -33,6 +33,7 @@ from ..engine.database import Database
 from ..engine.iosim import CostModel
 from ..errors import (
     CircuitOpen,
+    ColumnarUnsupported,
     DataCorruption,
     ExecutionError,
     QueryCancelled,
@@ -100,6 +101,10 @@ class ExecutionStats:
     degraded: bool = False
     failures: list[str] = field(default_factory=list)
     attempts: int = 1
+    #: Which executor produced the result: ``"row"`` (the strategy named in
+    #: ``strategy``), ``"columnar"`` (serial columnar executor) or
+    #: ``"columnar-parallel"`` (partitioned worker pool).
+    mode: str = "row"
 
     def summary(self) -> str:
         suffix = ""
@@ -204,6 +209,8 @@ class ExecutionEngine:
         faults=None,
         resilience: ResiliencePolicy | None = None,
         batch_scoring: bool | None = None,
+        columnar: bool | None = None,
+        partitions: int | None = None,
     ) -> QueryResult:
         """Execute *plan* with *strategy*, returning result and statistics.
 
@@ -226,6 +233,16 @@ class ExecutionEngine:
         (see :mod:`repro.pexec.batchscore`); ``None`` keeps the ambient
         setting (fused, unless a surrounding ``use_batch_scoring(False)``
         turned it off), ``False`` forces the sequential per-preference fold.
+
+        *columnar* routes execution through the columnar executor
+        (:mod:`repro.columnar`); *partitions* > 1 additionally splits the
+        plan's largest leaf into horizontal partitions evaluated on a worker
+        pool (:mod:`repro.pexec.parallel`) — either implies columnar mode.
+        A plan shape the columnar executor does not support silently falls
+        back to the requested row *strategy* (capability miss, not
+        degradation); a worker fault falls back too, but marks the result
+        ``degraded`` with the cause recorded.  ``stats.mode`` reports which
+        executor actually produced the result.
         """
         if strategy not in STRATEGIES:
             raise ExecutionError(
@@ -239,19 +256,32 @@ class ExecutionEngine:
             faults = current_faults()
         if resilience is None:
             resilience = self.resilience
+        nparts = max(1, partitions or 1)
+        columnar_mode = bool(columnar) or nparts > 1
         if batch_scoring is not None:
             with use_batch_scoring(batch_scoring):
                 if resilience is None:
-                    return self._run_once(plan, strategy, tracer, guard, faults)
+                    return self._run_once(
+                        plan, strategy, tracer, guard, faults,
+                        columnar=columnar_mode, partitions=nparts,
+                    )
                 return self._run_resilient(
-                    plan, strategy, tracer, guard, faults, resilience
+                    plan, strategy, tracer, guard, faults, resilience,
+                    columnar=columnar_mode, partitions=nparts,
                 )
         if resilience is None:
-            return self._run_once(plan, strategy, tracer, guard, faults)
-        return self._run_resilient(plan, strategy, tracer, guard, faults, resilience)
+            return self._run_once(
+                plan, strategy, tracer, guard, faults,
+                columnar=columnar_mode, partitions=nparts,
+            )
+        return self._run_resilient(
+            plan, strategy, tracer, guard, faults, resilience,
+            columnar=columnar_mode, partitions=nparts,
+        )
 
     def _run_resilient(
-        self, plan: PlanNode, strategy: str, tracer, guard, faults, resilience
+        self, plan: PlanNode, strategy: str, tracer, guard, faults, resilience,
+        *, columnar: bool = False, partitions: int = 1,
     ) -> QueryResult:
         """Retry × circuit breaker × fallback orchestration around `_run_once`.
 
@@ -279,7 +309,10 @@ class ExecutionEngine:
             for attempt in range(1, max(1, retry.attempts) + 1):
                 attempts += 1
                 try:
-                    result = self._run_once(plan, candidate, tracer, guard, faults)
+                    result = self._run_once(
+                        plan, candidate, tracer, guard, faults,
+                        columnar=columnar, partitions=partitions,
+                    )
                 except (TransientFault, DataCorruption) as err:
                     last_error = err
                     failures.append(f"{candidate}#{attempt}: {type(err).__name__}: {err}")
@@ -315,7 +348,8 @@ class ExecutionEngine:
         raise last_error
 
     def _run_once(
-        self, plan: PlanNode, strategy: str, tracer, guard, faults
+        self, plan: PlanNode, strategy: str, tracer, guard, faults,
+        *, columnar: bool = False, partitions: int = 1,
     ) -> QueryResult:
         """One execution attempt under an installed guard and fault plan."""
         with use_tracer(tracer), use_guard(guard), use_faults(faults), tracer.span(
@@ -337,15 +371,23 @@ class ExecutionEngine:
             query_cost.faults = faults if faults.enabled else None
             self.db.cost = query_cost
             started = time.perf_counter()
+            mode = "row"
+            degraded_causes: list[str] = []
             try:
-                if strategy in _OPTIMIZED_STRATEGIES:
-                    with tracer.span("optimize"):
-                        executed_plan = self.optimizer.optimize(widened)
-                else:
-                    executed_plan = widened
-                with tracer.span(f"execute:{strategy}") as execute_span:
-                    result = self._dispatch(executed_plan, strategy)
-                    execute_span.add("rows_out", len(result))
+                result = None
+                executed_plan = widened
+                if columnar:
+                    result, mode = self._run_columnar(
+                        widened, tracer, partitions, degraded_causes
+                    )
+                if result is None:
+                    mode = "row"
+                    if strategy in _OPTIMIZED_STRATEGIES:
+                        with tracer.span("optimize"):
+                            executed_plan = self.optimizer.optimize(widened)
+                    with tracer.span(f"execute:{strategy}") as execute_span:
+                        result = self._dispatch(executed_plan, strategy)
+                        execute_span.add("rows_out", len(result))
                 with tracer.span("conform"):
                     result = conform(result, target_schema)
                 if faults.enabled:
@@ -364,6 +406,7 @@ class ExecutionEngine:
                 outer_cost.merge(query_cost)
             elapsed = time.perf_counter() - started
             root.add("rows_out", len(result))
+            root.set("mode", mode)
 
             stats = ExecutionStats(
                 strategy=strategy,
@@ -372,8 +415,50 @@ class ExecutionEngine:
                 cost=query_cost.snapshot(),
                 operators=dict(query_cost.operator_calls),
                 trace=root if tracer.enabled else None,
+                mode=mode,
             )
+            if degraded_causes:
+                stats.degraded = True
+                stats.failures = list(degraded_causes)
+                root.set("degraded", True)
+                root.set("failure_cause", degraded_causes[-1])
+                root.set("failures", list(degraded_causes))
         return QueryResult(result, stats, plan, executed_plan, original_schema)
+
+    def _run_columnar(self, widened, tracer, partitions, degraded_causes):
+        """The columnar attempt inside one `_run_once` call.
+
+        Returns ``(relation, mode)`` — ``(None, "row")`` when the row path
+        must take over: silently on :exc:`~repro.errors.ColumnarUnsupported`
+        (capability miss), with the cause recorded in *degraded_causes* on a
+        typed worker fault.  Guard trips propagate — their budgets span the
+        query, so the row engine would only trip them again.
+        """
+        from .parallel import execute_parallel  # lazy: parallel imports columnar,
+        # which imports this package's batchscore — a module-level import here
+        # would run during ``repro.pexec.__init__`` and close the cycle.
+
+        with tracer.span("engine.columnar") as span:
+            span.set("requested_partitions", partitions)
+            try:
+                result, info = execute_parallel(
+                    widened, self.db, self.aggregate, partitions
+                )
+            except ColumnarUnsupported as err:
+                span.set("fallback", "unsupported")
+                span.set("cause", str(err))
+                return None, "row"
+            except (TransientFault, DataCorruption) as err:
+                span.set("fallback", "fault")
+                span.set("cause", f"{type(err).__name__}: {err}")
+                degraded_causes.append(
+                    f"columnar: {type(err).__name__}: {err}"
+                )
+                return None, "row"
+            for key, value in info.items():
+                span.set(key, value)
+            span.add("rows_out", len(result))
+            return result, info["mode"]
 
     def explain_result(self, result: QueryResult, index: int = 0):
         """Provenance for one result tuple: each preference's contribution.

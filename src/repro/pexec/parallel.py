@@ -1,0 +1,632 @@
+"""Partition-parallel execution of columnar plan fragments.
+
+The driver splits one base-table (or materialized) leaf of a plan into
+horizontal row ranges and evaluates the plan fragment once per partition on
+a ``multiprocessing`` worker pool, then merges the per-partition score
+relations.  Correctness rests on two facts the library already checks by
+machine:
+
+* every operator on the path from the partitioned leaf to the fragment root
+  (select / project / prefer / join / the *left* side of a left join)
+  computes each output row's ``⟨score, conf⟩`` pair from its input rows
+  independently of the rest of the relation, so the fragment distributes
+  over a disjoint horizontal split — the partition results concatenate into
+  exactly the serial result (the degenerate, disjoint-key case of a score-
+  relation merge);
+* the aggregate ``F`` is law-checked associative/commutative/identity
+  (:func:`~repro.core.prefgroup.ensure_fold_safe` runs before any split),
+  so pair folds inside each worker combine in the same order as the serial
+  fold and :func:`merge_score_maps` may fold overlapping keys in any
+  partition order.
+
+Filtering suffixes need care: workers pre-apply the *innermost* run of
+score-filters and the first ``TopK`` as a local candidate cut (exact,
+because top-k's deterministic total order makes local-top-k ∘ global-top-k
+= global-top-k), and the driver re-applies the suffix globally on the
+concatenated candidates.  A selection *above* a TopK is never pushed into
+workers — it would filter candidates before the global cut.
+
+Workers are forked (copy-on-write catalog and column caches; the pool is
+keyed by ``(id(db), db.version)`` and retired when the database mutates).
+Materialized leaves travel through shared memory (:mod:`repro.columnar.shm`)
+instead of the task pipe.  Worker failures come back as typed
+:exc:`~repro.errors.TransientFault` / :exc:`~repro.errors.DataCorruption`
+values (never bare pickled tracebacks); the ambient query guard is polled
+between partitions so cancellation and deadlines keep working, and the
+fault-injection site ``pexec.partition`` fires *inside* each worker.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from ..columnar import evaluate_columnar, push_selections
+from ..columnar import shm
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.prefgroup import ensure_fold_safe
+from ..core.prelation import PRelation
+from ..core.scorepair import ScorePair
+from ..core import algebra
+from ..errors import (
+    DataCorruption,
+    ExecutionError,
+    ReproError,
+    TransientFault,
+)
+from ..filtering import topk
+from ..obs import current_tracer
+from ..plan.analysis import node_at_path, replace_at_path
+from ..plan.nodes import (
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+)
+from ..resilience import current_faults, current_guard, use_faults, use_guard
+from ..resilience.faults import FaultPlan
+from .batchscore import batch_scoring_enabled, use_batch_scoring
+
+#: Fault-injection and trace-span site for one partition's execution.
+PARTITION_SITE = "pexec.partition"
+
+#: Guard poll interval while waiting on a worker result (seconds).
+_POLL_INTERVAL = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Partition planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How to split one plan: worker fragment, leaf location, driver merge.
+
+    ``worker_plan`` is the fragment each worker evaluates (region plus the
+    worker-side filtering suffix); ``leaf_path`` locates the partitioned
+    leaf inside it by child indexes; ``merge_nodes`` are the suffix
+    operators the driver re-applies globally, innermost first.
+    """
+
+    worker_plan: PlanNode
+    leaf_path: tuple[int, ...]
+    merge_nodes: tuple[PlanNode, ...]
+    leaf_rows: int
+
+
+def plan_partitions(plan: PlanNode, catalog) -> PartitionPlan | None:
+    """Split *plan* for partition-parallel execution, or ``None``.
+
+    ``None`` means "not partitionable" — a plain capability miss (the
+    caller degrades to serial columnar execution, which is always exact).
+    """
+    # 1. Peel the filtering suffix off the root: TopK nodes and selections
+    #    over score/conf.  Everything below is the region.
+    suffix: list[PlanNode] = []
+    region = plan
+    while True:
+        if isinstance(region, TopK):
+            suffix.append(region)
+            region = region.child
+        elif isinstance(region, Select) and region.condition.references_score():
+            suffix.append(region)
+            region = region.child
+        else:
+            break
+
+    # 2. Workers pre-apply the innermost run of score-selects and the first
+    #    TopK (local candidate cut); the rest merges globally.  The cut TopK
+    #    appears in BOTH lists: locally as a prefilter, globally as the cut.
+    inner_first = list(reversed(suffix))
+    worker_nodes: list[PlanNode] = []
+    position = 0
+    while position < len(inner_first) and isinstance(inner_first[position], Select):
+        worker_nodes.append(inner_first[position])
+        position += 1
+    if position < len(inner_first):
+        worker_nodes.append(inner_first[position])  # the innermost TopK
+    merge_nodes = tuple(inner_first[position:])
+
+    # 3. Sink score-free selections now, on the driver's copy of the region:
+    #    the workers' own pushdown would redo the identical (exact) rewrite
+    #    per partition, and hoisting below wants filters already inside the
+    #    subtrees it materializes.
+    region = push_selections(region, catalog)
+
+    # 4. Find candidate leaves reachable through row-local operators only.
+    candidates = _partitionable_leaves(region, ())
+    if not candidates:
+        return None
+    best_path, best_leaf = max(
+        candidates, key=lambda item: _leaf_rows(item[1], catalog)
+    )
+    leaf_rows = _leaf_rows(best_leaf, catalog)
+
+    worker_plan = region
+    for node in worker_nodes:
+        worker_plan = node.with_children([worker_plan])
+    leaf_path = (0,) * len(worker_nodes) + best_path
+    return PartitionPlan(worker_plan, leaf_path, merge_nodes, leaf_rows)
+
+
+def _partitionable_leaves(
+    node: PlanNode, path: tuple[int, ...]
+) -> list[tuple[tuple[int, ...], PlanNode]]:
+    """Leaves whose root path crosses only row-local operators.
+
+    Join leaves may sit on either side (the other side is replicated to
+    every worker); a LeftJoin only tolerates splitting its *left* input —
+    padding decisions read the entire right side.
+    """
+    if isinstance(node, (Relation, Materialized)):
+        return [(path, node)]
+    if isinstance(node, (Select, Project, Prefer)):
+        return _partitionable_leaves(node.children()[0], path + (0,))
+    if isinstance(node, Join):
+        return _partitionable_leaves(node.left, path + (0,)) + _partitionable_leaves(
+            node.right, path + (1,)
+        )
+    if isinstance(node, LeftJoin):
+        return _partitionable_leaves(node.left, path + (0,))
+    return []
+
+
+def _leaf_rows(leaf: PlanNode, catalog) -> int:
+    if isinstance(leaf, Materialized):
+        return len(leaf.rows)
+    if catalog.has_table(leaf.name):
+        return len(catalog.table(leaf.name))
+    return 0
+
+
+def _contains_prefer(node: PlanNode) -> bool:
+    if isinstance(node, Prefer):
+        return True
+    return any(_contains_prefer(child) for child in node.children())
+
+
+def hoist_shared_subtrees(split: PartitionPlan, db, aggregate) -> PartitionPlan:
+    """Evaluate off-path sibling subtrees once, in the driver.
+
+    Every worker receives the same fragment modulo its leaf slice, so any
+    subtree *not* on the root→leaf path would be recomputed identically
+    ``partitions`` times.  Sibling subtrees that contain real operators
+    (bare base-relation leaves are already copy-on-write free in forked
+    workers) and no ``Prefer`` are evaluated here once and substituted as
+    :class:`Materialized` leaves.  Exact: the substitution replays the same
+    columnar evaluator on the same subtree, and a Prefer-free subtree
+    carries only identity score pairs — precisely what a Materialized leaf
+    reproduces (``F``'s identity law is part of ``ensure_fold_safe``).
+    """
+    worker_plan = split.worker_plan
+    for depth in range(len(split.leaf_path)):
+        parent = node_at_path(worker_plan, split.leaf_path[:depth])
+        children = parent.children()
+        if len(children) < 2:
+            continue
+        for position, child in enumerate(children):
+            if position == split.leaf_path[depth]:
+                continue
+            if isinstance(child, (Relation, Materialized)) or _contains_prefer(child):
+                continue
+            relation = evaluate_columnar(child, db, aggregate, pushdown=False)
+            worker_plan = replace_at_path(
+                worker_plan,
+                split.leaf_path[:depth] + (position,),
+                Materialized(relation.schema, relation.rows, name=f"hoist@{depth}"),
+            )
+    return PartitionPlan(
+        worker_plan, split.leaf_path, split.merge_nodes, split.leaf_rows
+    )
+
+
+def partition_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into *parts* contiguous, near-even ranges."""
+    parts = max(1, min(parts, total)) if total else 1
+    size, extra = divmod(total, parts)
+    ranges = []
+    low = 0
+    for index in range(parts):
+        high = low + size + (1 if index < extra else 0)
+        ranges.append((low, high))
+        low = high
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# Score-relation merging
+# ---------------------------------------------------------------------------
+
+
+def merge_score_maps(
+    maps, aggregate: AggregateFunction
+) -> dict:
+    """Fold per-partition sparse score maps ``{key: pair}`` into one.
+
+    Overlapping keys combine through ``F``; since ``F`` passed the
+    commutativity/associativity law check, the partition order cannot
+    change the result (the order-independence property test asserts it).
+    Horizontal row partitions have disjoint keys, so the driver's merge
+    degenerates to concatenation — this is the general primitive.
+    """
+    ensure_fold_safe(aggregate)
+    combine = aggregate.combine
+    merged: dict = {}
+    for partial in maps:
+        for key, pair in partial.items():
+            current = merged.get(key)
+            merged[key] = pair if current is None else combine(current, pair)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Worker pool management
+# ---------------------------------------------------------------------------
+
+#: Live pools keyed by ``(id(db), db.version, workers)``.
+_POOLS: dict[tuple[int, int, int], object] = {}
+
+#: The database the *next* fork inherits (workers read it as a global).
+_WORKER_DB = None
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _pool_for(db, workers: int):
+    """A fork pool whose children hold a copy-on-write view of *db*.
+
+    Pools are retired when the database mutates (its ``version`` bumps) or
+    a larger pool is needed; children forked before a mutation would serve
+    stale rows.
+    """
+    global _WORKER_DB
+    key = (id(db), db.version, workers)
+    pool = _POOLS.get(key)
+    if pool is not None:
+        return pool
+    for stale_key in [k for k in _POOLS if k[0] == id(db)]:
+        stale = _POOLS.pop(stale_key)
+        stale.terminate()
+        stale.join()
+    _WORKER_DB = db
+    context = multiprocessing.get_context("fork")
+    pool = context.Pool(processes=workers)
+    _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate and reap every worker pool; release shared memory."""
+    for pool in list(_POOLS.values()):
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+    shm.release_all()
+
+
+def active_pools() -> int:
+    """Number of live pools (teardown checks)."""
+    return len(_POOLS)
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_run(task):
+    """Evaluate one partition; return a plain tuple, never raise.
+
+    Exceptions are flattened to ``("err", type_name, message, site)`` —
+    pickling exception objects through the pool pipe round-trips poorly
+    (``__reduce__`` replays ``args``, losing keyword state), a value tuple
+    does not.  The forked child inherits the driver's ambient guard/fault
+    contextvars; both are explicitly overridden — the driver polls the
+    guard itself, and faults run from the per-partition plan built here.
+    """
+    (plan, path, lo, hi, aggregate, specs, seed, index, batch, handle, extras) = task
+    db = _WORKER_DB
+    try:
+        leaf = node_at_path(plan, path)
+        if handle is not None:
+            schema, rows = shm.load(handle)
+            replacement = Materialized(schema, rows, name=f"shm:{index}")
+        else:
+            table = db.catalog.table(leaf.name)
+            replacement = Materialized(
+                leaf.schema(db.catalog), table.rows[lo:hi], name=leaf.effective_name
+            )
+        worker_plan = replace_at_path(plan, path, replacement)
+        for extra_path, extra_handle, extra_name in extras:
+            schema, rows = shm.load(extra_handle)
+            worker_plan = replace_at_path(
+                worker_plan, extra_path, Materialized(schema, rows, name=extra_name)
+            )
+        plan_faults = FaultPlan(list(specs), seed=seed + index) if specs else None
+        with use_guard(None), use_faults(plan_faults):
+            faults = current_faults()
+            if faults.enabled:
+                faults.at(PARTITION_SITE)
+            with use_batch_scoring(batch):
+                relation = evaluate_columnar(worker_plan, db, aggregate)
+            if faults.enabled and faults.corrupts(PARTITION_SITE) and relation.pairs:
+                victim = faults.pick(len(relation.pairs))
+                relation.pairs[victim] = ScorePair(float("nan"), -1.0)
+        return ("ok", relation.rows, relation.pairs)
+    except ReproError as err:
+        return ("err", type(err).__name__, str(err), getattr(err, "site", None))
+
+
+def _rebuild_error(name: str, message: str, site: str | None) -> ReproError:
+    if name == "TransientFault":
+        return TransientFault(site or PARTITION_SITE, message)
+    if name == "DataCorruption":
+        return DataCorruption(message)
+    return ExecutionError(f"partition worker failed: {name}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def execute_parallel(
+    plan: PlanNode,
+    db,
+    aggregate: AggregateFunction = F_S,
+    partitions: int = 1,
+    *,
+    in_process: bool | None = None,
+) -> tuple[PRelation, dict]:
+    """Evaluate *plan* columnar-wise over *partitions* horizontal splits.
+
+    Returns ``(relation, info)`` where ``info`` describes what actually ran
+    (``mode``, ``partitions``, ``partitionable``, ``pool``) for the
+    engine's ``engine.columnar`` span.  ``partitions <= 1``, an
+    unpartitionable plan, or an empty leaf all degrade to serial columnar
+    execution — identical semantics, just one fragment.  *in_process*
+    forces the partition loop to run in the driver (no pool); ``None``
+    auto-selects the pool when ``fork`` is available *and* more than one
+    CPU is usable (on one core the pool can only add overhead).
+    """
+    info: dict = {"mode": "columnar", "partitions": 1, "partitionable": False}
+    if partitions > 1:
+        split = plan_partitions(plan, db.catalog)
+        if split is not None:
+            ensure_fold_safe(aggregate)
+            ranges = partition_ranges(split.leaf_rows, partitions)
+            if len(ranges) > 1:
+                info = {
+                    "mode": "columnar-parallel",
+                    "partitions": len(ranges),
+                    "partitionable": True,
+                }
+                return _execute_partitions(
+                    split, ranges, db, aggregate, info, in_process
+                )
+            info["partitionable"] = True
+    return evaluate_columnar(plan, db, aggregate), info
+
+
+def _execute_partitions(
+    split: PartitionPlan,
+    ranges: list[tuple[int, int]],
+    db,
+    aggregate: AggregateFunction,
+    info: dict,
+    in_process: bool | None,
+) -> tuple[PRelation, dict]:
+    # Auto-selection engages the fork pool only when it can actually win:
+    # on a single-CPU host the workers time-share one core and the fork's
+    # copy-on-write page faults are pure overhead, so the partition loop
+    # runs in the driver instead (same split, same merge, same semantics).
+    if in_process is None:
+        use_pool = _fork_available() and _usable_cpus() > 1
+    else:
+        use_pool = not in_process
+    guard = current_guard()
+    faults = current_faults()
+    if guard.enabled:
+        guard.check()
+    split = hoist_shared_subtrees(split, db, aggregate)
+    if use_pool:
+        parts = _run_pool(split, ranges, db, aggregate, guard, faults)
+    else:
+        parts = _run_in_process(split, ranges, db, aggregate, faults)
+    info["pool"] = use_pool
+
+    schema = split.worker_plan.schema(db.catalog)
+    rows: list = []
+    pairs: list = []
+    for part_rows, part_pairs in parts:
+        rows.extend(part_rows)
+        pairs.extend(part_pairs)
+    merged = PRelation(schema, rows, pairs)
+    for node in split.merge_nodes:
+        if isinstance(node, TopK):
+            merged = topk(merged, node.k, node.by)
+        else:
+            merged = algebra.select(merged, node.condition)
+    return merged, info
+
+
+def _run_in_process(split, ranges, db, aggregate, faults):
+    """The poolless partition loop (fork unavailable, or tests/merge laws)."""
+    tracer = current_tracer()
+    leaf = node_at_path(split.worker_plan, split.leaf_path)
+    parts = []
+    for index, (lo, hi) in enumerate(ranges):
+        with tracer.span(PARTITION_SITE, label=f"{index + 1}/{len(ranges)}") as span:
+            span.set("lo", lo)
+            span.set("hi", hi)
+            guard = current_guard()
+            if guard.enabled:
+                guard.check()
+            if faults.enabled:
+                faults.at(PARTITION_SITE)
+            if isinstance(leaf, Materialized):
+                sliced = Materialized(
+                    leaf.schema(db.catalog), leaf.rows[lo:hi], name=leaf.name
+                )
+            else:
+                sliced = Materialized(
+                    leaf.schema(db.catalog),
+                    db.catalog.table(leaf.name).rows[lo:hi],
+                    name=leaf.effective_name,
+                )
+            fragment = replace_at_path(split.worker_plan, split.leaf_path, sliced)
+            relation = evaluate_columnar(fragment, db, aggregate)
+            pairs = relation.pairs
+            if faults.enabled and faults.corrupts(PARTITION_SITE) and pairs:
+                victim = faults.pick(len(pairs))
+                pairs[victim] = ScorePair(float("nan"), -1.0)
+            _check_partition_pairs(pairs, index, armed=faults.enabled)
+            span.add("rows_out", len(relation.rows))
+            parts.append((relation.rows, pairs))
+    return parts
+
+
+def _run_pool(split, ranges, db, aggregate, guard, faults):
+    """Fan the partitions out over the fork pool, polling the guard."""
+    tracer = current_tracer()
+    specs = tuple(faults.specs) if faults.enabled else ()
+    seed = getattr(faults, "seed", 0)
+    batch = batch_scoring_enabled()
+    leaf = node_at_path(split.worker_plan, split.leaf_path)
+    pool = _pool_for(db, len(ranges))
+
+    shipped_plan = split.worker_plan
+    handles: list[tuple[str, int] | None] = [None] * len(ranges)
+    segment_names: list[str] = []
+    if isinstance(leaf, Materialized):
+        # The leaf's rows live only in this process: ship each slice through
+        # shared memory and replace the leaf with an empty stub so the task
+        # pickle stays small.
+        schema = leaf.schema(db.catalog)
+        for index, (lo, hi) in enumerate(ranges):
+            handle = shm.pack((schema, leaf.rows[lo:hi]))
+            handles[index] = handle
+            segment_names.append(handle[0])
+        shipped_plan = replace_at_path(
+            split.worker_plan, split.leaf_path, Materialized(schema, (), name=leaf.name)
+        )
+
+    # Hoisted sibling subtrees (and any other driver-heap Materialized
+    # nodes) also live only in this process.  Unlike the leaf they are the
+    # same for every partition: pack each once, share the segment.
+    extras: list[tuple[tuple[int, ...], tuple[str, int], str]] = []
+    for path in _materialized_paths(shipped_plan):
+        if path == split.leaf_path:
+            continue
+        node = node_at_path(shipped_plan, path)
+        if not node.rows:
+            continue
+        node_schema = node.schema(db.catalog)
+        handle = shm.pack((node_schema, node.rows))
+        segment_names.append(handle[0])
+        extras.append((path, handle, node.name))
+        shipped_plan = replace_at_path(
+            shipped_plan, path, Materialized(node_schema, (), name=node.name)
+        )
+
+    try:
+        pending = [
+            pool.apply_async(
+                _worker_run,
+                (
+                    (
+                        shipped_plan,
+                        split.leaf_path,
+                        lo,
+                        hi,
+                        aggregate,
+                        specs,
+                        seed,
+                        index,
+                        batch,
+                        handles[index],
+                        extras,
+                    ),
+                ),
+            )
+            for index, (lo, hi) in enumerate(ranges)
+        ]
+        parts = []
+        for index, (async_result, (lo, hi)) in enumerate(zip(pending, ranges)):
+            with tracer.span(
+                PARTITION_SITE, label=f"{index + 1}/{len(ranges)}"
+            ) as span:
+                span.set("lo", lo)
+                span.set("hi", hi)
+                while True:
+                    if guard.enabled:
+                        guard.check()
+                        try:
+                            outcome = async_result.get(timeout=_POLL_INTERVAL)
+                        except multiprocessing.TimeoutError:
+                            continue
+                    else:
+                        outcome = async_result.get()
+                    break
+                if outcome[0] == "err":
+                    raise _rebuild_error(outcome[1], outcome[2], outcome[3])
+                _, rows, pairs = outcome
+                _check_partition_pairs(pairs, index, armed=faults.enabled)
+                span.add("rows_out", len(rows))
+                parts.append((rows, pairs))
+        return parts
+    finally:
+        for name in segment_names:
+            shm.release(name)
+
+
+def _materialized_paths(
+    node: PlanNode, path: tuple[int, ...] = ()
+) -> list[tuple[int, ...]]:
+    """Child-index paths of every Materialized node under *node*."""
+    if isinstance(node, Materialized):
+        return [path]
+    found: list[tuple[int, ...]] = []
+    for index, child in enumerate(node.children()):
+        found.extend(_materialized_paths(child, path + (index,)))
+    return found
+
+
+def _check_partition_pairs(pairs, index: int, *, armed: bool) -> None:
+    """Integrity gate over one partition's pairs (armed under fault plans).
+
+    Mirrors the engine's result gate: the merge's global TopK may drop a
+    corrupted pair before the engine sees it, so corruption must be caught
+    per partition to surface as a typed error rather than a silent ranking
+    glitch.
+    """
+    if not armed:
+        return
+    for score, conf in pairs:
+        score_ok = score is None or (math.isfinite(score) and score >= 0.0)
+        conf_ok = math.isfinite(conf) and conf >= 0.0
+        if not (score_ok and conf_ok):
+            raise DataCorruption(
+                f"partition {index} returned an invalid score pair ⟨{score}, {conf}⟩"
+            )

@@ -103,6 +103,8 @@ class Session:
         faults=None,
         resilience: ResiliencePolicy | None = None,
         batch_scoring: bool | None = None,
+        columnar: bool | None = None,
+        partitions: int | None = None,
     ) -> QueryResult:
         """Run SQL text, a plan, or a compiled query; returns a QueryResult.
 
@@ -119,6 +121,12 @@ class Session:
         *batch_scoring* toggles fused batch preference scoring (default on;
         see :mod:`repro.pexec.batchscore`): ``False`` runs the sequential
         per-preference reference fold instead.
+
+        *columnar* routes the query through the columnar executor and
+        *partitions* > 1 splits it over the partition-parallel worker pool
+        (see :mod:`repro.pexec.parallel`); results are byte-identical to the
+        row engine, with automatic fallback when the plan shape is
+        unsupported.  ``result.stats.mode`` says which executor answered.
         """
         if guard is not None and (timeout is not None or max_rows is not None):
             raise PreferenceError(
@@ -155,6 +163,8 @@ class Session:
             faults=faults,
             resilience=resilience,
             batch_scoring=batch_scoring,
+            columnar=columnar,
+            partitions=partitions,
         )
         if order_by:
             result.relation = ranked(result.relation, order_by)

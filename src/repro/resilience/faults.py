@@ -20,6 +20,12 @@ Instrumented sites:
 ``pexec.scores``        The engine's result gate: a ``corrupt`` fault here
                         flips one score pair to an invalid value, which the
                         engine's integrity check must catch.
+``strategy.columnar``   Columnar evaluator operator boundaries (fires once
+                        per plan node, driver- or worker-side).
+``pexec.partition``     One partition of a partition-parallel run; fires
+                        inside the worker, and a ``corrupt`` fault flips a
+                        pair in that partition's result, which the driver's
+                        per-partition integrity gate must catch.
 ======================  ======================================================
 
 Site patterns may end in ``*`` to match a prefix (``strategy.*``).  Like the

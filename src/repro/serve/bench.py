@@ -84,13 +84,17 @@ def serve_bench(
     queue_limit: int | None = None,
     session_limit: int | None = None,
     trace_sink=None,
+    columnar: bool = False,
+    partitions: int | None = None,
 ) -> ServeBenchReport:
     """Run the closed-loop serving benchmark; returns the report.
 
     Everything is in-memory (ephemeral server): the benchmark measures the
     snapshot/execute/admission path, not disk.  ``queue_limit`` defaults to
     ``2 × threads``; sheds are counted, not errors — closed-loop clients
-    retry immediately.
+    retry immediately.  ``columnar``/``partitions`` route every served
+    query through the columnar (partition-parallel) engine, measuring its
+    behaviour under concurrent snapshot load.
     """
     from ..resilience.chaos_concurrent import _base_preference, preference_pool
     from ..serve.server import PreferenceServer
@@ -131,7 +135,12 @@ def serve_bench(
         snapshot = server.snapshot()
         names = sorted(p.name for p in snapshot.store.preferences_of(user))
         session = snapshot.session_for(user)
-        return session.execute(BENCH_SQL.format(names=", ".join(names)), strategy=strategy)
+        return session.execute(
+            BENCH_SQL.format(names=", ".join(names)),
+            strategy=strategy,
+            columnar=columnar,
+            partitions=partitions,
+        )
 
     executor = ServeExecutor(
         workers=threads,

@@ -14,8 +14,6 @@ Three layers of evidence:
 
 from __future__ import annotations
 
-from collections import Counter
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -37,6 +35,7 @@ from repro.pexec.scorerel import Intermediate, apply_prefer, apply_prefer_seq
 from repro.plan.builder import scan
 from repro.workloads.queries import all_queries
 
+from tests.conformance import assert_identical
 from tests.conftest import build_movie_db
 from tests.test_strategy_conformance import PHYSICAL, generated_plan
 
@@ -106,21 +105,17 @@ def test_fused_score_relation_equals_sequential_fold(rows, pool, aggregate):
     assert apply_prefer_seq(inter, pool, aggregate).scores == sequential.scores
 
 
-def _result_multiset(result):
-    return Counter(
-        (row, pair.score, pair.conf)
-        for row, pair in zip(result.relation.rows, result.relation.pairs)
-    )
-
-
 @pytest.mark.parametrize("seed", range(0, 50, 2))
 def test_generated_plans_identical_fused_and_unfused(seed):
     plan = generated_plan(seed)
     for strategy in PHYSICAL:
         fused = MOVIE_ENGINE.run(plan, strategy, batch_scoring=True)
         unfused = MOVIE_ENGINE.run(plan, strategy, batch_scoring=False)
-        assert _result_multiset(fused) == _result_multiset(unfused), (
-            f"{strategy} diverged between fused and unfused on seed {seed}"
+        assert_identical(
+            unfused,
+            fused,
+            context=f"{strategy} seed {seed}",
+            labels=("unfused", "fused"),
         )
 
 
@@ -134,8 +129,11 @@ def test_workload_queries_identical_fused_and_unfused(
     for strategy in PHYSICAL:
         fused = session.execute(compiled, strategy=strategy, batch_scoring=True)
         unfused = session.execute(compiled, strategy=strategy, batch_scoring=False)
-        assert _result_multiset(fused) == _result_multiset(unfused), (
-            f"{strategy} diverged between fused and unfused on {workload_query.name}"
+        assert_identical(
+            unfused,
+            fused,
+            context=f"{strategy} on {workload_query.name}",
+            labels=("unfused", "fused"),
         )
 
 

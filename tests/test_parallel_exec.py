@@ -1,0 +1,372 @@
+"""Partition-parallel execution is byte-identical to the row engine.
+
+The partition count must be invisible: for every plan and every partition
+count the merged result equals the serial reference bit-for-bit.  Evidence:
+
+* Hypothesis: random generated plans × partitions ∈ {1, 2, 3, 8} — exact
+  equality against the reference evaluator.
+* The full IMDB/DBLP workload × all six strategies in both modes.
+* Partition planning unit tests: filters above a TopK never run inside
+  workers, a LeftJoin's right side is never partitioned.
+* Merge laws: :func:`merge_score_maps` is partition-order independent;
+  shuffled in-process partition orders produce the same contents.
+* Faults: a `pexec.partition` fault inside a worker surfaces as a typed
+  error with its site intact; the engine degrades to the row strategy and
+  records the cause; corruption is detected, never silently merged.
+* Teardown: no worker processes and no shared-memory segments survive the
+  module (autouse fixture asserts both).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import evaluate_columnar
+from repro.columnar.shm import active_segments
+from repro.core.aggregates import F_MAX, F_S
+from repro.core.prelation import PRelation
+from repro.core.preference import Preference
+from repro.core.scorepair import ScorePair
+from repro.engine.expressions import cmp, eq
+from repro.errors import DataCorruption, QueryCancelled, TransientFault
+from repro.pexec.engine import STRATEGIES, ExecutionEngine
+from repro.pexec.parallel import (
+    PARTITION_SITE,
+    active_pools,
+    execute_parallel,
+    merge_score_maps,
+    partition_ranges,
+    plan_partitions,
+    shutdown_pools,
+)
+from repro.plan.nodes import (
+    LeftJoin,
+    Materialized,
+    Prefer,
+    Relation,
+    Select,
+    TopK,
+)
+from repro.resilience import (
+    CancellationToken,
+    FaultPlan,
+    QueryGuard,
+    use_faults,
+    use_guard,
+)
+from repro.workloads.queries import all_queries
+
+from tests.conformance import assert_identical
+from tests.conftest import build_movie_db
+from tests.test_strategy_conformance import generated_plan
+
+MOVIE_DB = build_movie_db()
+MOVIE_ENGINE = ExecutionEngine(MOVIE_DB)
+
+PARTITIONS = (1, 2, 3, 8)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _no_leaked_workers_or_segments():
+    """Module teardown: every pool reaped, every shm segment released."""
+    yield
+    shutdown_pools()
+    assert active_pools() == 0
+    assert active_segments() == []
+    leftovers = [
+        p for p in multiprocessing.active_children() if p.is_alive()
+    ]
+    assert leftovers == [], f"orphaned worker processes: {leftovers}"
+
+
+# ---------------------------------------------------------------------------
+# Byte identity across partition counts
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 200), partitions=st.sampled_from(PARTITIONS))
+@settings(max_examples=25, deadline=None)
+def test_random_plans_partition_invariant(seed, partitions):
+    plan = generated_plan(seed)
+    reference = MOVIE_ENGINE.run(plan, "reference")
+    parallel = MOVIE_ENGINE.run(plan, "reference", partitions=partitions)
+    assert_identical(
+        reference,
+        parallel,
+        context=f"seed {seed}, partitions {partitions}",
+        labels=("reference", f"parallel[{partitions}]"),
+    )
+
+
+@pytest.mark.parametrize("workload_query", all_queries(), ids=lambda q: q.name)
+def test_workload_all_strategies_all_partition_counts(
+    workload_query, imdb_tiny, dblp_tiny
+):
+    db = imdb_tiny if workload_query.dataset == "imdb" else dblp_tiny
+    session = workload_query.session(db)
+    compiled = session.compile(workload_query.sql)
+    reference = session.execute(compiled, strategy="reference")
+    for partitions in PARTITIONS:
+        parallel = session.execute(
+            compiled, strategy="reference", partitions=partitions
+        )
+        assert_identical(
+            reference,
+            parallel,
+            context=f"{workload_query.name} partitions={partitions}",
+            labels=("reference", f"parallel[{partitions}]"),
+        )
+    for strategy in STRATEGIES:
+        row = session.execute(compiled, strategy=strategy)
+        parallel = session.execute(compiled, strategy=strategy, partitions=3)
+        # identical no matter which row strategy the call named
+        assert_identical(
+            row,
+            parallel,
+            exact=False,
+            context=f"{workload_query.name} {strategy} vs parallel",
+            labels=(strategy, "parallel[3]"),
+        )
+
+
+def test_in_process_matches_pool():
+    plan = MOVIE_ENGINE.prepare(generated_plan(11))
+    pooled, info_pool = execute_parallel(plan, MOVIE_DB, F_S, 3, in_process=False)
+    inproc, info_in = execute_parallel(plan, MOVIE_DB, F_S, 3, in_process=True)
+    assert info_pool["pool"] is True
+    assert info_in["pool"] is False
+    assert pooled.rows == inproc.rows
+    assert pooled.pairs == inproc.pairs
+
+
+# ---------------------------------------------------------------------------
+# Partition planning
+# ---------------------------------------------------------------------------
+
+
+def test_select_above_topk_stays_in_merge():
+    pref = Preference("pa", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+    plan = Select(
+        TopK(Prefer(Relation("GENRES"), pref), 3, "score"),
+        cmp("score", ">=", 0.1),
+    )
+    split = plan_partitions(MOVIE_ENGINE.prepare(plan), MOVIE_DB.catalog)
+    assert split is not None
+    # The outer select must NOT run inside workers (it would filter
+    # candidates before the global top-k cut): worker side ends at the TopK.
+    assert isinstance(split.worker_plan, TopK)
+    kinds = [type(node).__name__ for node in split.merge_nodes]
+    assert kinds == ["TopK", "Select"]
+
+
+def test_innermost_score_filter_runs_in_workers_too():
+    pref = Preference("pb", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+    plan = TopK(
+        Select(Prefer(Relation("GENRES"), pref), cmp("conf", ">=", 0.1)),
+        3,
+        "score",
+    )
+    split = plan_partitions(MOVIE_ENGINE.prepare(plan), MOVIE_DB.catalog)
+    assert split is not None
+    # workers pre-apply conf-filter then local TopK; driver re-cuts globally
+    assert isinstance(split.worker_plan, TopK)
+    assert isinstance(split.worker_plan.child, Select)
+    assert [type(n).__name__ for n in split.merge_nodes] == ["TopK"]
+
+
+def test_leftjoin_right_side_never_partitioned():
+    from repro.engine.expressions import Attr, Comparison
+
+    condition = Comparison("=", Attr("MOVIES.m_id"), Attr("RATINGS.m_id"))
+    plan = LeftJoin(Relation("MOVIES"), Relation("RATINGS"), condition)
+    split = plan_partitions(plan, MOVIE_DB.catalog)
+    assert split is not None
+    # only the left leaf is a candidate, whatever the table sizes
+    assert split.leaf_path == (0,)
+
+
+def test_unpartitionable_plan_returns_none():
+    from repro.plan.nodes import Union
+
+    plan = Union(Relation("GENRES"), Relation("GENRES"))
+    assert plan_partitions(plan, MOVIE_DB.catalog) is None
+
+
+def test_partition_ranges_cover_exactly():
+    for total in (0, 1, 2, 7, 100):
+        for parts in (1, 2, 3, 8):
+            ranges = partition_ranges(total, parts)
+            covered = [i for lo, hi in ranges for i in range(lo, hi)]
+            assert covered == list(range(total))
+            if total:
+                sizes = [hi - lo for lo, hi in ranges]
+                assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Merge laws
+# ---------------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    parts=st.integers(2, 5),
+    aggregate=st.sampled_from([F_S, F_MAX]),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_score_maps_order_independent(seed, parts, aggregate):
+    rng = random.Random(seed)
+    keys = [f"k{i}" for i in range(8)]
+    maps = [
+        {
+            key: ScorePair(round(rng.random(), 6), round(rng.random(), 6))
+            for key in rng.sample(keys, rng.randint(0, len(keys)))
+        }
+        for _ in range(parts)
+    ]
+    merged = merge_score_maps(maps, aggregate)
+    shuffled = list(maps)
+    rng.shuffle(shuffled)
+    remerged = merge_score_maps(shuffled, aggregate)
+    assert set(merged) == set(remerged)
+    for key in merged:
+        a, b = merged[key], remerged[key]
+        assert a.conf == pytest.approx(b.conf, abs=1e-9)
+        assert (a.score is None) == (b.score is None)
+        if a.score is not None:
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+
+
+def test_shuffled_partition_order_same_contents():
+    plan = MOVIE_ENGINE.prepare(generated_plan(17))
+    split = plan_partitions(plan, MOVIE_DB.catalog)
+    if split is None:
+        pytest.skip("seed 17 produced an unpartitionable plan")
+    serial = evaluate_columnar(plan, MOVIE_DB)
+    # evaluate partitions in a shuffled order and concatenate
+    ranges = partition_ranges(split.leaf_rows, 3)
+    order = list(range(len(ranges)))
+    random.Random(5).shuffle(order)
+    from repro.plan.analysis import node_at_path, replace_at_path
+
+    leaf = node_at_path(split.worker_plan, split.leaf_path)
+    by_index = {}
+    for index in order:
+        lo, hi = ranges[index]
+        sliced = Materialized(
+            leaf.schema(MOVIE_DB.catalog),
+            MOVIE_DB.catalog.table(leaf.name).rows[lo:hi],
+            name=leaf.effective_name,
+        )
+        fragment = replace_at_path(split.worker_plan, split.leaf_path, sliced)
+        by_index[index] = evaluate_columnar(fragment, MOVIE_DB)
+    rows, pairs = [], []
+    for index in range(len(ranges)):
+        part = by_index[index]
+        rows.extend(part.rows)
+        pairs.extend(part.pairs)
+    merged = PRelation(split.worker_plan.schema(MOVIE_DB.catalog), rows, pairs)
+    from repro.core import algebra
+    from repro.filtering import topk
+
+    for node in split.merge_nodes:
+        if isinstance(node, TopK):
+            merged = topk(merged, node.k, node.by)
+        else:
+            merged = algebra.select(merged, node.condition)
+    assert merged.same_contents(serial)
+
+
+# ---------------------------------------------------------------------------
+# Faults, guards, shared memory
+# ---------------------------------------------------------------------------
+
+FAULT_PLAN = TopK(
+    Prefer(
+        Relation("GENRES"),
+        Preference("pf", "GENRES", eq("genre", "Comedy"), 0.8, 0.9),
+    ),
+    3,
+    "score",
+)
+
+
+def test_worker_transient_fault_surfaces_typed():
+    plan = MOVIE_ENGINE.prepare(FAULT_PLAN)
+    with use_faults(FaultPlan.transient(PARTITION_SITE)):
+        with pytest.raises(TransientFault) as excinfo:
+            execute_parallel(plan, MOVIE_DB, F_S, 3)
+    assert excinfo.value.site == PARTITION_SITE
+
+
+def test_worker_corruption_detected():
+    plan = MOVIE_ENGINE.prepare(FAULT_PLAN)
+    with use_faults(FaultPlan.corrupting(PARTITION_SITE)):
+        with pytest.raises(DataCorruption):
+            execute_parallel(plan, MOVIE_DB, F_S, 3)
+
+
+@pytest.mark.parametrize("kind", ["transient", "corrupt"])
+def test_engine_degrades_to_row_on_partition_fault(kind):
+    faults = (
+        FaultPlan.transient(PARTITION_SITE)
+        if kind == "transient"
+        else FaultPlan.corrupting(PARTITION_SITE)
+    )
+    result = MOVIE_ENGINE.run(FAULT_PLAN, "reference", partitions=3, faults=faults)
+    assert result.stats.mode == "row"
+    assert result.stats.degraded
+    assert any("columnar" in failure for failure in result.stats.failures)
+    reference = MOVIE_ENGINE.run(FAULT_PLAN, "reference")
+    assert result.relation.same_contents(reference.relation)
+
+
+def test_precancelled_guard_propagates():
+    token = CancellationToken()
+    token.cancel()
+    plan = MOVIE_ENGINE.prepare(FAULT_PLAN)
+    with use_guard(QueryGuard(token=token)):
+        with pytest.raises(QueryCancelled):
+            execute_parallel(plan, MOVIE_DB, F_S, 3)
+
+
+def test_materialized_leaf_ships_through_shared_memory():
+    schema = Relation("GENRES").schema(MOVIE_DB.catalog)
+    rows = [(i, "Comedy" if i % 2 else "Drama") for i in range(40)]
+    pref = Preference("pm", "GENRES", eq("genre", "Comedy"), 0.8, 0.9)
+    plan = TopK(Prefer(Materialized(schema, rows), pref), 5, "score")
+    serial = evaluate_columnar(plan, MOVIE_DB)
+    parallel, info = execute_parallel(plan, MOVIE_DB, F_S, 4, in_process=False)
+    assert info["mode"] == "columnar-parallel"
+    assert parallel.rows == serial.rows
+    assert parallel.pairs == serial.pairs
+    assert active_segments() == []  # released as soon as the query finished
+
+
+def test_single_partition_degenerates_to_serial():
+    plan = MOVIE_ENGINE.prepare(generated_plan(2))
+    result, info = execute_parallel(plan, MOVIE_DB, F_S, 1)
+    assert info["mode"] == "columnar"
+    serial = evaluate_columnar(plan, MOVIE_DB)
+    assert result.rows == serial.rows
+    assert result.pairs == serial.pairs
+
+
+def test_pool_retired_on_database_mutation():
+    db = build_movie_db()
+    engine = ExecutionEngine(db)
+    plan = engine.prepare(FAULT_PLAN)
+    shutdown_pools()  # isolate the pool count from earlier tests' pools
+    first, info = execute_parallel(plan, db, F_S, 2, in_process=False)
+    assert info["pool"] is True
+    assert active_pools() == 1
+    db.insert("GENRES", (1, "Comedy"))  # bump version: forked rows are stale
+    second, _ = execute_parallel(plan, db, F_S, 2, in_process=False)
+    reference = evaluate_columnar(plan, db)
+    assert second.rows == reference.rows
+    assert second.pairs == reference.pairs

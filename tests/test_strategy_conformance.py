@@ -35,6 +35,7 @@ from repro.workloads.prefgen import (
 )
 from repro.workloads.queries import all_queries
 
+from tests.conformance import canonical_multiset, diff_report
 from tests.conftest import build_movie_db
 
 PHYSICAL = ("gbu", "bu", "ftp", "plugin-rma", "plugin-shared")
@@ -56,15 +57,16 @@ def _trace_of(run, strategy) -> str:
 def _assert_conformant(run, plan_repr: str) -> None:
     """``run(strategy, tracer=None)`` must match the reference for all strategies."""
     reference = run("reference", None)
+    baseline = canonical_multiset(reference)
     for strategy in PHYSICAL:
         result = run(strategy, None)
-        if not result.relation.same_contents(reference.relation):
+        candidate = canonical_multiset(result)
+        if baseline != candidate:
             trace = _trace_of(run, strategy)
             raise AssertionError(
                 f"{strategy} diverged from reference on {plan_repr}\n"
-                f"reference: {len(reference.relation)} rows, "
-                f"{strategy}: {len(result.relation)} rows\n"
-                f"trace of divergent run:\n{trace}"
+                + diff_report(baseline, candidate, ("reference", strategy))
+                + f"\ntrace of divergent run:\n{trace}"
             )
 
 
