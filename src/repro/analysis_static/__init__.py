@@ -1,34 +1,70 @@
 """Static analysis over extended query plans and over the code base itself.
 
-Three layers (see ``docs/STATIC_ANALYSIS.md``):
+Four layers (see ``docs/STATIC_ANALYSIS.md``):
 
 * :mod:`~repro.analysis_static.verifier` — a dataflow pass over plan trees
   that checks the algebraic preconditions of the paper's rewrite properties
   (4.1–4.4) *before* execution: score-filter placement, prefer pushdown
   targets, chain ordering, set-operation compatibility.
+* :mod:`~repro.analysis_static.parallel_verifier` — a dataflow pass over
+  partition splits (``plan_partitions`` output) and the columnar selection
+  pushdown: leaf row-locality, global re-application of the filtering
+  suffix, disjoint-cover partition ranges (PV3xx codes).
 * :mod:`~repro.analysis_static.auditor` — invariant-preservation checks on
-  each (before, after) pair the optimizer produces; the optimizer's strict
+  each (before, after) pair the optimizer (row or columnar) produces; strict
   mode raises :class:`~repro.errors.RewriteViolation` on any failure.
 * :mod:`~repro.analysis_static.lint` — an AST-based checker over the source
   tree (``python -m repro.lint src``) enforcing repo invariants: no raw
   ``==`` on scores, no ⊥-pair literals outside ``scorepair.py``, exhaustive
-  plan-node dispatch, law-checked aggregate registration.
+  plan-node dispatch, law-checked aggregate registration, fork/ambient-state
+  safety in worker-reachable code.
+
+Plus the runtime side of the same catalog:
+:mod:`~repro.analysis_static.sanitizer` — opt-in concurrency instrumentation
+(lock order, COW snapshot discipline, WAL durability protocol; SANxxx codes).
+
+This package init is deliberately lazy (PEP 562): the sanitizer is imported
+from low-level modules (``serve.rwlock``, ``engine.table``) that must not
+drag the verifier — and through it the whole engine — into their import
+graph.  Only ``repro.analysis_static.sanitizer`` itself (which depends on
+nothing but :mod:`~repro.analysis_static.diagnostics`) is safe to import
+from those layers.
 """
 
-from .auditor import RewriteAuditor
-from .diagnostics import CATALOG, Diagnostic, Severity, make_diagnostic
-from .lint import LintFinding, lint_paths, run_lint
-from .verifier import PlanVerifier, verify_plan
+_EXPORTS = {
+    "CATALOG": "diagnostics",
+    "Diagnostic": "diagnostics",
+    "Severity": "diagnostics",
+    "make_diagnostic": "diagnostics",
+    "PlanVerifier": "verifier",
+    "verify_plan": "verifier",
+    "verify_partition_plan": "parallel_verifier",
+    "RewriteAuditor": "auditor",
+    "LintFinding": "lint",
+    "lint_paths": "lint",
+    "run_lint": "lint",
+    "Sanitizer": "sanitizer",
+    "current_sanitizer": "sanitizer",
+    "env_sanitize_enabled": "sanitizer",
+    "use_sanitizer": "sanitizer",
+    "install_sanitizer": "sanitizer",
+    "uninstall_sanitizer": "sanitizer",
+}
 
-__all__ = [
-    "CATALOG",
-    "Diagnostic",
-    "Severity",
-    "make_diagnostic",
-    "PlanVerifier",
-    "verify_plan",
-    "RewriteAuditor",
-    "LintFinding",
-    "lint_paths",
-    "run_lint",
-]
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -7,8 +7,11 @@ documents each code with examples).  Codes are grouped by layer:
 
 * ``PV1xx`` — plan-verifier invariants (Properties 4.1–4.4 preconditions);
 * ``PV2xx`` — informational plan-quality notes emitted by optimizer rules;
+* ``PV3xx`` — partition/columnar plan-verifier invariants (split soundness);
 * ``RWxxx`` — rewrite-auditor invariant-preservation failures;
-* ``LNxxx`` — source-code lint findings.
+* ``LNxxx`` — source-code lint findings (``LN3xx``: fork/ambient-state safety);
+* ``SANxxx`` — concurrency-sanitizer findings (lock order, COW discipline,
+  WAL durability protocol) from :mod:`~repro.analysis_static.sanitizer`.
 """
 
 from __future__ import annotations
@@ -47,6 +50,12 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "PV110": (Severity.WARNING, "score/conf filter over an input that evaluates no preference"),
     # -- optimizer rule notes ------------------------------------------------
     "PV201": (Severity.INFO, "projection pushdown blocked: positional inputs"),
+    "PV202": (Severity.INFO, "plan is not partition-parallelizable; runs as one serial fragment"),
+    # -- partition/columnar plan verifier ------------------------------------
+    "PV301": (Severity.ERROR, "partition leaf path crosses a non-row-local operator"),
+    "PV302": (Severity.ERROR, "filtering suffix mismatch: local cut not re-applied globally"),
+    "PV303": (Severity.ERROR, "partition ranges are not a disjoint contiguous cover of the leaf rows"),
+    "PV304": (Severity.ERROR, "partition split is stale or dangling: leaf path/rows disagree with the plan"),
     # -- rewrite auditor -----------------------------------------------------
     "RW001": (Severity.ERROR, "rewrite introduced new verifier errors"),
     "RW002": (Severity.ERROR, "rewrite changed the plan's output attributes"),
@@ -60,6 +69,19 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "LN104": (Severity.ERROR, "aggregate registry mutated outside register_aggregate"),
     "LN105": (Severity.ERROR, "registered aggregate function violates the algebraic laws"),
     "LN201": (Severity.WARNING, "per-preference prefer loop; use the fused group API (prefer_group/apply_prefer_group)"),
+    "LN301": (Severity.ERROR, "module-state mutation reachable from a worker entry point (fork-unsafe)"),
+    "LN302": (Severity.ERROR, "unknown fault-injection site literal; a typo here silently never fires"),
+    "LN303": (Severity.ERROR, "shared-memory segment created outside the columnar/shm registry"),
+    "LN304": (Severity.ERROR, "ambient ContextVar state read in a worker without an explicit use_* override"),
+    # -- concurrency sanitizer -----------------------------------------------
+    "SAN101": (Severity.ERROR, "lock-order cycle: inconsistent acquisition order can deadlock"),
+    "SAN102": (Severity.ERROR, "re-entrant acquisition of a non-reentrant lock by the same thread"),
+    "SAN103": (Severity.ERROR, "lock released by a thread that does not hold it"),
+    "SAN201": (Severity.ERROR, "write to a snapshot-captured table without a copy-on-write fork"),
+    "SAN202": (Severity.ERROR, "in-place mutation of a snapshot-shared index"),
+    "SAN301": (Severity.ERROR, "WAL LSN discontinuity: records would not replay contiguously"),
+    "SAN302": (Severity.ERROR, "WAL append acknowledged without the promised flush/fsync"),
+    "SAN303": (Severity.ERROR, "concurrent WAL appends without mutual exclusion"),
 }
 
 

@@ -1,0 +1,296 @@
+"""PV3xx: static verification of partition-parallel plan splits.
+
+:func:`repro.pexec.parallel.plan_partitions` rewrites one plan into a
+``(worker_plan, leaf_path, merge_nodes, leaf_rows)`` split whose correctness
+argument has three legs (see that module's docstring).  This pass re-derives
+each leg from the split itself, so a buggy or mutated split is rejected
+*before* workers fan out:
+
+* **PV301** — every operator on the root→leaf path must be row-local for
+  the chosen child (Select/Project/Prefer above child 0, either side of a
+  Join, only the *left* side of a LeftJoin; a worker-side TopK is tolerated
+  only as part of the local-cut discipline checked below).  Crossing
+  anything else means a partition's output rows depend on rows outside its
+  slice, and concatenation is no longer the serial answer.
+* **PV302** — the filtering suffix peeled off the root must be re-applied
+  globally: the driver's ``merge_nodes`` must match the suffix of the
+  original plan operator-for-operator, and any TopK a worker pre-applies as
+  a local candidate cut must reappear in the merge (local-top-k without the
+  global re-cut keeps up to ``partitions × k`` rows).
+* **PV303** — the partition ranges must be a disjoint, contiguous cover of
+  ``[0, leaf_rows)``: a gap silently drops rows, an overlap double-counts
+  score pairs through the merge fold.
+* **PV304** — the split must agree with the plan it claims to come from:
+  the leaf path must land on a Relation/Materialized leaf that exists, and
+  ``leaf_rows`` must equal that leaf's current row count (a stale split
+  re-used across a mutation slices the wrong row range).
+
+A plan that is simply not partitionable is not an error — it degrades to
+serial columnar execution — and reports as the informational **PV202**.
+"""
+
+from __future__ import annotations
+
+from ..plan.nodes import (
+    Join,
+    LeftJoin,
+    Materialized,
+    PlanNode,
+    Prefer,
+    Project,
+    Relation,
+    Select,
+    TopK,
+)
+from .diagnostics import Diagnostic, make_diagnostic
+
+
+def _label(node: PlanNode) -> str:
+    if isinstance(node, TopK):
+        return f"TopK(k={node.k}, by={node.by!r})"
+    if isinstance(node, Select):
+        return f"Select({node.condition!r})"
+    if isinstance(node, (Relation, Materialized)):
+        return f"{type(node).__name__}({getattr(node, 'name', '?')!r})"
+    return type(node).__name__
+
+
+def _peel_suffix(plan: PlanNode) -> tuple[list[PlanNode], PlanNode]:
+    """The root filtering suffix (outermost first) and the region below it."""
+    suffix: list[PlanNode] = []
+    region = plan
+    while True:
+        if isinstance(region, TopK):
+            suffix.append(region)
+            region = region.child
+        elif isinstance(region, Select) and region.condition.references_score():
+            suffix.append(region)
+            region = region.child
+        else:
+            return suffix, region
+
+
+def _same_filter(a: PlanNode, b: PlanNode) -> bool:
+    """Structural equality of two suffix operators, ignoring children."""
+    if isinstance(a, TopK) and isinstance(b, TopK):
+        return a.k == b.k and a.by == b.by
+    if isinstance(a, Select) and isinstance(b, Select):
+        return a.condition == b.condition
+    return False
+
+
+def verify_partition_plan(
+    plan: PlanNode,
+    catalog,
+    *,
+    partitions: int = 2,
+    split=None,
+    ranges=None,
+) -> list[Diagnostic]:
+    """Check one partition split against the plan it was derived from.
+
+    *split* defaults to ``plan_partitions(plan, catalog)`` — pass an
+    explicit :class:`~repro.pexec.parallel.PartitionPlan` to vet a split
+    built elsewhere (or deliberately corrupted, in tests).  *ranges*
+    defaults to ``partition_ranges(split.leaf_rows, partitions)``.
+    Returns the (possibly empty) list of diagnostics; only ``PV202`` among
+    them is informational.
+    """
+    from ..pexec.parallel import partition_ranges, plan_partitions
+
+    if split is None:
+        split = plan_partitions(plan, catalog)
+    if split is None:
+        return [
+            make_diagnostic(
+                "PV202",
+                "plan has no leaf reachable through row-local operators only; "
+                "partition-parallel execution degrades to one serial fragment",
+                _label(plan),
+            )
+        ]
+
+    findings: list[Diagnostic] = []
+
+    # -- the worker-side wrapper and the global merge suffix (PV302) ----------
+    expected_suffix, _region = _peel_suffix(plan)
+    worker_suffix, _worker_region = _peel_suffix(split.worker_plan)
+
+    merge_nodes = list(split.merge_nodes)
+    for node in merge_nodes:
+        if isinstance(node, TopK):
+            continue
+        if isinstance(node, Select) and node.condition.references_score():
+            continue
+        findings.append(
+            make_diagnostic(
+                "PV302",
+                f"merge node {_label(node)} is neither a TopK nor a score/conf "
+                "selection; the driver merge may only re-apply the filtering suffix",
+                _label(node),
+            )
+        )
+
+    # The merge must re-apply the original suffix from the innermost TopK up:
+    # innermost-first, the expected merge is the expected suffix minus the
+    # leading run of score-selects the workers pre-applied exactly.
+    inner_first = list(reversed(expected_suffix))
+    position = 0
+    while position < len(inner_first) and isinstance(inner_first[position], Select):
+        position += 1
+    expected_merge = inner_first[position:]
+    if len(merge_nodes) != len(expected_merge) or not all(
+        _same_filter(got, want) for got, want in zip(merge_nodes, expected_merge)
+    ):
+        findings.append(
+            make_diagnostic(
+                "PV302",
+                "driver merge suffix "
+                f"[{', '.join(_label(n) for n in merge_nodes)}] does not re-apply "
+                "the plan's filtering suffix "
+                f"[{', '.join(_label(n) for n in expected_merge)}] globally",
+                _label(plan),
+            )
+        )
+
+    # Worker-side pre-applied filters: any TopK a worker runs as a local cut
+    # is exact only because the same TopK is re-applied over the concatenated
+    # candidates; a worker TopK missing from the merge under-collects.
+    seen_topk = False
+    for node in worker_suffix:
+        if isinstance(node, TopK):
+            if seen_topk:
+                findings.append(
+                    make_diagnostic(
+                        "PV302",
+                        f"worker fragment stacks a second local cut {_label(node)}; "
+                        "only the innermost TopK is an exact local prefilter",
+                        _label(node),
+                    )
+                )
+            seen_topk = True
+            if not any(
+                isinstance(m, TopK) and _same_filter(m, node) for m in merge_nodes
+            ):
+                findings.append(
+                    make_diagnostic(
+                        "PV302",
+                        f"worker fragment pre-applies {_label(node)} as a local "
+                        "candidate cut but the driver merge never re-applies it "
+                        "globally; partitions would return up to partitions×k rows",
+                        _label(node),
+                    )
+                )
+
+    # -- leaf-path row-locality (PV301) and split consistency (PV304) ---------
+    leaf = _walk_leaf_path(split.worker_plan, split.leaf_path, findings)
+    if leaf is not None:
+        actual_rows = _leaf_row_count(leaf, catalog, findings)
+        if actual_rows is not None and actual_rows != split.leaf_rows:
+            findings.append(
+                make_diagnostic(
+                    "PV304",
+                    f"split records leaf_rows={split.leaf_rows} but the leaf "
+                    f"{_label(leaf)} currently holds {actual_rows} rows; a stale "
+                    "split slices the wrong row ranges",
+                    _label(leaf),
+                )
+            )
+
+    # -- partition ranges: disjoint contiguous cover (PV303) -------------------
+    if ranges is None:
+        ranges = partition_ranges(split.leaf_rows, partitions)
+    _check_ranges(list(ranges), split.leaf_rows, findings)
+
+    return findings
+
+
+def _walk_leaf_path(worker_plan: PlanNode, leaf_path, findings) -> PlanNode | None:
+    node = worker_plan
+    for depth, child_index in enumerate(leaf_path):
+        children = node.children()
+        if child_index >= len(children):
+            findings.append(
+                make_diagnostic(
+                    "PV304",
+                    f"leaf path {tuple(leaf_path)} is dangling: {_label(node)} has "
+                    f"{len(children)} children but step {depth} asks for child "
+                    f"{child_index}",
+                    _label(node),
+                )
+            )
+            return None
+        if isinstance(node, (Select, Project, Prefer, TopK)):
+            ok = child_index == 0
+        elif isinstance(node, Join):
+            ok = child_index in (0, 1)
+        elif isinstance(node, LeftJoin):
+            ok = child_index == 0
+        else:
+            ok = False
+        if not ok:
+            findings.append(
+                make_diagnostic(
+                    "PV301",
+                    f"leaf path crosses {_label(node)} through child {child_index}, "
+                    "which is not row-local: a partition's output there depends on "
+                    "rows outside its slice",
+                    _label(node),
+                )
+            )
+            return None
+        node = children[child_index]
+    if not isinstance(node, (Relation, Materialized)):
+        findings.append(
+            make_diagnostic(
+                "PV304",
+                f"leaf path ends at {_label(node)}, not a Relation/Materialized "
+                "leaf; there is no row storage to slice",
+                _label(node),
+            )
+        )
+        return None
+    return node
+
+
+def _leaf_row_count(leaf: PlanNode, catalog, findings) -> int | None:
+    if isinstance(leaf, Materialized):
+        return len(leaf.rows)
+    if catalog.has_table(leaf.name):
+        return len(catalog.table(leaf.name))
+    findings.append(
+        make_diagnostic(
+            "PV304",
+            f"partitioned leaf names table {leaf.name!r} which does not exist "
+            "in this catalog; the split was built against different state",
+            _label(leaf),
+        )
+    )
+    return None
+
+
+def _check_ranges(ranges, leaf_rows: int, findings) -> None:
+    expected_low = 0
+    for index, bounds in enumerate(ranges):
+        low, high = bounds
+        if low != expected_low or high < low:
+            findings.append(
+                make_diagnostic(
+                    "PV303",
+                    f"partition {index} covers [{low}, {high}) but the cover so far "
+                    f"ends at {expected_low}: "
+                    + ("rows are dropped" if low > expected_low else "rows are duplicated"),
+                    f"partition:{index}",
+                )
+            )
+            return
+        expected_low = high
+    if expected_low != leaf_rows:
+        findings.append(
+            make_diagnostic(
+                "PV303",
+                f"partition ranges cover [0, {expected_low}) but the leaf holds "
+                f"{leaf_rows} rows; the tail is never scanned",
+                f"partitions:{len(ranges)}",
+            )
+        )

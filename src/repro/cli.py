@@ -144,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale of the generated database when --db is not given",
     )
     verify.add_argument(
+        "--columnar",
+        action="store_true",
+        help="also audit the columnar selection-pushdown rewrite per plan",
+    )
+    verify.add_argument(
+        "--partitions",
+        type=int,
+        help="also verify the N-way partition-parallel split (PV3xx checks)",
+    )
+    verify.add_argument(
         "sql", nargs="?", help="ad-hoc preferential SQL to verify instead"
     )
 
@@ -181,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--queries", type=int, default=8,
         help="queries per reader for --scenario concurrent (default 8)",
+    )
+    chaos.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the concurrency sanitizer; any SANxxx finding fails "
+        "the run (also enabled by REPRO_SANITIZE=1)",
     )
 
     serve_bench = commands.add_parser(
@@ -474,7 +490,11 @@ def _verify_plan(args) -> int:
 
     def check(name: str, session: Session, sql: str) -> None:
         nonlocal failures
-        report(name, "parsed", session.verify(sql))
+        report(
+            name,
+            "parsed",
+            session.verify(sql, columnar=args.columnar, partitions=args.partitions),
+        )
         try:
             report(name, "optimized", session.verify(sql, optimized=True))
         except RewriteViolation as violation:
@@ -529,7 +549,12 @@ def _chaos(args) -> int:
             )
         scenarios = [s for s in scenarios if s.name.lower() in wanted]
     if run_classic:
-        report = run_chaos(seed=args.seed, scale=args.scale, scenarios=scenarios)
+        report = run_chaos(
+            seed=args.seed,
+            scale=args.scale,
+            scenarios=scenarios,
+            sanitize=args.sanitize or None,
+        )
         print(report.describe())
         if not report.ok:
             status = 1
@@ -554,6 +579,7 @@ def _concurrent_chaos(args) -> bool:
         writers=args.writers,
         readers=args.readers,
         queries_per_reader=args.queries,
+        sanitize=args.sanitize or None,
     )
     print(report.describe())
     print()

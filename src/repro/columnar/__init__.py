@@ -20,13 +20,14 @@ Partition-parallel execution over this core lives in
 """
 
 from .column import ColumnStore, ColumnarRelation, column_store_for
-from .executor import evaluate_columnar, push_selections
+from .executor import audited_push_selections, evaluate_columnar, push_selections
 from .vectorized import selection_vector
 
 __all__ = [
     "ColumnStore",
     "ColumnarRelation",
     "column_store_for",
+    "audited_push_selections",
     "evaluate_columnar",
     "push_selections",
     "selection_vector",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..analysis_static.sanitizer import current_sanitizer
 from ..plan.nodes import PlanNode
 from ..serve.rwlock import RWLock
 from ..errors import CatalogError
@@ -47,7 +48,7 @@ class Database:
         #: :func:`repro.columnar.column.column_store_for`).  Snapshots get a
         #: fresh dict, so cached columns never alias across versions.
         self.columnar_cache: dict = {}
-        self._rwlock = RWLock()
+        self._rwlock = RWLock("db.rwlock")
         #: Table keys captured by at least one live snapshot and not yet
         #: forked; the first post-snapshot write forks them (copy-on-write).
         self._cow: set[str] = set()
@@ -78,6 +79,17 @@ class Database:
                 table.freeze()
                 shared.add(table.name.lower())
             self._cow = shared
+            sanitizer = current_sanitizer()
+            if sanitizer.enabled:
+                # Register the exact objects the snapshot will share: any
+                # later in-place write to one of them is a COW violation.
+                tables = list(self.catalog.tables())
+                indexes = [
+                    index
+                    for table in tables
+                    for index in self.catalog.indexes_on(table.name)
+                ]
+                sanitizer.snapshot_captured(tables, indexes)
             snap = Database()
             snap.catalog = self.catalog.fork()
             snap.version = self.version

@@ -11,6 +11,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, Sequence
 
+from ..analysis_static.sanitizer import current_sanitizer
 from ..errors import CatalogError
 from .table import Row, Table
 
@@ -71,6 +72,9 @@ class HashIndex(Index):
         return self._buckets.get(key, [])
 
     def add(self, row: Row) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.index_mutated(self)
         self._buckets.setdefault(self.key_of(row), []).append(row)
 
     def distinct_keys(self) -> int:
@@ -110,6 +114,9 @@ class OrderedIndex(Index):
         return self._rows[lo:hi]
 
     def add(self, row: Row) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.index_mutated(self)
         key = self.key_of(row)
         if not self._key_is_indexable(key):
             return  # NULL keys are not stored (see class docstring)

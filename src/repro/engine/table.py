@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from ..analysis_static.sanitizer import current_sanitizer
 from ..errors import CatalogError, SchemaError, TypeError_
 from .schema import TableSchema
 
@@ -72,6 +73,11 @@ class Table:
                 f"table {self.name} is frozen (captured by a snapshot); "
                 "write through Database for copy-on-write semantics"
             )
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            # Past the freeze gate: if a snapshot captured this exact object
+            # the write corrupts it even though _frozen was (buggily) clear.
+            sanitizer.table_written(self)
         row = self._coerce(values)
         if self._pk_indexes:
             key = tuple(row[i] for i in self._pk_indexes)

@@ -442,7 +442,8 @@ class ExecutionEngine:
             span.set("requested_partitions", partitions)
             try:
                 result, info = execute_parallel(
-                    widened, self.db, self.aggregate, partitions
+                    widened, self.db, self.aggregate, partitions,
+                    strict=self.strict,
                 )
             except ColumnarUnsupported as err:
                 span.set("fallback", "unsupported")

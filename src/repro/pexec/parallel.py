@@ -42,9 +42,10 @@ import atexit
 import math
 import multiprocessing
 import os
+import weakref
 from dataclasses import dataclass
 
-from ..columnar import evaluate_columnar, push_selections
+from ..columnar import audited_push_selections, evaluate_columnar
 from ..columnar import shm
 from ..core.aggregates import F_S, AggregateFunction
 from ..core.prefgroup import ensure_fold_safe
@@ -103,11 +104,14 @@ class PartitionPlan:
     leaf_rows: int
 
 
-def plan_partitions(plan: PlanNode, catalog) -> PartitionPlan | None:
+def plan_partitions(plan: PlanNode, catalog, *, strict: bool = False) -> PartitionPlan | None:
     """Split *plan* for partition-parallel execution, or ``None``.
 
     ``None`` means "not partitionable" — a plain capability miss (the
     caller degrades to serial columnar execution, which is always exact).
+    The selection pushdown performed on the region goes through the same
+    audit discipline as every other rewrite (*strict* raises
+    :class:`~repro.errors.RewriteViolation` on an audit failure).
     """
     # 1. Peel the filtering suffix off the root: TopK nodes and selections
     #    over score/conf.  Everything below is the region.
@@ -140,7 +144,7 @@ def plan_partitions(plan: PlanNode, catalog) -> PartitionPlan | None:
     #    the workers' own pushdown would redo the identical (exact) rewrite
     #    per partition, and hoisting below wants filters already inside the
     #    subtrees it materializes.
-    region = push_selections(region, catalog)
+    region = audited_push_selections(region, catalog, strict=strict)
 
     # 4. Find candidate leaves reachable through row-local operators only.
     candidates = _partitionable_leaves(region, ())
@@ -272,8 +276,12 @@ def merge_score_maps(
 # Worker pool management
 # ---------------------------------------------------------------------------
 
-#: Live pools keyed by ``(id(db), db.version, workers)``.
-_POOLS: dict[tuple[int, int, int], object] = {}
+#: Live pools keyed by ``(id(db), db.version, workers)``.  Each entry pins a
+#: ``weakref.ref`` to the owning database: ``id()`` alone is not an identity
+#: — CPython recycles addresses, so a collected database and its successor
+#: can share one, and an unvalidated hit would hand back a pool whose forked
+#: children still hold (and serve rows from) the *dead* database.
+_POOLS: dict[tuple[int, int, int], "tuple[object, weakref.ref]"] = {}
 
 #: The database the *next* fork inherits (workers read it as a global).
 _WORKER_DB = None
@@ -299,23 +307,38 @@ def _pool_for(db, workers: int):
     """
     global _WORKER_DB
     key = (id(db), db.version, workers)
-    pool = _POOLS.get(key)
-    if pool is not None:
-        return pool
-    for stale_key in [k for k in _POOLS if k[0] == id(db)]:
-        stale = _POOLS.pop(stale_key)
+    entry = _POOLS.get(key)
+    if entry is not None:
+        pool, owner = entry
+        if owner() is db:
+            return pool
+        # id() recycled: the key's database was collected and *db* happens
+        # to live at the same address with the same version.  The cached
+        # pool's children were forked from the dead database and would
+        # serve its rows — retire it and fork fresh.
+        _POOLS.pop(key)
+        pool.terminate()
+        pool.join()
+    # Retire pools for prior versions of this database and pools whose
+    # owning database has been collected (a serving layer snapshotting
+    # freely would otherwise accumulate one orphaned pool per dead
+    # snapshot until process exit).
+    for stale_key in [
+        k for k, (_, ref) in _POOLS.items() if k[0] == id(db) or ref() is None
+    ]:
+        stale, _ = _POOLS.pop(stale_key)
         stale.terminate()
         stale.join()
     _WORKER_DB = db
     context = multiprocessing.get_context("fork")
     pool = context.Pool(processes=workers)
-    _POOLS[key] = pool
+    _POOLS[key] = (pool, weakref.ref(db))
     return pool
 
 
 def shutdown_pools() -> None:
     """Terminate and reap every worker pool; release shared memory."""
-    for pool in list(_POOLS.values()):
+    for pool, _ in list(_POOLS.values()):
         pool.terminate()
         pool.join()
     _POOLS.clear()
@@ -391,6 +414,33 @@ def _rebuild_error(name: str, message: str, site: str | None) -> ReproError:
 # ---------------------------------------------------------------------------
 
 
+def _audit_split(plan, split, catalog, partitions: int, strict: bool) -> None:
+    """Run the PV3xx partition verifier over a fresh split, rule-style.
+
+    Mirrors the optimizer's per-rule audit: findings land on an
+    ``optimize.rule`` span (label ``plan_partitions``), error findings bump
+    ``optimizer.rewrite_violation``, and *strict* raises
+    :class:`~repro.errors.RewriteViolation` before any worker fans out.
+    """
+    from ..analysis_static.diagnostics import Severity
+    from ..analysis_static.parallel_verifier import verify_partition_plan
+    from ..errors import RewriteViolation
+
+    tracer = current_tracer()
+    with tracer.span("optimize.rule", label="plan_partitions") as span:
+        findings = verify_partition_plan(
+            plan, catalog, partitions=partitions, split=split
+        )
+        span.set("fired", True)
+        if findings:
+            span.set("diagnostics", [str(d) for d in findings])
+            violations = [d for d in findings if d.severity is Severity.ERROR]
+            if violations:
+                tracer.count("optimizer.rewrite_violation", len(violations))
+                if strict:
+                    raise RewriteViolation("plan_partitions", violations)
+
+
 def execute_parallel(
     plan: PlanNode,
     db,
@@ -398,6 +448,7 @@ def execute_parallel(
     partitions: int = 1,
     *,
     in_process: bool | None = None,
+    strict: bool = False,
 ) -> tuple[PRelation, dict]:
     """Evaluate *plan* columnar-wise over *partitions* horizontal splits.
 
@@ -412,8 +463,10 @@ def execute_parallel(
     """
     info: dict = {"mode": "columnar", "partitions": 1, "partitionable": False}
     if partitions > 1:
-        split = plan_partitions(plan, db.catalog)
+        split = plan_partitions(plan, db.catalog, strict=strict)
         if split is not None:
+            if strict or current_tracer().enabled:
+                _audit_split(plan, split, db.catalog, partitions, strict)
             ensure_fold_safe(aggregate)
             ranges = partition_ranges(split.leaf_rows, partitions)
             if len(ranges) > 1:
@@ -426,7 +479,7 @@ def execute_parallel(
                     split, ranges, db, aggregate, info, in_process
                 )
             info["partitionable"] = True
-    return evaluate_columnar(plan, db, aggregate), info
+    return evaluate_columnar(plan, db, aggregate, strict=strict), info
 
 
 def _execute_partitions(

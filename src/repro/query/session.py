@@ -171,7 +171,12 @@ class Session:
         return result
 
     def verify(
-        self, query: "str | PlanNode | PreferentialQuery", *, optimized: bool = False
+        self,
+        query: "str | PlanNode | PreferentialQuery",
+        *,
+        optimized: bool = False,
+        columnar: bool = False,
+        partitions: int | None = None,
     ):
         """Statically verify a query's plan; returns a list of diagnostics.
 
@@ -183,6 +188,12 @@ class Session:
         additionally checks prefer-chain ordering (Property 4.3's
         cheapest-first heuristic) — user-written plans are exempt from that
         check because the paper lets users write chains in any order.
+
+        ``columnar=True`` additionally audits the columnar selection
+        pushdown rewrite (RWxxx findings, exactly like optimizer rules);
+        *partitions* runs the PV3xx partition-split verifier for that
+        partition count — the same checks the strict engine applies before
+        fanning workers out.
         """
         from ..analysis_static import verify_plan
 
@@ -192,12 +203,33 @@ class Session:
         prepared = self.engine.prepare(plan)
         if optimized:
             prepared = self.engine.optimizer.optimize(prepared)
-        return verify_plan(
+        findings = verify_plan(
             prepared,
             self.db.catalog,
             ordered_chains=optimized,
             default_aggregate=self.engine.aggregate,
         )
+        if columnar or partitions:
+            from ..analysis_static import RewriteAuditor
+            from ..columnar import push_selections
+
+            pushed = push_selections(prepared, self.db.catalog)
+            if pushed != prepared:
+                auditor = RewriteAuditor(
+                    self.db.catalog, default_aggregate=self.engine.aggregate
+                )
+                findings.extend(
+                    auditor.audit("columnar.push_selections", prepared, pushed)
+                )
+        if partitions:
+            from ..analysis_static import verify_partition_plan
+
+            findings.extend(
+                verify_partition_plan(
+                    prepared, self.db.catalog, partitions=partitions
+                )
+            )
+        return findings
 
     def explain(self, query: "str | PlanNode | PreferentialQuery", strategy: str | None = None) -> str:
         """EXPLAIN: the parsed extended plan and the plan the strategy runs.

@@ -172,6 +172,7 @@ def run_chaos(
     scale: float = 0.001,
     scenarios: list[ChaosScenario] | None = None,
     strategies=None,
+    sanitize: bool | None = None,
 ) -> ChaosReport:
     """Run every scenario × workload query × strategy; return the report.
 
@@ -184,10 +185,15 @@ def run_chaos(
     * **fallback** — same plan under a ``ResiliencePolicy`` (instant
       backoff).  Conformant when the answer matches the oracle and, if any
       failure was actually injected, the stats say ``degraded=True``.
+
+    *sanitize* runs the whole sweep under a fresh concurrency sanitizer
+    (:mod:`repro.analysis_static.sanitizer`); any SANxxx finding becomes a
+    failing ``sanitizer`` cell.  Defaults to the ``REPRO_SANITIZE``
+    environment switch, so the CI sanitize job needs no code changes here.
     """
+    from ..analysis_static.sanitizer import env_sanitize_enabled, use_sanitizer
     from ..pexec.engine import STRATEGIES
     from ..workloads.imdb import generate_imdb
-    from ..workloads.queries import imdb_queries
 
     if scenarios is None:
         scenarios = builtin_scenarios()
@@ -195,6 +201,31 @@ def run_chaos(
         strategies = STRATEGIES
     db = generate_imdb(scale=scale, seed=seed)
     report = ChaosReport(seed=seed, scale=scale)
+    if sanitize is None:
+        sanitize = env_sanitize_enabled()
+    if sanitize:
+        with use_sanitizer() as sanitizer:
+            _run_all_cells(report, db, scenarios, strategies, seed)
+        for diagnostic in sanitizer.findings:
+            report.cells.append(
+                ChaosCell(
+                    "sanitizer",
+                    "-",
+                    "-",
+                    "strict",
+                    f"sanitizer:{diagnostic.code}",
+                    ok=False,
+                    detail=str(diagnostic),
+                )
+            )
+    else:
+        _run_all_cells(report, db, scenarios, strategies, seed)
+    return report
+
+
+def _run_all_cells(report, db, scenarios, strategies, seed) -> None:
+    from ..workloads.queries import imdb_queries
+
     for query in imdb_queries():
         session = query.session(db)
         oracle = _triples(session.execute(query.sql, strategy="reference"))
@@ -206,7 +237,6 @@ def run_chaos(
                 report.cells.append(
                     _fallback_cell(session, query, strategy, scenario, seed, oracle)
                 )
-    return report
 
 
 def _strict_cell(session, query, strategy, scenario, seed, oracle) -> ChaosCell:

@@ -183,6 +183,7 @@ def run_concurrent_chaos(
     readers: int = 4,
     queries_per_reader: int = 8,
     strategies=None,
+    sanitize: bool | None = None,
 ) -> ConcurrentChaosReport:
     """N writers mutate the live server while M readers must stay exact.
 
@@ -194,8 +195,32 @@ def run_concurrent_chaos(
     cells must recover the oracle answer.  Reader tasks are admitted
     through a :class:`~repro.serve.executor.ServeExecutor`, so the run also
     exercises admission accounting and cross-thread guard/tracer capture.
+
+    *sanitize* (default: the ``REPRO_SANITIZE`` environment switch) runs
+    the whole scenario under a fresh concurrency sanitizer — this is the
+    run where lock-order and COW findings would actually appear, since all
+    threads hammer one server; any SANxxx finding lands in
+    ``report.errors`` and fails the run.
     """
+    from ..analysis_static.sanitizer import env_sanitize_enabled, use_sanitizer
     from ..pexec.engine import STRATEGIES
+
+    if sanitize is None:
+        sanitize = env_sanitize_enabled()
+    if sanitize:
+        with use_sanitizer() as sanitizer:
+            report = run_concurrent_chaos(
+                seed=seed,
+                scale=scale,
+                writers=writers,
+                readers=readers,
+                queries_per_reader=queries_per_reader,
+                strategies=strategies,
+                sanitize=False,
+            )
+        for diagnostic in sanitizer.findings:
+            report.errors.append(f"sanitizer: {diagnostic}")
+        return report
     from ..serve.executor import ServeExecutor
     from ..serve.server import PreferenceServer
     from ..workloads.imdb import generate_imdb

@@ -45,6 +45,25 @@ from ..errors import TransientFault
 
 KINDS = ("transient", "latency", "corrupt")
 
+#: Every fault site the source tree instruments, by exact name.  The static
+#: lint's LN302 rule validates fault-site string literals (constructor args,
+#: ``site=`` keywords, ``*_SITE`` constants) against this registry: a typo'd
+#: site name silently never fires, which is exactly the class of bug a
+#: passing chaos suite cannot distinguish from genuine robustness.  A
+#: ``prefix*`` pattern is valid when it matches at least one entry.
+KNOWN_SITES = (
+    "iosim.scan",
+    "native.dispatch",
+    "strategy.gbu",
+    "strategy.bu",
+    "strategy.ftp",
+    "strategy.plugin",
+    "strategy.reference",
+    "strategy.columnar",
+    "pexec.scores",
+    "pexec.partition",
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:

@@ -8,15 +8,22 @@ waiting, new readers queue behind it.
 The lock is deliberately *not* reentrant — the code it guards is structured
 so that a locked public method only ever calls unlocked internals
 (re-acquiring from the same thread would deadlock, which the stress suite
-would catch immediately).  This module has no dependencies on the rest of
-the package so :mod:`repro.engine` and :mod:`repro.query` can import it
-without cycles.
+would catch immediately — and which the concurrency sanitizer reports as
+SAN102 *before* the hang).  This module depends only on
+:mod:`repro.analysis_static.sanitizer` (itself dependency-free) so
+:mod:`repro.engine` and :mod:`repro.query` can import it without cycles.
+
+Every acquire/release feeds the ambient sanitizer when one is installed
+(``REPRO_SANITIZE=1``); the default is a no-op behind one attribute check,
+mirroring the tracer's zero-overhead discipline.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from threading import Condition
+
+from ..analysis_static.sanitizer import current_sanitizer
 
 
 class RWLock:
@@ -30,23 +37,33 @@ class RWLock:
             ...  # exactly one writer, no readers
     """
 
-    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting", "name")
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "rwlock") -> None:
         self._cond = Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        #: Role label used by sanitizer diagnostics ("db.rwlock", ...).
+        self.name = name
 
     # -- shared side -----------------------------------------------------------
 
     def acquire_read(self) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.lock_acquiring(self, "read", self.name)
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if sanitizer.enabled:
+            sanitizer.lock_acquired(self, "read")
 
     def release_read(self) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.lock_released(self, "read")
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
@@ -55,6 +72,9 @@ class RWLock:
     # -- exclusive side ----------------------------------------------------------
 
     def acquire_write(self) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.lock_acquiring(self, "write", self.name)
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -63,8 +83,13 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        if sanitizer.enabled:
+            sanitizer.lock_acquired(self, "write")
 
     def release_write(self) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.lock_released(self, "write")
         with self._cond:
             self._writer = False
             self._cond.notify_all()

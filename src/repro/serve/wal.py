@@ -35,6 +35,7 @@ import os
 from dataclasses import dataclass, field
 from threading import Lock
 
+from ..analysis_static.sanitizer import current_sanitizer
 from ..errors import DataCorruption
 from .codec import canonical_json
 
@@ -210,13 +211,27 @@ class PreferenceWAL:
         """
         with self._lock:
             record = WalRecord(self._lsn + 1, op, dict(payload))
+            sanitizer = current_sanitizer()
+            if sanitizer.enabled:
+                sanitizer.wal_append_begin(self, record.lsn)
             handle = self._ensure_handle()
             handle.write(record.encode())
             handle.flush()
+            if sanitizer.enabled:
+                sanitizer.wal_flushed(self)
             if self.sync:
-                os.fsync(handle.fileno())
+                self._fsync(handle)
             self._lsn = record.lsn
+            if sanitizer.enabled:
+                sanitizer.wal_append_end(self, record.lsn, self.sync)
             return record
+
+    def _fsync(self, handle) -> None:
+        """The durability point of one sync-mode append (sanitizer-visible)."""
+        os.fsync(handle.fileno())
+        sanitizer = current_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.wal_synced(self)
 
     def _ensure_handle(self):
         if self._handle is None:
@@ -243,6 +258,9 @@ class PreferenceWAL:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self.path)
+            sanitizer = current_sanitizer()
+            if sanitizer.enabled:
+                sanitizer.wal_reset(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PreferenceWAL({self.path!r}, lsn={self._lsn}, sync={self.sync})"

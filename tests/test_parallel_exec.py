@@ -370,3 +370,70 @@ def test_pool_retired_on_database_mutation():
     reference = evaluate_columnar(plan, db)
     assert second.rows == reference.rows
     assert second.pairs == reference.pairs
+
+
+class _StubPool:
+    """Records the terminate/join a retired cache entry must receive."""
+
+    def __init__(self):
+        self.terminated = False
+        self.joined = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        self.joined = True
+
+
+def test_pool_aliased_by_id_reuse_is_retired():
+    # Regression: _POOLS was keyed by (id(db), version, workers) with no
+    # reference to the database itself.  Once the owner was collected,
+    # CPython could hand a new database the same address — and a cache hit
+    # then returned a pool whose forked children still held (and served
+    # rows from) the *dead* database.  The cache now pins a weakref and
+    # validates identity on every hit.
+    import weakref
+
+    from repro.pexec import parallel as parallel_module
+
+    db = build_movie_db()
+    impostor = build_movie_db()  # stands in for the prior owner of the address
+    shutdown_pools()
+    stub = _StubPool()
+    key = (id(db), db.version, 2)
+    parallel_module._POOLS[key] = (stub, weakref.ref(impostor))
+    try:
+        pool = parallel_module._pool_for(db, 2)
+        assert pool is not stub  # the aliased pool must never be reused
+        assert stub.terminated and stub.joined  # ...and is reaped, not leaked
+        assert parallel_module._POOLS[key][1]() is db
+    finally:
+        shutdown_pools()
+
+
+def test_orphaned_pools_are_swept():
+    # Companion leak fix: a pool whose owning database has been collected
+    # (weakref dead) is reaped on the next pool request instead of
+    # surviving until the atexit hook.
+    import gc
+    import weakref
+
+    from repro.pexec import parallel as parallel_module
+
+    shutdown_pools()
+    stub = _StubPool()
+    doomed = build_movie_db()
+    parallel_module._POOLS[(id(doomed), doomed.version, 2)] = (
+        stub,
+        weakref.ref(doomed),
+    )
+    del doomed
+    gc.collect()
+    live = build_movie_db()
+    try:
+        parallel_module._pool_for(live, 2)
+        assert stub.terminated and stub.joined
+        assert active_pools() == 1
+    finally:
+        shutdown_pools()

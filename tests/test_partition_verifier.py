@@ -1,0 +1,175 @@
+"""PV3xx: the partition-split verifier re-derives what the planner promised.
+
+The positive sweep runs every Table-II workload query at partition counts
+{1, 2, 3, 8} and expects a verifier-silent split — the same property the
+strict engine enforces before fanning workers out.  The negative tests
+corrupt a genuine split one invariant at a time and expect the exact code:
+
+* PV301 — the partitioned leaf is reached through a non-row-local edge
+  (the right side of a LeftJoin, whose NULL padding is global).
+* PV302 — the driver's merge suffix is not the filtering suffix of the
+  original plan (dropped TopK / wrong k).
+* PV303 — the partition ranges are not a disjoint contiguous cover.
+* PV304 — the split is stale or dangling (leaf_rows mismatch, dead path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis_static import verify_partition_plan
+from repro.analysis_static.diagnostics import Severity
+from repro.engine.expressions import Attr, Comparison
+from repro.errors import RewriteViolation
+from repro.pexec.parallel import (
+    PartitionPlan,
+    _audit_split,
+    partition_ranges,
+    plan_partitions,
+)
+from repro.plan.nodes import LeftJoin, Relation, Union
+from repro.workloads import all_queries
+
+PARTITION_COUNTS = (1, 2, 3, 8)
+
+
+def _split_for(session, sql, catalog):
+    query = session.compile(sql)
+    prepared = session.engine.prepare(query.plan)
+    split = plan_partitions(prepared, catalog)
+    assert split is not None, "workload query must be partitionable"
+    return prepared, split
+
+
+@pytest.fixture(scope="module")
+def workload_sessions(imdb_tiny, dblp_tiny):
+    databases = {"imdb": imdb_tiny, "dblp": dblp_tiny}
+    return [(query, query.session(databases[query.dataset])) for query in all_queries()]
+
+
+class TestPositiveSweep:
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    def test_all_workload_queries_verify_clean(self, workload_sessions, partitions):
+        for query, session in workload_sessions:
+            findings = session.verify(
+                query.sql, columnar=True, partitions=partitions
+            )
+            errors = [f for f in findings if f.severity is Severity.ERROR]
+            assert not errors, f"{query.name} @ {partitions}: {errors}"
+
+    def test_ranges_are_disjoint_contiguous_cover(self):
+        for total in (0, 1, 5, 17, 100):
+            for parts in PARTITION_COUNTS:
+                ranges = partition_ranges(total, parts)
+                position = 0
+                for lo, hi in ranges:
+                    assert lo == position and hi >= lo
+                    position = hi
+                assert position == total
+
+
+class TestMutatedSplits:
+    @pytest.fixture()
+    def genuine(self, imdb_tiny):
+        query = next(q for q in all_queries() if q.dataset == "imdb")
+        session = query.session(imdb_tiny)
+        prepared, split = _split_for(session, query.sql, imdb_tiny.catalog)
+        return imdb_tiny, prepared, split
+
+    def test_genuine_split_is_clean(self, genuine):
+        db, prepared, split = genuine
+        assert verify_partition_plan(prepared, db.catalog, split=split) == []
+
+    def test_dropped_merge_suffix_is_pv302(self, genuine):
+        db, prepared, split = genuine
+        mutated = PartitionPlan(
+            split.worker_plan, split.leaf_path, (), split.leaf_rows
+        )
+        findings = verify_partition_plan(prepared, db.catalog, split=mutated)
+        assert "PV302" in [f.code for f in findings]
+
+    def test_stale_leaf_rows_is_pv304(self, genuine):
+        db, prepared, split = genuine
+        mutated = PartitionPlan(
+            split.worker_plan, split.leaf_path, split.merge_nodes,
+            split.leaf_rows + 5,
+        )
+        findings = verify_partition_plan(prepared, db.catalog, split=mutated)
+        assert "PV304" in [f.code for f in findings]
+
+    def test_dangling_leaf_path_is_pv304(self, genuine):
+        db, prepared, split = genuine
+        mutated = PartitionPlan(
+            split.worker_plan, split.leaf_path + (4,), split.merge_nodes,
+            split.leaf_rows,
+        )
+        findings = verify_partition_plan(prepared, db.catalog, split=mutated)
+        assert "PV304" in [f.code for f in findings]
+
+    def test_overlapping_ranges_are_pv303(self, genuine):
+        db, prepared, split = genuine
+        bad = [(0, 10), (5, split.leaf_rows)]
+        findings = verify_partition_plan(
+            prepared, db.catalog, split=split, ranges=bad
+        )
+        assert "PV303" in [f.code for f in findings]
+
+    def test_range_gap_is_pv303(self, genuine):
+        db, prepared, split = genuine
+        bad = [(0, 10), (12, split.leaf_rows)]
+        findings = verify_partition_plan(
+            prepared, db.catalog, split=split, ranges=bad
+        )
+        assert "PV303" in [f.code for f in findings]
+
+    def test_leftjoin_right_side_leaf_is_pv301(self, movie_db):
+        condition = Comparison("=", Attr("MOVIES.m_id"), Attr("GENRES.m_id"))
+        plan = LeftJoin(Relation("MOVIES"), Relation("GENRES"), condition)
+        rows = len(movie_db.catalog.table("GENRES").rows)
+        # Partitioning the RIGHT side of a left join is wrong: NULL padding
+        # of unmatched left rows is decided against the whole right input.
+        bad = PartitionPlan(plan, (1,), (), rows)
+        findings = verify_partition_plan(plan, movie_db.catalog, split=bad)
+        assert [f.code for f in findings] == ["PV301"]
+
+    def test_planner_chooses_left_side(self, movie_db):
+        condition = Comparison("=", Attr("MOVIES.m_id"), Attr("GENRES.m_id"))
+        plan = LeftJoin(Relation("MOVIES"), Relation("GENRES"), condition)
+        split = plan_partitions(plan, movie_db.catalog)
+        assert split is not None and split.leaf_path == (0,)
+        assert verify_partition_plan(plan, movie_db.catalog, split=split) == []
+
+    def test_unpartitionable_plan_is_pv202_info(self, movie_db):
+        plan = Union(Relation("MOVIES"), Relation("MOVIES"))
+        findings = verify_partition_plan(plan, movie_db.catalog)
+        assert [f.code for f in findings] == ["PV202"]
+        assert findings[0].severity is Severity.INFO
+
+
+class TestStrictRejection:
+    def test_audit_split_raises_rewrite_violation(self, imdb_tiny):
+        query = next(q for q in all_queries() if q.dataset == "imdb")
+        session = query.session(imdb_tiny)
+        prepared, split = _split_for(session, query.sql, imdb_tiny.catalog)
+        mutated = PartitionPlan(
+            split.worker_plan, split.leaf_path, (), split.leaf_rows
+        )
+        with pytest.raises(RewriteViolation):
+            _audit_split(prepared, mutated, imdb_tiny.catalog, 2, True)
+
+    def test_audit_split_accepts_genuine_split(self, imdb_tiny):
+        query = next(q for q in all_queries() if q.dataset == "imdb")
+        session = query.session(imdb_tiny)
+        prepared, split = _split_for(session, query.sql, imdb_tiny.catalog)
+        _audit_split(prepared, split, imdb_tiny.catalog, 2, True)
+
+    def test_strict_execution_still_answers(self, imdb_tiny):
+        # End to end: a strict session running partition-parallel must pass
+        # its own split audit and produce the row-engine answer.
+        query = next(q for q in all_queries() if q.dataset == "imdb")
+        session = query.session(imdb_tiny, strict=True)
+        parallel = session.execute(query.sql, partitions=2)
+        serial = session.execute(query.sql)
+        parallel_rows = sorted(map(repr, parallel.presented().triples()))
+        serial_rows = sorted(map(repr, serial.presented().triples()))
+        assert parallel_rows == serial_rows
