@@ -73,6 +73,7 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "LN302": (Severity.ERROR, "unknown fault-injection site literal; a typo here silently never fires"),
     "LN303": (Severity.ERROR, "shared-memory segment created outside the columnar/shm registry"),
     "LN304": (Severity.ERROR, "ambient ContextVar state read in a worker without an explicit use_* override"),
+    "LN305": (Severity.ERROR, "direct file I/O in a durability module bypasses the crash-torture VFS"),
     # -- concurrency sanitizer -----------------------------------------------
     "SAN101": (Severity.ERROR, "lock-order cycle: inconsistent acquisition order can deadlock"),
     "SAN102": (Severity.ERROR, "re-entrant acquisition of a non-reentrant lock by the same thread"),

@@ -48,6 +48,13 @@ Concurrency/process-safety rules (LN3xx), added with the sanitizer pass:
   outside ``columnar/shm.py``.  That module owns segment lifecycle
   (tracking + unlink); ad-hoc segments leak ``/dev/shm`` space on error
   paths.
+* **LN305** — a durability module (``engine/persist.py``, ``serve/wal.py``,
+  ``serve/server.py``) performs direct file I/O — a bare ``open(...)`` call
+  or ``os.fsync`` / ``os.replace`` / ``os.remove`` — instead of going
+  through the ambient VFS (:mod:`repro.resilience.vfs`).  Bypassing the
+  VFS makes the I/O invisible to the crash-torture harness: its fault
+  injection and power-cut modelling can no longer prove that code path
+  recovers.
 * **LN304** — a worker-reachable function reads ambient context
   (``current_faults`` / ``current_guard`` / ``current_tracer`` /
   ``batch_scoring_enabled``) outside a ``with use_*(...)`` block that
@@ -100,6 +107,12 @@ _AMBIENT_READS = {
     "current_tracer": "use_tracer",
     "batch_scoring_enabled": "use_batch_scoring",
 }
+
+#: Modules whose file I/O must flow through the ambient VFS (LN305).
+_DURABILITY_MODULES = ("engine/persist.py", "serve/wal.py", "serve/server.py")
+
+#: ``os.<attr>`` calls LN305 flags inside durability modules.
+_DIRECT_OS_IO = frozenset({"fsync", "replace", "remove"})
 
 
 @dataclass(frozen=True)
@@ -211,6 +224,7 @@ class _FileChecker(ast.NodeVisitor):
         normalized = path.replace(os.sep, "/")
         self.is_scorepair = normalized.endswith("core/scorepair.py")
         self.is_shm = normalized.endswith("columnar/shm.py")
+        self.is_durability = normalized.endswith(_DURABILITY_MODULES)
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -250,7 +264,35 @@ class _FileChecker(ast.NodeVisitor):
                 )
         self._check_fault_site_call(node)
         self._check_shared_memory(node)
+        self._check_durability_io(node)
         self.generic_visit(node)
+
+    # -- LN305: direct I/O bypassing the VFS in durability modules -----------
+
+    def _check_durability_io(self, node: ast.Call) -> None:
+        if not self.is_durability:
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self._report(
+                node,
+                "LN305",
+                "direct open() in a durability module bypasses the VFS; use "
+                "current_vfs().open() so crash-torture can inject faults here",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DIRECT_OS_IO
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            self._report(
+                node,
+                "LN305",
+                f"direct os.{func.attr}() in a durability module bypasses the "
+                "VFS; use the current_vfs() primitive so crash-torture can "
+                "inject faults here",
+            )
 
     # -- LN302: fault-site literal validation --------------------------------
 

@@ -199,6 +199,32 @@ def build_parser() -> argparse.ArgumentParser:
         "the run (also enabled by REPRO_SANITIZE=1)",
     )
 
+    torture = commands.add_parser(
+        "crash-torture",
+        help="crash the durable server at every injectable I/O point (plus "
+        "SIGKILL rounds) and digest-verify that recovery loses nothing "
+        "acknowledged",
+    )
+    torture.add_argument("--seed", type=int, default=0, help="workload/fault RNG seed")
+    torture.add_argument(
+        "--rounds", type=int, default=10,
+        help="in-process torture rounds; each sweeps every crash point of a "
+        "fresh workload (default 10)",
+    )
+    torture.add_argument(
+        "--ops", type=int, default=18,
+        help="scripted server operations per round (default 18)",
+    )
+    torture.add_argument(
+        "--sigkill-rounds", type=int, default=None, metavar="N",
+        help="subprocess rounds SIGKILLed mid-workload (default rounds//5, "
+        "min 1; 0 disables)",
+    )
+    torture.add_argument(
+        "--no-mutation-check", action="store_true",
+        help="skip the self-check that a deliberately lossy replay is caught",
+    )
+
     serve_bench = commands.add_parser(
         "serve-bench",
         help="closed-loop concurrent serving benchmark: throughput and "
@@ -257,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
             return _verify_plan(args)
         if args.command == "chaos":
             return _chaos(args)
+        if args.command == "crash-torture":
+            return _crash_torture(args)
         if args.command == "serve-bench":
             return _serve_bench(args)
     except ReproError as err:
@@ -530,6 +558,11 @@ def _chaos(args) -> int:
             "must match the oracle on their snapshot; plus the "
             "crash-at-any-WAL-offset recovery sweep"
         )
+        print(
+            f"{'crash':<20} short crash-torture run: injected I/O faults and "
+            "a SIGKILL round, recovery digest-verified "
+            "(full sweep: python -m repro crash-torture)"
+        )
         return 0
     status = 0
     run_classic = True
@@ -539,13 +572,22 @@ def _chaos(args) -> int:
             wanted.discard("concurrent")
             if not _concurrent_chaos(args):
                 status = 1
-            run_classic = bool(wanted)
+            run_classic = run_classic and bool(wanted)
+        if "crash" in wanted:
+            wanted.discard("crash")
+            from .resilience.crashtest import run_crash_torture
+
+            report = run_crash_torture(seed=args.seed, rounds=3, ops=12)
+            print(report.describe())
+            if not report.ok:
+                status = 1
+            run_classic = run_classic and bool(wanted)
         known = {s.name.lower() for s in scenarios}
         unknown = wanted - known
         if unknown:
             raise ReproError(
                 f"unknown scenario(s) {sorted(unknown)}; choose from "
-                + ", ".join(sorted(known | {'concurrent'}))
+                + ", ".join(sorted(known | {'concurrent', 'crash'}))
             )
         scenarios = [s for s in scenarios if s.name.lower() in wanted]
     if run_classic:
@@ -587,6 +629,20 @@ def _concurrent_chaos(args) -> bool:
         recovery = wal_recovery_check(directory, seed=args.seed)
     print(recovery.describe())
     return report.ok and recovery.ok
+
+
+def _crash_torture(args) -> int:
+    from .resilience.crashtest import run_crash_torture
+
+    report = run_crash_torture(
+        seed=args.seed,
+        rounds=args.rounds,
+        ops=args.ops,
+        sigkill_rounds=args.sigkill_rounds,
+        mutation_check=not args.no_mutation_check,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _serve_bench(args) -> int:

@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import csv
 import hashlib
+import itertools
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..errors import CatalogError, DataCorruption, ReproError
+from ..errors import CatalogError, DataCorruption, DurabilityError, ReproError
+from ..resilience.vfs import current_vfs
 from .database import Database
 from .types import DataType
 
@@ -46,31 +48,43 @@ SCHEMA_FILE = "schema.json"
 SUPPORTED_FORMATS = (1, 2)
 CURRENT_FORMAT = 2
 
+#: Process-wide temp-name disambiguator: together with the pid it makes
+#: concurrent :func:`_atomic_write` calls (threads, sibling processes
+#: saving into the same directory) collision-safe.
+_TMP_COUNTER = itertools.count()
+
 
 def _atomic_write(path: str, data: str) -> None:
-    """Write *data* to *path* via temp file + fsync + rename.
+    """Write *data* to *path* via temp file + fsync + rename, through the VFS.
 
     After the rename the new content is durably on disk under its final
-    name; readers never observe a partially written file.
+    name; readers never observe a partially written file.  The temp name
+    carries a pid + counter suffix so concurrent writers never collide,
+    and a failed write or fsync removes the temp file before the typed
+    :exc:`~repro.errors.DurabilityError` propagates — no stale ``.tmp``
+    litter for a later save to trip over.
     """
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
-    # Persist the rename itself (best-effort: not every platform allows
-    # opening a directory for fsync).
+    vfs = current_vfs()
+    tmp_path = f"{path}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
     try:
-        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
+        with vfs.open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            vfs.fsync(handle)
+        vfs.replace(tmp_path, path)
+    except OSError as err:
+        try:
+            vfs.remove(tmp_path)
+        except OSError:
+            pass
+        raise DurabilityError("write", path, str(err)) from err
+    # Persist the rename itself.  A real I/O failure here means the file
+    # may still be durable under its *old* name only, so it must surface
+    # (platform limitations are swallowed inside fsync_dir).
     try:
-        os.fsync(dir_fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
-    finally:
-        os.close(dir_fd)
+        vfs.fsync_dir(os.path.dirname(path) or ".")
+    except OSError as err:
+        raise DurabilityError("fsync-dir", path, str(err)) from err
 
 
 def _checksum(data: str) -> str:
@@ -83,7 +97,7 @@ def save_database(db: Database, directory: str) -> None:
     Atomic per file: table files land before the manifest that describes
     them, and every file is temp-written, fsync'd and renamed into place.
     """
-    os.makedirs(directory, exist_ok=True)
+    current_vfs().makedirs(directory)
     manifest: dict = {"format": CURRENT_FORMAT, "tables": []}
     for table in sorted(db.catalog.tables(), key=lambda t: t.name):
         schema = table.schema
@@ -165,10 +179,11 @@ def load_database(directory: str, analyze: bool = True, *, salvage: bool = False
     database carries a :class:`RecoveryReport` as ``db.recovery``
     (``db.recovery`` is ``None`` on non-salvage loads).
     """
+    vfs = current_vfs()
     manifest_path = os.path.join(directory, SCHEMA_FILE)
-    if not os.path.exists(manifest_path):
+    if not vfs.exists(manifest_path):
         raise ReproError(f"no {SCHEMA_FILE} found in {directory!r}")
-    with open(manifest_path, encoding="utf-8") as handle:
+    with vfs.open(manifest_path, encoding="utf-8") as handle:
         try:
             manifest = json.load(handle)
         except ValueError as err:
@@ -187,7 +202,7 @@ def load_database(directory: str, analyze: bool = True, *, salvage: bool = False
         path = os.path.join(directory, f"{entry['name']}.jsonl")
         recovery = TableRecovery(table=table.name, path=path)
         report.tables.append(recovery)
-        if os.path.exists(path):
+        if vfs.exists(path):
             _load_table_file(db, entry, path, salvage, recovery)
         elif entry.get("rows"):
             problem = f"data file missing ({entry['rows']} rows lost)"
@@ -206,7 +221,7 @@ def _load_table_file(
     db: Database, entry: dict, path: str, salvage: bool, recovery: TableRecovery
 ) -> None:
     """Verify and load one table's jsonl file (or salvage what parses)."""
-    with open(path, encoding="utf-8") as handle:
+    with current_vfs().open(path, encoding="utf-8") as handle:
         payload = handle.read()
 
     width = len(entry["columns"])
@@ -300,7 +315,7 @@ def load_csv_table(
     table = db.table(table_name)
     schema = table.schema
     staged: list[list] = []
-    with open(path, newline="", encoding="utf-8") as handle:
+    with current_vfs().open(path, newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         order: Sequence[int] | None = None
         for line_number, record in enumerate(reader, start=1):

@@ -156,6 +156,57 @@ class Overloaded(ResilienceError):
         super().__init__(f"request shed: {reason}{who}{detail}")
 
 
+class DurabilityError(ResilienceError):
+    """A durability-critical I/O primitive (write, fsync, rename) failed.
+
+    After one of these the affected writer must **fail-stop**: a failed
+    fsync may have silently dropped the dirty pages it was asked to persist
+    (the "fsyncgate" semantics), so retrying on the same handle could
+    acknowledge data that never reaches disk.  ``op`` names the primitive
+    that failed and ``path`` the file it was applied to; the original
+    ``OSError`` rides along as ``__cause__``.
+    """
+
+    def __init__(self, op: str, path: str | None = None, detail: str | None = None):
+        self.op = op
+        self.path = path
+        location = f" on {path!r}" if path is not None else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(f"durability {op} failed{location}{extra}")
+
+
+class WALPoisoned(DurabilityError):
+    """The write-ahead log fail-stopped after a durability failure.
+
+    Once an append's write or fsync fails the log's on-disk tail is
+    unknowable, so the handle is poisoned: every later append (and reset)
+    raises this error instead of acknowledging writes that may never be
+    durable.  Recovery is a fresh :meth:`~repro.serve.wal.PreferenceWAL.open`,
+    which re-scans the file and truncates whatever the failed append left.
+    """
+
+    def __init__(self, path: str | None, reason: str):
+        self.reason = reason
+        super().__init__("append", path, f"log is poisoned ({reason})")
+
+
+class PowerCut(ResilienceError):
+    """A simulated power failure injected by the faulty VFS.
+
+    Raised at the exact injection instant by
+    :class:`repro.resilience.vfs.FaultyVFS`; the crash-torture harness
+    catches it, drops all unsynced buffered state
+    (:meth:`~repro.resilience.vfs.FaultyVFS.power_cut`), and verifies
+    recovery.  Never raised in production configurations.
+    """
+
+    def __init__(self, op: str, path: str | None = None):
+        self.op = op
+        self.path = path
+        where = f" during {op}" + (f" of {path!r}" if path else "")
+        super().__init__(f"simulated power failure{where}")
+
+
 class DataCorruption(ResilienceError):
     """Persisted data failed an integrity check, or a result carried invalid pairs.
 

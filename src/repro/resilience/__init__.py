@@ -11,9 +11,14 @@ Four cooperating pieces (see ``docs/RESILIENCE.md``):
   transient faults, per-strategy health tracking.
 * **Degradation policy** (:mod:`.policy`) — the fallback chain that re-runs
   a failed query on the next strategy and marks the result ``degraded``.
+* **Durability VFS** (:mod:`.vfs`) — the pluggable file-system layer every
+  durability module writes through; :class:`FaultyVFS` deterministically
+  injects short writes, I/O errors, torn renames and power cuts for the
+  crash-torture harness (``python -m repro crash-torture``).
 
-The chaos runner lives in :mod:`repro.resilience.chaos`; it is imported
-lazily by the CLI to keep this package free of execution-layer imports.
+The chaos runner lives in :mod:`repro.resilience.chaos` and the crash-torture
+harness in :mod:`repro.resilience.crashtest`; both are imported lazily by the
+CLI to keep this package free of execution-layer imports.
 """
 
 from .faults import (
@@ -35,6 +40,15 @@ from .guard import (
 )
 from .policy import DEFAULT_FALLBACK, ResiliencePolicy
 from .retry import CircuitBreaker, RetryPolicy
+from .vfs import (
+    FAULT_KINDS,
+    REAL_VFS,
+    FaultyVFS,
+    RealVFS,
+    VfsFault,
+    current_vfs,
+    use_vfs,
+)
 
 __all__ = [
     "QueryGuard",
@@ -54,4 +68,11 @@ __all__ = [
     "CircuitBreaker",
     "ResiliencePolicy",
     "DEFAULT_FALLBACK",
+    "RealVFS",
+    "FaultyVFS",
+    "VfsFault",
+    "REAL_VFS",
+    "FAULT_KINDS",
+    "current_vfs",
+    "use_vfs",
 ]

@@ -27,9 +27,21 @@ assert "recovered state == replaying the surviving prefix" byte-for-byte.
 
 Directory layout (``server.directory``)::
 
-    checkpoint/        format-2 database checkpoint (schema.json, *.jsonl)
-    preferences.json   checksummed preference checkpoint
-    preferences.wal    mutations since the checkpoint
+    CURRENT             name of the live checkpoint directory (pointer file)
+    checkpoint-NNNNNNNN/
+        schema.json     format-2 database checkpoint manifest
+        *.jsonl         table data files
+        preferences.json  checksummed preference checkpoint
+    preferences.wal     mutations since the checkpoint
+
+Checkpoints are **versioned**: each :meth:`checkpoint` writes a brand-new
+``checkpoint-<epoch>`` directory and then atomically flips the ``CURRENT``
+pointer at it.  No durable file is ever overwritten in place, so a crash at
+*any* instant leaves either the old complete checkpoint (pointer unmoved,
+WAL intact → replay redoes the gap) or the new one — never a manifest
+describing half-written table files.  Superseded checkpoint directories are
+garbage-collected only after the pointer flip is durable.  (The pre-PR-8
+single ``checkpoint/`` layout is still readable.)
 
 A server opened without a directory is *ephemeral*: same write path and
 snapshot semantics, no durability — what the pure-concurrency stress tests
@@ -41,18 +53,63 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from dataclasses import dataclass
 from threading import Lock
 
 from ..engine.database import Database
 from ..engine.persist import SCHEMA_FILE, _atomic_write, load_database, save_database
-from ..errors import DataCorruption, PreferenceError, ReproError
+from ..errors import (
+    CatalogError,
+    DataCorruption,
+    PreferenceError,
+    ReproError,
+    ResilienceError,
+    WALPoisoned,
+)
 from ..query.store import PreferenceStore
+from ..resilience.vfs import current_vfs
 from .codec import canonical_json, preference_from_dict, preference_to_dict
 from .wal import WAL_FILE, PreferenceWAL, WalReplay
 
 PREFS_FILE = "preferences.json"
+#: Pre-PR-8 fixed checkpoint directory; still readable, never written.
 CHECKPOINT_DIR = "checkpoint"
+#: Pointer file naming the live versioned checkpoint directory.
+CURRENT_FILE = "CURRENT"
+
+_CHECKPOINT_NAME = re.compile(r"^checkpoint-(\d{8})$")
+
+
+def _current_checkpoint(directory: str, vfs) -> tuple[str | None, int]:
+    """Resolve the live checkpoint of *directory*: ``(path-or-None, epoch)``.
+
+    Reads the ``CURRENT`` pointer (new layout), falling back to the legacy
+    fixed ``checkpoint/`` directory.  A pointer that names a missing or
+    malformed checkpoint is corruption — the pointer flip is ordered after
+    the checkpoint files become durable, so no crash can produce it.
+    """
+    pointer_path = os.path.join(directory, CURRENT_FILE)
+    if vfs.exists(pointer_path):
+        with vfs.open(pointer_path, encoding="utf-8") as handle:
+            name = handle.read().strip()
+        match = _CHECKPOINT_NAME.match(name)
+        if match is None or os.path.sep in name:
+            raise DataCorruption(
+                f"CURRENT names an invalid checkpoint {name!r}", path=pointer_path
+            )
+        target = os.path.join(directory, name)
+        if not vfs.exists(os.path.join(target, SCHEMA_FILE)):
+            raise DataCorruption(
+                f"CURRENT points at checkpoint {name!r} which has no manifest",
+                path=pointer_path,
+            )
+        return target, int(match.group(1))
+    legacy = os.path.join(directory, CHECKPOINT_DIR)
+    if vfs.exists(os.path.join(legacy, SCHEMA_FILE)):
+        return legacy, 0
+    return None, 0
 
 
 @dataclass(frozen=True)
@@ -96,12 +153,16 @@ def state_digest(db: Database, store: PreferenceStore) -> str:
             "primary_key": list(table.schema.primary_key),
             "rows": sorted((list(row) for row in table.rows), key=canonical_json),
         }
+    # A user whose last preference was removed is logically indistinguishable
+    # from an unknown user, and recovery does not recreate empty entries —
+    # the digest must not hinge on that bookkeeping.
     prefs = {
         user: sorted(
             (preference_to_dict(stored) for stored in store.preferences_of(user)),
             key=canonical_json,
         )
         for user in store.users()
+        if store.preferences_of(user)
     }
     payload = canonical_json({"tables": tables, "preferences": prefs})
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -131,6 +192,12 @@ class PreferenceServer:
         #: Checkpoint automatically after this many WAL appends (None: manual).
         self.auto_checkpoint = auto_checkpoint
         self._appends_since_checkpoint = 0
+        #: Epoch of the live checkpoint (0: none yet / legacy layout).
+        self._epoch = 0
+        #: Set when a WAL append failed after the in-memory mutation was
+        #: applied: memory is then ahead of what recovery can reconstruct,
+        #: so the server fail-stops (writes *and* snapshots refuse).
+        self._poisoned: str | None = None
         # Serializes writers against each other and against snapshot capture,
         # so a snapshot can never pair a database from one instant with
         # preferences from another.
@@ -156,19 +223,25 @@ class PreferenceServer:
         A brand-new directory gets an immediate baseline checkpoint so a
         later recovery always has a base to replay onto.
         """
-        os.makedirs(directory, exist_ok=True)
-        checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
-        had_checkpoint = os.path.exists(os.path.join(checkpoint_dir, SCHEMA_FILE))
-        if had_checkpoint:
+        vfs = current_vfs()
+        vfs.makedirs(directory)
+        checkpoint_dir, epoch = _current_checkpoint(directory, vfs)
+        if checkpoint_dir is not None:
             db = load_database(checkpoint_dir)
         else:
             db = initial if initial is not None else Database()
         if db.is_snapshot:
             raise ReproError("cannot serve from a snapshot database")
         store = PreferenceStore(db)
-        prefs_path = os.path.join(directory, PREFS_FILE)
-        if os.path.exists(prefs_path):
-            _load_preferences(prefs_path, store)
+        # New layout keeps the preference checkpoint inside the versioned
+        # checkpoint directory; the legacy layout kept it at the top level.
+        prefs_candidates = [os.path.join(directory, PREFS_FILE)]
+        if checkpoint_dir is not None:
+            prefs_candidates.insert(0, os.path.join(checkpoint_dir, PREFS_FILE))
+        for prefs_path in prefs_candidates:
+            if vfs.exists(prefs_path):
+                _load_preferences(prefs_path, store)
+                break
         wal, replay = PreferenceWAL.open(
             os.path.join(directory, WAL_FILE), sync=sync
         )
@@ -179,9 +252,10 @@ class PreferenceServer:
             wal=wal,
             auto_checkpoint=auto_checkpoint,
         )
+        server._epoch = epoch
         for record in replay.records:
             server._apply_replay(record.op, record.payload)
-        if not had_checkpoint:
+        if checkpoint_dir is None:
             server.checkpoint()
         return server, replay
 
@@ -192,8 +266,15 @@ class PreferenceServer:
     # -- snapshots ---------------------------------------------------------------
 
     def snapshot(self) -> ServerSnapshot:
-        """Capture an immutable, consistent view of the entire server state."""
+        """Capture an immutable, consistent view of the entire server state.
+
+        Refuses (:exc:`~repro.errors.WALPoisoned`) on a poisoned server: the
+        in-memory state then contains a mutation that was never acknowledged
+        as durable, so handing it out would let readers observe data a
+        recovery cannot reproduce.
+        """
         with self._mutex:
+            self._check_healthy()
             db_snap = self.db.snapshot()
             store_snap = self.store.snapshot(db_snap)
             return ServerSnapshot(
@@ -217,11 +298,13 @@ class PreferenceServer:
             else None
         )
         with self._mutex:
+            self._check_healthy()
             self.store.add(user, preference)
             self._log("pref.add", payload)
 
     def remove_preference(self, user: str, name: str) -> bool:
         with self._mutex:
+            self._check_healthy()
             removed = self.store.remove(user, name)
             if removed:
                 self._log("pref.remove", {"user": user, "name": name})
@@ -229,6 +312,7 @@ class PreferenceServer:
 
     def clear_preferences(self, user: str) -> int:
         with self._mutex:
+            self._check_healthy()
             dropped = self.store.clear(user)
             if dropped:
                 self._log("pref.clear", {"user": user})
@@ -237,13 +321,26 @@ class PreferenceServer:
     def insert(self, table: str, values) -> None:
         """Insert one row through the copy-on-write write path, durably."""
         with self._mutex:
+            self._check_healthy()
             self.db.insert(table, values)
             self._log("row.insert", {"table": table, "values": list(values)})
+
+    def _check_healthy(self) -> None:
+        if self._poisoned is not None:
+            path = self.wal.path if self.wal is not None else None
+            raise WALPoisoned(path, self._poisoned)
 
     def _log(self, op: str, payload: dict | None) -> None:
         if self.wal is None:
             return
-        self.wal.append(op, payload if payload is not None else {})
+        try:
+            self.wal.append(op, payload if payload is not None else {})
+        except (ResilienceError, OSError) as err:
+            # The in-memory mutation is already applied but was never made
+            # durable: fail-stop the whole server, not just the log, so no
+            # snapshot or later write can observe the divergent state.
+            self._poisoned = str(err)
+            raise
         self._appends_since_checkpoint += 1
         if (
             self.auto_checkpoint is not None
@@ -271,22 +368,58 @@ class PreferenceServer:
         elif op == "pref.clear":
             self.store.clear(payload["user"])
         elif op == "row.insert":
-            try:
-                self.db.insert(payload["table"], payload["values"])
-            except ReproError:
-                pass  # duplicate primary key: row is already in the checkpoint
+            self._replay_row_insert(payload)
         else:
             raise DataCorruption(f"write-ahead log carries unknown operation {op!r}")
+
+    def _replay_row_insert(self, payload: dict) -> None:
+        """Redo one logged row insert, tolerating *only* checkpoint overlap.
+
+        The sole benign failure is a duplicate primary key whose resident
+        row is byte-identical to the logged one — the record predates the
+        checkpoint.  Everything else (unknown table, schema violation,
+        conflicting content under the same key) means the log disagrees
+        with the checkpoint it is being replayed onto, which no crash can
+        produce: that is corruption, not redo, and silently dropping the
+        row would lose acknowledged data.
+        """
+        table_name = payload.get("table")
+        values = payload.get("values")
+        try:
+            self.db.insert(table_name, values)
+            return
+        except CatalogError as err:
+            if "duplicate primary key" not in str(err):
+                raise DataCorruption(
+                    f"replayed row.insert does not fit the checkpoint: {err}"
+                ) from err
+        except ReproError as err:
+            raise DataCorruption(
+                f"replayed row.insert violates the schema: {err}"
+            ) from err
+        # Duplicate key: benign only if it is the *same* row.
+        table = self.db.table(table_name)
+        row = table._coerce(values)
+        existing = table.get(table.primary_key_of(row))
+        if existing != row:
+            raise DataCorruption(
+                f"replayed row.insert conflicts with checkpointed row "
+                f"{existing!r} in table {table.name} (logged {row!r})"
+            )
 
     # -- checkpointing -----------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Flush the full state to disk and reset the WAL.
+        """Flush the full state to a fresh checkpoint and reset the WAL.
 
-        Checkpoint files land first (each atomically, via the format-2
-        persistence layer), the log is reset after: a crash in between
-        replays the old log onto the new checkpoint, which the idempotent
-        redo in :meth:`_apply_replay` absorbs.
+        Write order is the crash contract: (1) a brand-new versioned
+        checkpoint directory (every file atomically written and fsync'd, no
+        durable file overwritten), (2) the ``CURRENT`` pointer flip, (3) the
+        WAL reset, (4) garbage collection of superseded checkpoints.  A
+        crash before (2) leaves the old checkpoint + full WAL; between (2)
+        and (3) the new checkpoint + full WAL, which the idempotent redo in
+        :meth:`_apply_replay` absorbs; after (3) the new checkpoint + empty
+        WAL.  Every cut is a recoverable state.
         """
         if self.directory is None:
             raise ReproError("ephemeral server has nowhere to checkpoint")
@@ -294,11 +427,41 @@ class PreferenceServer:
             self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> None:
-        save_database(self.db, os.path.join(self.directory, CHECKPOINT_DIR))
-        _save_preferences(os.path.join(self.directory, PREFS_FILE), self.store)
+        epoch = self._epoch + 1
+        name = f"checkpoint-{epoch:08d}"
+        target = os.path.join(self.directory, name)
+        save_database(self.db, target)
+        _save_preferences(os.path.join(target, PREFS_FILE), self.store)
+        # The commit point: recovery reads this checkpoint from now on.
+        _atomic_write(os.path.join(self.directory, CURRENT_FILE), name + "\n")
+        self._epoch = epoch
         if self.wal is not None:
             self.wal.reset()
         self._appends_since_checkpoint = 0
+        self._collect_stale_checkpoints(keep=name)
+
+    def _collect_stale_checkpoints(self, keep: str) -> None:
+        """Best-effort removal of checkpoints the pointer no longer names.
+
+        Runs only after the pointer flip is durable, so a crash mid-removal
+        merely leaves an unreferenced directory for the next pass.
+        """
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished under us
+            return
+        for entry in entries:
+            if entry == keep:
+                continue
+            if _CHECKPOINT_NAME.match(entry) or entry == CHECKPOINT_DIR:
+                shutil.rmtree(os.path.join(self.directory, entry), ignore_errors=True)
+        # The legacy layout also kept the preference checkpoint at top level.
+        legacy_prefs = os.path.join(self.directory, PREFS_FILE)
+        if os.path.exists(legacy_prefs):
+            try:
+                os.remove(legacy_prefs)  # noqa: LN305 - GC of a superseded file
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
     # -- introspection -----------------------------------------------------------
 
@@ -331,7 +494,7 @@ def _save_preferences(path: str, store: PreferenceStore) -> None:
 
 
 def _load_preferences(path: str, store: PreferenceStore) -> None:
-    with open(path, encoding="utf-8") as handle:
+    with current_vfs().open(path, encoding="utf-8") as handle:
         try:
             document = json.load(handle)
         except ValueError as err:

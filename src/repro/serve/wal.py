@@ -25,6 +25,19 @@ Recovery discipline (:func:`scan_wal`):
 * Anything wrong **before** the final record — a damaged middle line, an
   LSN gap or regression — cannot be produced by a crash and raises a typed
   :exc:`~repro.errors.DataCorruption` naming the exact file and line.
+
+Failure discipline (fsyncgate semantics): when an append's write or fsync
+fails, the on-disk tail is unknowable *and* the kernel may already have
+dropped the dirty pages it failed to persist — so the log **fail-stops**.
+The handle is closed and poisoned, the failed record is never acknowledged
+(the LSN does not advance), and every later :meth:`PreferenceWAL.append`
+or :meth:`~PreferenceWAL.reset` raises :exc:`~repro.errors.WALPoisoned`
+instead of retrying on pages that may never reach disk.  Recovery is a
+fresh :meth:`PreferenceWAL.open`, which re-scans the file and truncates
+whatever the failed append left behind as a torn tail.
+
+All file I/O goes through the ambient VFS (:mod:`repro.resilience.vfs`),
+so the crash-torture harness can inject storage failures at every byte.
 """
 
 from __future__ import annotations
@@ -36,7 +49,8 @@ from dataclasses import dataclass, field
 from threading import Lock
 
 from ..analysis_static.sanitizer import current_sanitizer
-from ..errors import DataCorruption
+from ..errors import DataCorruption, DurabilityError, PowerCut, WALPoisoned
+from ..resilience.vfs import current_vfs
 from .codec import canonical_json
 
 WAL_FILE = "preferences.wal"
@@ -115,9 +129,10 @@ def scan_wal(path: str) -> WalReplay:
     an empty, clean log — the state after a checkpoint reset.
     """
     replay = WalReplay()
-    if not os.path.exists(path):
+    vfs = current_vfs()
+    if not vfs.exists(path):
         return replay
-    with open(path, "rb") as handle:
+    with vfs.open(path, "rb") as handle:
         raw = handle.read()
     offset = 0
     previous_lsn: int | None = None
@@ -170,6 +185,9 @@ class PreferenceWAL:
         self._lock = Lock()
         self._lsn = start_lsn
         self._handle = None
+        self._vfs = None
+        #: Reason the log fail-stopped, or ``None`` while healthy.
+        self._poisoned: str | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -182,10 +200,10 @@ class PreferenceWAL:
         """
         replay = scan_wal(path)
         if replay.torn_at is not None:
-            with open(path, "rb+") as handle:
+            vfs = current_vfs()
+            with vfs.open(path, "rb+") as handle:
                 handle.truncate(replay.torn_at)
-                handle.flush()
-                os.fsync(handle.fileno())
+                vfs.fsync(handle)
         wal = cls(path, sync=sync, start_lsn=replay.last_lsn)
         return wal, replay
 
@@ -194,6 +212,7 @@ class PreferenceWAL:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+                self._vfs = None
 
     # -- appending -------------------------------------------------------------
 
@@ -202,42 +221,73 @@ class PreferenceWAL:
         """The LSN of the most recently appended (or recovered) record."""
         return self._lsn
 
+    @property
+    def poisoned(self) -> str | None:
+        """Why the log fail-stopped, or ``None`` while it accepts appends."""
+        return self._poisoned
+
     def append(self, op: str, payload: dict) -> WalRecord:
         """Durably append one record; returns it once it is on disk.
 
         The record is flushed — and, with ``sync``, fsync'd — before this
         method returns, so callers may apply the mutation to in-memory
-        state knowing recovery will replay it.
+        state knowing recovery will replay it.  A failed write or fsync
+        poisons the log (fail-stop): the record is *not* acknowledged, the
+        LSN does not advance, and every later append raises
+        :exc:`~repro.errors.WALPoisoned` until the log is reopened.
         """
         with self._lock:
+            if self._poisoned is not None:
+                raise WALPoisoned(self.path, self._poisoned)
             record = WalRecord(self._lsn + 1, op, dict(payload))
             sanitizer = current_sanitizer()
             if sanitizer.enabled:
                 sanitizer.wal_append_begin(self, record.lsn)
-            handle = self._ensure_handle()
-            handle.write(record.encode())
-            handle.flush()
-            if sanitizer.enabled:
-                sanitizer.wal_flushed(self)
-            if self.sync:
-                self._fsync(handle)
+            try:
+                handle = self._ensure_handle()
+                handle.write(record.encode())
+                handle.flush()
+                if sanitizer.enabled:
+                    sanitizer.wal_flushed(self)
+                if self.sync:
+                    self._fsync(handle)
+            except PowerCut:
+                self._poison("simulated power failure mid-append")
+                raise
+            except OSError as err:
+                # Never retry on the same handle: a failed fsync may have
+                # dropped the very pages a retry would claim to persist.
+                self._poison(str(err))
+                raise DurabilityError("append", self.path, str(err)) from err
             self._lsn = record.lsn
             if sanitizer.enabled:
                 sanitizer.wal_append_end(self, record.lsn, self.sync)
             return record
 
+    def _poison(self, reason: str) -> None:
+        """Fail-stop: close the tainted handle and refuse all later appends."""
+        self._poisoned = reason
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close after I/O error
+                pass
+            self._handle = None
+            self._vfs = None
+
     def _fsync(self, handle) -> None:
         """The durability point of one sync-mode append (sanitizer-visible)."""
-        os.fsync(handle.fileno())
+        (self._vfs or current_vfs()).fsync(handle)
         sanitizer = current_sanitizer()
         if sanitizer.enabled:
             sanitizer.wal_synced(self)
 
     def _ensure_handle(self):
         if self._handle is None:
+            self._vfs = current_vfs()
             directory = os.path.dirname(os.path.abspath(self.path))
-            os.makedirs(directory, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._vfs.makedirs(directory)
+            self._handle = self._vfs.open(self.path, "a", encoding="utf-8")
         return self._handle
 
     # -- checkpoint support ------------------------------------------------------
@@ -250,14 +300,32 @@ class PreferenceWAL:
         durable → replay is idempotent) or the clean new one.
         """
         with self._lock:
+            if self._poisoned is not None:
+                raise WALPoisoned(self.path, self._poisoned)
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
-            tmp_path = self.path + ".tmp"
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
+                self._vfs = None
+            vfs = current_vfs()
+            tmp_path = f"{self.path}.{os.getpid()}.reset.tmp"
+            try:
+                with vfs.open(tmp_path, "w", encoding="utf-8") as handle:
+                    handle.flush()
+                    vfs.fsync(handle)
+                vfs.replace(tmp_path, self.path)
+                # Make the rename itself durable before any later append is
+                # acknowledged against the fresh log.
+                vfs.fsync_dir(os.path.dirname(os.path.abspath(self.path)) or ".")
+            except PowerCut:
+                self._poison("simulated power failure mid-reset")
+                raise
+            except OSError as err:
+                try:
+                    vfs.remove(tmp_path)
+                except OSError:
+                    pass
+                self._poison(str(err))
+                raise DurabilityError("reset", self.path, str(err)) from err
             sanitizer = current_sanitizer()
             if sanitizer.enabled:
                 sanitizer.wal_reset(self)

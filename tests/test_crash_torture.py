@@ -1,0 +1,172 @@
+"""The crash-torture harness, plus targeted recovery-ordering scenarios.
+
+The harness itself is exercised small here (one in-process round, one
+SIGKILL round); the CI crash-torture job runs the full sweep.  The targeted
+tests pin the two subtlest recovery orderings: replaying one WAL twice, and
+a crash inside checkpoint() between the state flush and the WAL reset.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import DurabilityError, WALPoisoned
+from repro.resilience.crashtest import (
+    _MUTATION_OPS,
+    apply_op,
+    base_db,
+    mutation_self_check,
+    oracle_digests,
+    run_crash_torture,
+    scripted_ops,
+)
+from repro.serve.server import CURRENT_FILE, PreferenceServer
+
+
+class TestScriptedWorkload:
+    def test_deterministic_per_seed(self):
+        assert scripted_ops(7, 20) == scripted_ops(7, 20)
+        assert scripted_ops(7, 20) != scripted_ops(8, 20)
+
+    def test_every_op_changes_the_oracle_state(self):
+        # The generator promises no logical no-ops (a remove may *revisit* an
+        # earlier state, so only consecutive digests must differ).
+        ops = [op for op in scripted_ops(3, 30) if op[0] != "checkpoint"]
+        digests = oracle_digests(ops)
+        assert len(digests) == len(ops) + 1
+        assert all(a != b for a, b in zip(digests, digests[1:]))
+
+
+class TestTortureHarness:
+    def test_small_sweep_recovers_every_crash_point(self, tmp_path):
+        report = run_crash_torture(
+            seed=11,
+            rounds=1,
+            ops=10,
+            sigkill_rounds=1,
+            mutation_check=False,
+            directory=str(tmp_path),
+        )
+        assert report.failures == []
+        assert report.crash_points > 0
+        assert report.sigkill_kills == report.sigkill_rounds == 1
+
+    def test_mutation_self_check_catches_lossy_replay(self, tmp_path):
+        assert any(op[0] == "row.insert" for op in _MUTATION_OPS)
+        assert mutation_self_check(str(tmp_path)) is True
+
+
+class TestReplayIdempotency:
+    """Satellite: one WAL replayed twice must land on the same digest."""
+
+    def workload(self, server) -> None:
+        for op in scripted_ops(5, 8):
+            if op[0] != "checkpoint":  # keep every record in the WAL
+                apply_op(server, op)
+
+    def test_two_recoveries_of_the_same_wal_agree(self, tmp_path):
+        directory = str(tmp_path)
+        server, _ = PreferenceServer.open(directory, initial=base_db())
+        self.workload(server)
+        live = server.state_digest()
+        server.close()
+
+        first, replay_one = PreferenceServer.open(directory, initial=base_db())
+        digest_one = first.state_digest()
+        first.close()
+        # The first recovery replayed but never checkpointed, so the second
+        # recovery replays the very same records again.
+        second, replay_two = PreferenceServer.open(directory, initial=base_db())
+        digest_two = second.state_digest()
+        second.close()
+
+        assert replay_one.records == replay_two.records
+        assert replay_one.records  # the scenario is vacuous on an empty log
+        assert digest_one == digest_two == live
+
+
+class TestCheckpointCrashWindows:
+    """Satellite: crashes inside checkpoint() leave a recoverable cut."""
+
+    def test_crash_after_flush_before_wal_reset(self, tmp_path, monkeypatch):
+        directory = str(tmp_path)
+        server, _ = PreferenceServer.open(directory, initial=base_db())
+        self_ops = scripted_ops(9, 6)
+        for op in self_ops:
+            if op[0] != "checkpoint":
+                apply_op(server, op)
+        live = server.state_digest()
+
+        # The new checkpoint and pointer flip land, then the machine dies
+        # before the WAL reset: recovery must redo the (now-stale) records
+        # onto the new checkpoint idempotently.
+        def dying_reset():
+            raise OSError("simulated crash before WAL reset")
+
+        monkeypatch.setattr(server.wal, "reset", dying_reset)
+        with pytest.raises(OSError):
+            server.checkpoint()
+        server.close()
+
+        recovered, replay = PreferenceServer.open(directory, initial=base_db())
+        assert replay.records  # the old log really was replayed onto the new state
+        assert recovered.state_digest() == live
+        recovered.close()
+
+    def test_crash_before_pointer_flip_keeps_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        directory = str(tmp_path)
+        server, _ = PreferenceServer.open(directory, initial=base_db())
+        for op in scripted_ops(13, 6):
+            if op[0] != "checkpoint":
+                apply_op(server, op)
+        live = server.state_digest()
+        with open(os.path.join(directory, CURRENT_FILE), encoding="utf-8") as handle:
+            pointer_before = handle.read()
+
+        # Die after the new checkpoint directory is written but before the
+        # CURRENT flip: the old checkpoint + full WAL remain authoritative.
+        import repro.serve.server as server_module
+
+        def dying_atomic_write(path, data):
+            raise DurabilityError("write", path, "simulated crash before flip")
+
+        monkeypatch.setattr(server_module, "_atomic_write", dying_atomic_write)
+        with pytest.raises(DurabilityError):
+            server.checkpoint()
+        monkeypatch.undo()
+        server.close()
+
+        with open(os.path.join(directory, CURRENT_FILE), encoding="utf-8") as handle:
+            assert handle.read() == pointer_before
+        recovered, replay = PreferenceServer.open(directory, initial=base_db())
+        assert replay.records
+        assert recovered.state_digest() == live
+        recovered.close()
+
+
+class TestServerFailStop:
+    def test_wal_append_failure_poisons_the_server(self, tmp_path):
+        from repro.resilience.vfs import FaultyVFS, VfsFault, use_vfs
+
+        directory = str(tmp_path)
+        server, _ = PreferenceServer.open(directory, initial=base_db())
+        # The append's file write is the first faultable op of the insert.
+        with use_vfs(FaultyVFS(VfsFault(0, "eio-write"))):
+            with pytest.raises(DurabilityError):
+                server.insert("MOVIES", (777, "doomed", 2001, 90, 1))
+        # Memory is now ahead of disk: the server refuses writes *and* reads.
+        with pytest.raises(WALPoisoned):
+            server.insert("MOVIES", (778, "after poison", 2001, 90, 1))
+        with pytest.raises(WALPoisoned):
+            server.snapshot()
+        server.close()
+
+        # A fresh open recovers to exactly the acknowledged prefix.
+        recovered, _ = PreferenceServer.open(directory, initial=base_db())
+        table = recovered.snapshot().db.table("MOVIES")
+        assert all(row[0] not in (777, 778) for row in table.rows)
+        recovered.close()

@@ -423,6 +423,51 @@ class TestLN304AmbientReadsInWorkers:
         )
         assert found == []
 
+
+class TestLN305DurabilityIO:
+    def test_bare_open_in_durability_module_is_ln305(self):
+        found = lint_source("src/repro/serve/wal.py", "h = open('x', 'w')\n")
+        assert codes(found) == ["LN305"]
+
+    def test_os_fsync_in_durability_module_is_ln305(self):
+        found = lint_source(
+            "src/repro/engine/persist.py", "os.fsync(handle.fileno())\n"
+        )
+        assert codes(found) == ["LN305"]
+
+    def test_os_replace_and_remove_are_ln305(self):
+        found = lint_source(
+            "src/repro/serve/server.py",
+            "os.replace('a.tmp', 'a')\nos.remove('b')\n",
+        )
+        assert codes(found) == ["LN305", "LN305"]
+
+    def test_vfs_calls_are_fine(self):
+        found = lint_source(
+            "src/repro/serve/wal.py",
+            "vfs = current_vfs()\n"
+            "with vfs.open('x', 'w') as h:\n"
+            "    vfs.fsync(h)\n"
+            "vfs.replace('a.tmp', 'a')\n",
+        )
+        assert found == []
+
+    def test_other_modules_may_do_direct_io(self):
+        assert lint_snippet("h = open('x', 'w')\nos.replace('a', 'b')\n") == []
+
+    def test_other_os_calls_are_fine_in_durability_modules(self):
+        found = lint_source(
+            "src/repro/serve/server.py", "p = os.path.join(a, b)\nos.listdir(a)\n"
+        )
+        assert found == []
+
+    def test_noqa_suppresses_a_sanctioned_bypass(self):
+        found = lint_source(
+            "src/repro/serve/server.py",
+            "os.remove(path)  # noqa: LN305 - GC of a superseded file\n",
+        )
+        assert found == []
+
     def test_noqa_suppresses_ln304(self):
         found = lint_snippet(
             "def entry(task):\n"

@@ -58,6 +58,58 @@ class TestRoundTrip:
             load_database(str(tmp_path))
 
 
+class TestAtomicWrite:
+    def test_failed_write_leaves_no_temp_litter(self, tmp_path):
+        from repro.engine.persist import _atomic_write
+        from repro.errors import DurabilityError
+        from repro.resilience.vfs import FaultyVFS, VfsFault, use_vfs
+
+        target = str(tmp_path / "schema.json")
+        with use_vfs(FaultyVFS(VfsFault(0, "eio-write"))):
+            with pytest.raises(DurabilityError):
+                _atomic_write(target, "payload")
+        assert not os.path.exists(target)
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_failed_fsync_leaves_no_temp_litter(self, tmp_path):
+        from repro.engine.persist import _atomic_write
+        from repro.errors import DurabilityError
+        from repro.resilience.vfs import FaultyVFS, VfsFault, use_vfs
+
+        with use_vfs(FaultyVFS(VfsFault(1, "eio-fsync"))):
+            with pytest.raises(DurabilityError):
+                _atomic_write(str(tmp_path / "schema.json"), "payload")
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+    def test_temp_names_carry_pid_and_never_collide(self, tmp_path):
+        from repro.engine.persist import _atomic_write
+        from repro.resilience.vfs import FaultyVFS, use_vfs
+
+        target = str(tmp_path / "schema.json")
+        probe = FaultyVFS()
+        with use_vfs(probe):
+            _atomic_write(target, "one")
+            _atomic_write(target, "two")
+        temp_names = {path for op, path in probe.ops if op == "write"}
+        assert len(temp_names) == 2  # a concurrent sibling can never collide
+        for name in temp_names:
+            assert f".{os.getpid()}." in name and name.endswith(".tmp")
+
+    def test_goes_through_the_ambient_vfs(self, tmp_path):
+        from repro.engine.persist import _atomic_write
+        from repro.resilience.vfs import FaultyVFS, use_vfs
+
+        probe = FaultyVFS()
+        with use_vfs(probe):
+            _atomic_write(str(tmp_path / "schema.json"), "payload")
+        assert [op for op, _ in probe.ops] == [
+            "write",
+            "fsync",
+            "replace",
+            "fsync_dir",
+        ]
+
+
 class TestCsvImport:
     @pytest.fixture
     def db(self):

@@ -180,6 +180,77 @@ def test_non_loggable_preference_rejected_before_store_or_log(tmp_path):
     server.close()
 
 
+# -- narrowed replay: corruption must not be mistaken for redo -----------------
+
+
+def append_wal_record(directory: str, op: str, payload: dict) -> None:
+    """Hand-forge one valid WAL record, as a crashed-but-durable append would."""
+    from repro.serve.wal import PreferenceWAL, scan_wal
+
+    path = os.path.join(directory, "preferences.wal")
+    wal = PreferenceWAL(path, sync=False, start_lsn=scan_wal(path).last_lsn)
+    wal.append(op, payload)
+    wal.close()
+
+
+def durable_server_dir(tmp_path) -> str:
+    directory = str(tmp_path / "state")
+    server, _ = PreferenceServer.open(directory, initial=build_movie_db())
+    server.insert("MOVIES", NEW_MOVIE)
+    server.checkpoint()
+    server.close()
+    return directory
+
+
+def test_replay_skips_identical_duplicate_insert(tmp_path):
+    directory = durable_server_dir(tmp_path)
+    # The record predates the checkpoint that already holds its row: benign.
+    append_wal_record(
+        directory, "row.insert", {"table": "MOVIES", "values": list(NEW_MOVIE)}
+    )
+    recovered, replay = PreferenceServer.open(directory)
+    assert len(replay.records) == 1
+    rows = recovered.snapshot().db.table("MOVIES").rows
+    assert sum(1 for row in rows if row[0] == NEW_MOVIE[0]) == 1
+    recovered.close()
+
+
+def test_replay_rejects_conflicting_row_under_same_key(tmp_path):
+    from repro.errors import DataCorruption
+
+    directory = durable_server_dir(tmp_path)
+    conflicting = (NEW_MOVIE[0], "Different Title", 1990, 80, 2)
+    append_wal_record(
+        directory, "row.insert", {"table": "MOVIES", "values": list(conflicting)}
+    )
+    with pytest.raises(DataCorruption) as excinfo:
+        PreferenceServer.open(directory)
+    assert "conflicts" in str(excinfo.value)
+
+
+def test_replay_rejects_schema_violating_record(tmp_path):
+    from repro.errors import DataCorruption
+
+    directory = durable_server_dir(tmp_path)
+    append_wal_record(
+        directory, "row.insert", {"table": "MOVIES", "values": [1, 2]}  # wrong arity
+    )
+    with pytest.raises(DataCorruption) as excinfo:
+        PreferenceServer.open(directory)
+    assert "schema" in str(excinfo.value) or "fit" in str(excinfo.value)
+
+
+def test_replay_rejects_unknown_table(tmp_path):
+    from repro.errors import DataCorruption
+
+    directory = durable_server_dir(tmp_path)
+    append_wal_record(
+        directory, "row.insert", {"table": "NO_SUCH", "values": [1]}
+    )
+    with pytest.raises(DataCorruption):
+        PreferenceServer.open(directory)
+
+
 # -- the digest itself ---------------------------------------------------------
 
 
@@ -197,6 +268,18 @@ def test_state_digest_tracks_logical_state():
     server_a.insert("MOVIES", NEW_MOVIE)
     assert server_a.state_digest() != server_b.state_digest()
     server_b.insert("MOVIES", NEW_MOVIE)
+    assert server_a.state_digest() == server_b.state_digest()
+
+
+def test_state_digest_ignores_emptied_users():
+    # A user whose last preference was removed digests like an unknown user:
+    # recovery never recreates empty entries, so the digest must not see them.
+    server_a = PreferenceServer(build_movie_db())
+    server_b = PreferenceServer(build_movie_db())
+    server_a.add_preference("alice", comedy())
+    server_a.remove_preference("alice", "comedy")
+    server_a.add_preference("bob", drama())
+    server_a.clear_preferences("bob")
     assert server_a.state_digest() == server_b.state_digest()
 
 

@@ -11,7 +11,8 @@ import os
 
 import pytest
 
-from repro.errors import DataCorruption
+from repro.errors import DataCorruption, DurabilityError, PowerCut, WALPoisoned
+from repro.resilience.vfs import FaultyVFS, VfsFault, use_vfs
 from repro.serve.wal import PreferenceWAL, WalRecord, scan_wal
 
 
@@ -135,6 +136,59 @@ def test_reset_empties_log_but_lsn_continues(tmp_path):
     record = wal.append("pref.clear", {"user": "u"})
     assert record.lsn == 3  # LSNs never reuse, even across a checkpoint reset
     wal.close()
+
+
+class TestFailStop:
+    """A failed write/fsync poisons the log: no retries on dropped pages."""
+
+    def test_failed_fsync_poisons_the_log(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = PreferenceWAL(path, sync=True)
+        # One append is: write (step 0) then fsync (step 1).
+        with use_vfs(FaultyVFS(VfsFault(1, "eio-fsync"))):
+            with pytest.raises(DurabilityError):
+                wal.append("pref.add", {"user": "u"})
+        assert wal.poisoned is not None
+        assert wal.lsn == 0  # the failed record was never acknowledged
+        with pytest.raises(WALPoisoned):
+            wal.append("pref.add", {"user": "v"})
+        with pytest.raises(WALPoisoned):
+            wal.reset()
+
+    def test_power_cut_mid_append_poisons_the_log(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = PreferenceWAL(path, sync=True)
+        with use_vfs(FaultyVFS(VfsFault(0, "power-cut"))):
+            with pytest.raises(PowerCut):
+                wal.append("pref.add", {"user": "u"})
+        assert wal.poisoned is not None
+        with pytest.raises(WALPoisoned):
+            wal.append("pref.add", {"user": "v"})
+
+    def test_recovery_is_a_fresh_open(self, tmp_path):
+        path = wal_path(tmp_path)
+        write_clean_log(path, count=2)
+        wal, _ = PreferenceWAL.open(path, sync=True)
+        with use_vfs(FaultyVFS(VfsFault(1, "eio-fsync"))):
+            with pytest.raises(DurabilityError):
+                wal.append("pref.add", {"user": "u"})
+        # The poisoned instance stays dead; a fresh open rescans the file,
+        # truncates whatever the failed append left, and continues the LSNs.
+        reopened, replay = PreferenceWAL.open(path, sync=False)
+        assert replay.last_lsn == 2
+        assert reopened.append("pref.add", {"user": "u"}).lsn == 3
+        reopened.close()
+
+    def test_reset_crash_removes_its_temp_file(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = PreferenceWAL(path, sync=False)
+        wal.append("pref.add", {"user": "u"})
+        # reset is: write-less temp create + fsync (step 0) + replace + dir
+        # fsync; fail the temp fsync and the temp must not survive.
+        with use_vfs(FaultyVFS(VfsFault(0, "eio-fsync"))):
+            with pytest.raises(DurabilityError):
+                wal.reset()
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
 
 
 def test_record_encoding_is_checksummed_line(tmp_path):

@@ -1,0 +1,202 @@
+"""The durability VFS: fault injection semantics and the power-cut model.
+
+Each fault kind gets a minimal scenario asserting both the *failure* (the
+right exception at the right step) and the *aftermath* (what a power cut
+then leaves on disk — the contract recovery is tested against).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.errors import PowerCut
+from repro.resilience.vfs import (
+    FAULT_KINDS,
+    KINDS_BY_OP,
+    REAL_VFS,
+    FaultyVFS,
+    RealVFS,
+    VfsFault,
+    current_vfs,
+    use_vfs,
+)
+
+
+def write_file(vfs, path: str, data: bytes) -> None:
+    with vfs.open(path, "wb") as handle:
+        handle.write(data)
+
+
+def read_file(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestAmbient:
+    def test_default_is_the_real_vfs(self):
+        assert current_vfs() is REAL_VFS
+        assert isinstance(REAL_VFS, RealVFS)
+        assert not REAL_VFS.faulty
+
+    def test_use_vfs_installs_and_restores(self):
+        vfs = FaultyVFS()
+        with use_vfs(vfs):
+            assert current_vfs() is vfs
+        assert current_vfs() is REAL_VFS
+
+    def test_use_vfs_none_means_real(self):
+        with use_vfs(None):
+            assert current_vfs() is REAL_VFS
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VfsFault(0, "meteor-strike")
+
+    def test_kinds_by_op_only_names_known_kinds(self):
+        for kinds in KINDS_BY_OP.values():
+            assert set(kinds) <= set(FAULT_KINDS)
+
+
+class TestProbeMode:
+    def test_records_every_faultable_op_without_failing(self, tmp_path):
+        vfs = FaultyVFS()
+        path = str(tmp_path / "a.txt")
+        with vfs.open(path, "w", encoding="utf-8") as handle:
+            handle.write("hello")
+            vfs.fsync(handle)
+        vfs.replace(path, str(tmp_path / "b.txt"))
+        vfs.fsync_dir(str(tmp_path))
+        assert [op for op, _ in vfs.ops] == ["write", "fsync", "replace", "fsync_dir"]
+        assert not vfs.fired
+        assert read_file(str(tmp_path / "b.txt")) == b"hello"
+
+    def test_read_opens_are_not_faultable_steps(self, tmp_path):
+        path = str(tmp_path / "a.txt")
+        write_file(REAL_VFS, path, b"x")
+        vfs = FaultyVFS()
+        with vfs.open(path, "rb") as handle:
+            assert handle.read() == b"x"
+        assert vfs.ops == []
+
+
+class TestWriteFaults:
+    def test_eio_write_lands_nothing(self, tmp_path):
+        vfs = FaultyVFS(VfsFault(0, "eio-write"))
+        path = str(tmp_path / "a.txt")
+        with pytest.raises(OSError) as excinfo:
+            write_file(vfs, path, b"payload")
+        assert excinfo.value.errno == errno.EIO
+        assert vfs.fired
+        assert read_file(path) == b""
+
+    def test_enospc_is_disk_full(self, tmp_path):
+        vfs = FaultyVFS(VfsFault(0, "enospc"))
+        with pytest.raises(OSError) as excinfo:
+            write_file(vfs, str(tmp_path / "a.txt"), b"payload")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_short_write_lands_half_then_fails(self, tmp_path):
+        vfs = FaultyVFS(VfsFault(0, "short-write"))
+        path = str(tmp_path / "a.txt")
+        with pytest.raises(OSError):
+            write_file(vfs, path, b"12345678")
+        assert read_file(path) == b"1234"
+
+    def test_power_cut_at_write(self, tmp_path):
+        vfs = FaultyVFS(VfsFault(0, "power-cut"))
+        with pytest.raises(PowerCut):
+            write_file(vfs, str(tmp_path / "a.txt"), b"payload")
+
+
+class TestPowerCutModel:
+    def test_unsynced_write_vanishes(self, tmp_path):
+        path = str(tmp_path / "a.txt")
+        vfs = FaultyVFS()
+        write_file(vfs, path, b"never synced")
+        assert path in [os.path.abspath(p) for p in vfs.unsynced_paths()]
+        vfs.power_cut()
+        assert not os.path.exists(path)
+
+    def test_fsync_makes_content_durable(self, tmp_path):
+        path = str(tmp_path / "a.txt")
+        vfs = FaultyVFS()
+        with vfs.open(path, "wb") as handle:
+            handle.write(b"synced")
+            vfs.fsync(handle)
+        assert vfs.unsynced_paths() == []
+        vfs.power_cut()
+        assert read_file(path) == b"synced"
+
+    def test_unsynced_overwrite_reverts_to_old_content(self, tmp_path):
+        path = str(tmp_path / "a.txt")
+        write_file(REAL_VFS, path, b"old durable")
+        vfs = FaultyVFS()
+        write_file(vfs, path, b"new unsynced")
+        vfs.power_cut()
+        assert read_file(path) == b"old durable"
+
+    def test_eio_fsync_drops_the_dirty_pages(self, tmp_path):
+        # fsyncgate: after a failed fsync the pages it was asked to persist
+        # are gone — the caller must fail-stop, not retry.
+        path = str(tmp_path / "a.txt")
+        write_file(REAL_VFS, path, b"durable")
+        vfs = FaultyVFS(VfsFault(1, "eio-fsync"))  # step 0 = write, 1 = fsync
+        with vfs.open(path, "wb") as handle:
+            handle.write(b"doomed")
+            with pytest.raises(OSError) as excinfo:
+                vfs.fsync(handle)
+        assert excinfo.value.errno == errno.EIO
+        assert read_file(path) == b"durable"
+
+    def test_rename_pending_until_directory_fsync(self, tmp_path):
+        src = str(tmp_path / "x.tmp")
+        dst = str(tmp_path / "x.txt")
+        write_file(REAL_VFS, dst, b"old")
+        vfs = FaultyVFS()
+        with vfs.open(src, "wb") as handle:
+            handle.write(b"new")
+            vfs.fsync(handle)
+        vfs.replace(src, dst)
+        assert read_file(dst) == b"new"  # live namespace shows the rename...
+        vfs.power_cut()
+        assert read_file(dst) == b"old"  # ...but it was never durable
+        assert read_file(src) == b"new"  # and the source resurrects
+
+    def test_directory_fsync_commits_the_rename(self, tmp_path):
+        src = str(tmp_path / "x.tmp")
+        dst = str(tmp_path / "x.txt")
+        vfs = FaultyVFS()
+        with vfs.open(src, "wb") as handle:
+            handle.write(b"new")
+            vfs.fsync(handle)
+        vfs.replace(src, dst)
+        vfs.fsync_dir(str(tmp_path))
+        vfs.power_cut()
+        assert read_file(dst) == b"new"
+        assert not os.path.exists(src)
+
+    def test_torn_rename_lands_live_but_not_durable(self, tmp_path):
+        src = str(tmp_path / "x.tmp")
+        dst = str(tmp_path / "x.txt")
+        write_file(REAL_VFS, dst, b"old")
+        vfs = FaultyVFS(VfsFault(2, "torn-rename"))  # write, fsync, replace
+        with vfs.open(src, "wb") as handle:
+            handle.write(b"new")
+            vfs.fsync(handle)
+        with pytest.raises(PowerCut):
+            vfs.replace(src, dst)
+        assert read_file(dst) == b"new"
+        vfs.power_cut()
+        assert read_file(dst) == b"old"
+
+    def test_unsynced_unlink_resurrects_the_file(self, tmp_path):
+        path = str(tmp_path / "a.txt")
+        write_file(REAL_VFS, path, b"keep me")
+        vfs = FaultyVFS()
+        vfs.remove(path)
+        assert not os.path.exists(path)
+        vfs.power_cut()
+        assert read_file(path) == b"keep me"
