@@ -20,11 +20,19 @@ Commands:
 * ``serve-bench`` — closed-loop concurrent serving benchmark
   (``repro.serve.bench``): N client threads through the admission-controlled
   executor, reporting throughput and p50/p95/p99 tail latency.
+* ``serve`` — run the asyncio TCP front end (``repro.serve.net``): a
+  length-prefixed JSON protocol over a durable or generated database, with
+  multi-tenant admission, deadline propagation and graceful drain on
+  SIGTERM.  ``chaos --scenario network`` is its fault-injection suite.
+* ``serve-load`` — zipfian multi-tenant load generator against the network
+  front end (``repro.serve.net.load``); writes the
+  ``results/BENCH_serve_load.json`` artifact with p50/p95/p99 and shed-rate.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .engine.persist import load_database, save_database
@@ -263,6 +271,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies --columnar)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio TCP front end (length-prefixed JSON protocol; "
+        "SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7432)
+    serve.add_argument(
+        "--data", metavar="DIR",
+        help="durable server directory (created if missing); default: "
+        "ephemeral synthetic IMDB",
+    )
+    serve.add_argument("--scale", type=float, default=0.001,
+                       help="synthetic IMDB scale for an ephemeral server")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-limit", type=int, default=32)
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="per-tenant in-flight cap (default: unmetered)",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="FILE",
+        help="append per-connection serve.net spans to FILE as JSONL",
+    )
+
+    serve_load = commands.add_parser(
+        "serve-load",
+        help="zipfian multi-tenant load against the network front end "
+        "(client-observed p50/p95/p99 + shed-rate)",
+    )
+    serve_load.add_argument("--users", type=int, default=1_000_000,
+                            help="simulated user universe (default 10^6)")
+    serve_load.add_argument("--tenants", type=int, default=4)
+    serve_load.add_argument("--requests", type=int, default=800)
+    serve_load.add_argument("--clients", type=int, default=8)
+    serve_load.add_argument("--churn", type=float, default=0.15,
+                            help="fraction of requests that mutate preferences")
+    serve_load.add_argument("--scale", type=float, default=0.001)
+    serve_load.add_argument("--seed", type=int, default=42)
+    serve_load.add_argument("--zipf-s", type=float, default=1.2)
+    serve_load.add_argument("--workers", type=int, default=4)
+    serve_load.add_argument("--queue-limit", type=int, default=16)
+    serve_load.add_argument("--tenant-quota", type=int, default=16)
+    serve_load.add_argument(
+        "--out", metavar="FILE",
+        help="write the JSON report to FILE (e.g. results/BENCH_serve_load.json)",
+    )
+
     return parser
 
 
@@ -287,6 +344,10 @@ def main(argv: list[str] | None = None) -> int:
             return _crash_torture(args)
         if args.command == "serve-bench":
             return _serve_bench(args)
+        if args.command == "serve":
+            return _serve(args)
+        if args.command == "serve-load":
+            return _serve_load(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -563,6 +624,11 @@ def _chaos(args) -> int:
             "a SIGKILL round, recovery digest-verified "
             "(full sweep: python -m repro crash-torture)"
         )
+        print(
+            f"{'network':<20} network front-end chaos: seeded connection "
+            "drops / stalls / torn frames with server-side oracle digests, "
+            "kill+recovery of acked writes, typed overload shedding"
+        )
         return 0
     status = 0
     run_classic = True
@@ -582,12 +648,21 @@ def _chaos(args) -> int:
             if not report.ok:
                 status = 1
             run_classic = run_classic and bool(wanted)
+        if "network" in wanted:
+            wanted.discard("network")
+            from .serve.net.chaos import run_network_chaos
+
+            report = run_network_chaos(seed=args.seed, scale=min(args.scale, 0.001))
+            print(report.describe())
+            if not report.ok:
+                status = 1
+            run_classic = run_classic and bool(wanted)
         known = {s.name.lower() for s in scenarios}
         unknown = wanted - known
         if unknown:
             raise ReproError(
                 f"unknown scenario(s) {sorted(unknown)}; choose from "
-                + ", ".join(sorted(known | {'concurrent', 'crash'}))
+                + ", ".join(sorted(known | {'concurrent', 'crash', 'network'}))
             )
         scenarios = [s for s in scenarios if s.name.lower() in wanted]
     if run_classic:
@@ -669,6 +744,87 @@ def _serve_bench(args) -> int:
     if sink is not None:
         print(f"serving telemetry appended to {args.trace_out}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from .serve.net.server import NetServer
+
+    sink = None
+    if args.trace_out:
+        from .obs import JsonlSink
+
+        sink = JsonlSink(args.trace_out)
+    if args.data:
+        from .serve.server import PreferenceServer
+
+        # A brand-new directory adopts the synthetic IMDB sample as its
+        # baseline; an existing one recovers checkpoint + WAL and the
+        # generator is never run.
+        fresh = not os.path.isdir(args.data) or not os.listdir(args.data)
+        initial = None
+        if fresh:
+            from .workloads.imdb import generate_imdb
+
+            initial = generate_imdb(scale=args.scale, seed=args.seed)
+        server, replay = PreferenceServer.open(args.data, initial=initial)
+        print(
+            f"serving durable state from {args.data} "
+            f"({'fresh baseline' if fresh else 'recovered'}, "
+            f"lsn={server.wal.lsn}, replayed {len(replay.records)} records)",
+            file=sys.stderr,
+        )
+    else:
+        from .serve.server import PreferenceServer
+        from .workloads.imdb import generate_imdb
+
+        server = PreferenceServer(generate_imdb(scale=args.scale, seed=args.seed))
+        print(
+            f"serving ephemeral synthetic IMDB (scale={args.scale})",
+            file=sys.stderr,
+        )
+    net = NetServer(
+        server,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        trace_sink=sink,
+    )
+
+    async def main() -> None:
+        await net.start()
+        print(f"listening on {net.host}:{net.port}", file=sys.stderr)
+        await net.serve_until_stopped()
+
+    asyncio.run(main())
+    print("drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _serve_load(args) -> int:
+    from .serve.net.load import describe, run_serve_load, write_report
+
+    report = run_serve_load(
+        users=args.users,
+        tenants=args.tenants,
+        requests=args.requests,
+        clients=args.clients,
+        churn=args.churn,
+        scale=args.scale,
+        seed=args.seed,
+        zipf_s=args.zipf_s,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+    )
+    print(describe(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0 if report["untyped_failed"] == 0 else 1
 
 
 def _print_result(session: Session, result, limit: int) -> None:

@@ -142,18 +142,45 @@ class Overloaded(ResilienceError):
 
     ``reason`` says which admission check tripped: ``"queue-full"`` (the
     bounded request queue is at capacity), ``"session-limit"`` (the session
-    already has its maximum number of in-flight queries) or
+    already has its maximum number of in-flight queries),
+    ``"tenant-quota"`` (the tenant's in-flight allowance is spent) or
     ``"shutting-down"`` (the server is draining and admits nothing new).
-    ``limit`` carries the configured ceiling where one applies.
+    ``limit`` carries the configured ceiling where one applies, and
+    ``retry_after`` — when the shedder can estimate one — is the pause, in
+    seconds, after which a retry has a realistic chance of being admitted.
+    Clients should honor the hint instead of blind backoff: it is derived
+    from observed service times and the current backlog, so a fleet that
+    obeys it re-arrives spread out rather than as a synchronized storm.
     """
 
-    def __init__(self, reason: str, limit: int | None = None, session: str | None = None):
+    def __init__(
+        self,
+        reason: str,
+        limit: int | None = None,
+        session: str | None = None,
+        retry_after: float | None = None,
+    ):
         self.reason = reason
         self.limit = limit
         self.session = session
+        self.retry_after = retry_after
         detail = f" (limit {limit})" if limit is not None else ""
         who = f" for session {session!r}" if session is not None else ""
-        super().__init__(f"request shed: {reason}{who}{detail}")
+        hint = f"; retry after {retry_after:.3f}s" if retry_after is not None else ""
+        super().__init__(f"request shed: {reason}{who}{detail}{hint}")
+
+
+class NetworkFault(TransientFault):
+    """A network-boundary failure: dropped connection, torn frame, stalled read.
+
+    Raised by the serving front end (:mod:`repro.serve.net`) and the client
+    SDK when the transport — not the query — fails: the connection dropped
+    mid-frame, a read stalled past its deadline, or a frame arrived torn.
+    ``site`` carries the ``net.*`` fault site where the failure surfaced,
+    so chaos reports can attribute it.  Subclasses :exc:`TransientFault`
+    because the failure is retryable by construction: the request may be
+    resent on a fresh connection (subject to the client's retry budget).
+    """
 
 
 class DurabilityError(ResilienceError):

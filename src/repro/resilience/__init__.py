@@ -39,7 +39,7 @@ from .guard import (
     use_guard,
 )
 from .policy import DEFAULT_FALLBACK, ResiliencePolicy
-from .retry import CircuitBreaker, RetryPolicy
+from .retry import CircuitBreaker, RetryBudget, RetryPolicy
 from .vfs import (
     FAULT_KINDS,
     REAL_VFS,
@@ -65,6 +65,7 @@ __all__ = [
     "current_faults",
     "use_faults",
     "RetryPolicy",
+    "RetryBudget",
     "CircuitBreaker",
     "ResiliencePolicy",
     "DEFAULT_FALLBACK",

@@ -26,6 +26,18 @@ Instrumented sites:
                         inside the worker, and a ``corrupt`` fault flips a
                         pair in that partition's result, which the driver's
                         per-partition integrity gate must catch.
+``net.accept``          The network front end accepting one connection
+                        (:mod:`repro.serve.net`): ``transient`` drops the
+                        connection before any frame is served.
+``net.read``            One inbound frame read: ``transient`` drops the
+                        connection mid-request, ``latency`` stalls the read,
+                        ``corrupt`` tears the inbound frame.
+``net.write``           One outbound frame write: ``transient`` drops the
+                        connection before the response, ``latency`` stalls
+                        it, ``corrupt`` sends a torn (truncated) frame and
+                        then drops the connection.
+``net.close``           Connection teardown: ``transient`` skips the
+                        graceful close (abrupt reset instead of FIN).
 ======================  ======================================================
 
 Site patterns may end in ``*`` to match a prefix (``strategy.*``).  Like the
@@ -62,6 +74,10 @@ KNOWN_SITES = (
     "strategy.columnar",
     "pexec.scores",
     "pexec.partition",
+    "net.accept",
+    "net.read",
+    "net.write",
+    "net.close",
 )
 
 

@@ -114,6 +114,24 @@ class LatencyStats:
         with self._lock:
             return percentile(self._queue_ms, fraction)
 
+    def retry_after_hint(
+        self, backlog: int, workers: int, default: float = 0.05
+    ) -> float:
+        """Estimated seconds until a shed request stands a chance of admission.
+
+        Derived from the observed median service time and the backlog the
+        retry would queue behind: ``p50 · (backlog+1) / workers``, clamped
+        to [10ms, 5s].  Before any sample exists, *default* stands in for
+        the median.  The point is not precision — it is giving every shed
+        client a load-derived pause so retries re-arrive spread out instead
+        of on a synchronized backoff schedule.
+        """
+        with self._lock:
+            service = percentile(self._total_ms, 0.50) / 1e3
+        if service <= 0.0:
+            service = default
+        return min(5.0, max(0.01, service * (backlog + 1) / max(1, workers)))
+
     def snapshot(self) -> dict:
         """One consistent dictionary of counters and percentiles."""
         with self._lock:
@@ -234,12 +252,24 @@ class ServeExecutor:
             # ``workers`` concurrent requests (none of them waiting).
             if len(self._queue) + self._running >= len(self._threads) + self.queue_limit:
                 self.stats.count_shed()
-                raise Overloaded("queue-full", limit=self.queue_limit)
+                raise Overloaded(
+                    "queue-full",
+                    limit=self.queue_limit,
+                    retry_after=self.stats.retry_after_hint(
+                        len(self._queue) + self._running, len(self._threads)
+                    ),
+                )
             if session is not None and self.session_limit is not None:
                 if self._in_flight.get(session, 0) >= self.session_limit:
                     self.stats.count_shed()
                     raise Overloaded(
-                        "session-limit", limit=self.session_limit, session=session
+                        "session-limit",
+                        limit=self.session_limit,
+                        session=session,
+                        # One of the session's own requests must finish first.
+                        retry_after=self.stats.retry_after_hint(
+                            self._in_flight.get(session, 0), len(self._threads)
+                        ),
                     )
             if session is not None:
                 self._in_flight[session] = self._in_flight.get(session, 0) + 1
@@ -298,6 +328,11 @@ class ServeExecutor:
     def draining(self) -> bool:
         with self._lock:
             return self._state != _RUNNING
+
+    @property
+    def workers(self) -> int:
+        """The worker-thread count (the concurrency ceiling)."""
+        return len(self._threads)
 
     def pending(self) -> int:
         """Requests admitted but not yet finished (queued + running)."""

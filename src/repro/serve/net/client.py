@@ -1,0 +1,278 @@
+"""The blocking client SDK for the network serving layer.
+
+:class:`PreferenceClient` wraps one TCP connection (re-established as
+needed) in the robustness protocol the server expects of well-behaved
+clients:
+
+* **Typed failures** — error responses come back as the same
+  :class:`~repro.errors.ReproError` subclasses an in-process caller would
+  see (``except Overloaded`` works across the wire); transport problems
+  (dropped connections, torn frames, stalls) are
+  :exc:`~repro.errors.NetworkFault`.
+* **Bounded, jittered retries** — transport faults and sheds retry under a
+  :class:`~repro.resilience.RetryPolicy` whose jitter de-synchronizes a
+  fleet, and the shared :class:`~repro.resilience.RetryBudget` caps the
+  *ratio* of retries to successes so a server-side brownout cannot be
+  amplified into a retry storm.
+* **Server hints over blind backoff** — a shed carrying ``retry_after``
+  (the server's load-derived estimate) replaces the exponential schedule
+  for that pause; jitter still applies so hinted clients spread out too.
+* **Deadline propagation** — a per-call (or client-default) deadline is
+  the budget for *all* attempts; each attempt tells the server how much
+  remains (``deadline_ms``), the server enforces it through its
+  :class:`~repro.resilience.QueryGuard`, and the client refuses to sleep
+  a backoff it can no longer afford.
+* **End-to-end integrity** — query responses carry an order-independent
+  digest computed server-side; the client recomputes it over the decoded
+  triples, so bytes mangled anywhere between the two digests surface as a
+  typed :exc:`~repro.errors.NetworkFault` instead of silently wrong rows.
+
+Write semantics under retry are **at-least-once**: a connection that dies
+between the server committing a write and the client reading the ack is
+indistinguishable from one that died before admission, so a retried write
+may be applied twice.  Preference mutations are naturally idempotent-
+checkable (re-adding a name raises a typed ``PreferenceError``; re-removing
+returns ``removed: false``); callers that need exactly-once must key on
+that, as the chaos harness does.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ...errors import NetworkFault, Overloaded, QueryTimeout, TransientFault
+from ..codec import preference_to_dict
+from .protocol import error_from_dict, read_frame, triples_digest, write_frame
+
+
+class PreferenceClient:
+    """Client for a :class:`~repro.serve.net.server.NetServer`.
+
+    :param tenant: namespace for every user id and quota this client acts
+        under.
+    :param timeout: per-socket-operation timeout (stall detection); the
+        end-to-end budget is *deadline_s*.
+    :param retry: backoff schedule for retryable failures (``attempts=1``
+        disables retry).
+    :param budget: shared retry budget; ``None`` retries on schedule alone.
+    :param deadline_s: default end-to-end deadline per call, spanning all
+        retry attempts (``None``: unbounded).
+    :param verify_digests: recompute each query's result digest client-side
+        and fail typed on mismatch.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "public",
+        timeout: float = 10.0,
+        retry=None,
+        budget=None,
+        deadline_s: float | None = None,
+        verify_digests: bool = True,
+    ) -> None:
+        from ...resilience.retry import RetryPolicy
+
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=3, base_delay=0.02, jitter=0.5
+        )
+        self.budget = budget
+        self.deadline_s = deadline_s
+        self.verify_digests = verify_digests
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+        #: Counters a harness can assert on.
+        self.retries = 0
+        self.sheds_seen = 0
+        self.network_faults = 0
+
+    # -- connection management ---------------------------------------------------
+
+    def _connect(self, remaining: float | None) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        budget = self.timeout if remaining is None else min(self.timeout, remaining)
+        try:
+            sock = socket.create_connection((self.host, self.port), timeout=budget)
+        except OSError as err:
+            raise NetworkFault("net.accept", f"connect failed: {err}") from err
+        sock.settimeout(budget)
+        self._sock = sock
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close on a dead socket
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "PreferenceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- the call loop -----------------------------------------------------------
+
+    def call(self, payload: dict, deadline_s: float | None = None) -> dict:
+        """One request/response exchange with retry, budget and deadline.
+
+        *payload* is the op-specific body; tenant, request id and the
+        remaining ``deadline_ms`` are filled in per attempt.  Retryable
+        failures (transport faults, sheds) follow the retry policy; every
+        other typed error raises immediately.
+        """
+        deadline_s = deadline_s if deadline_s is not None else self.deadline_s
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        attempt = 0
+        while True:
+            attempt += 1
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise QueryTimeout(deadline_s, deadline_s)
+            try:
+                return self._attempt(payload, remaining)
+            except (NetworkFault, TransientFault, Overloaded) as err:
+                retryable = err
+            self._handle_failure(retryable, attempt, deadline)
+
+    def _attempt(self, payload: dict, remaining: float | None) -> dict:
+        self._next_id += 1
+        request = dict(payload)
+        request["id"] = self._next_id
+        request.setdefault("tenant", self.tenant)
+        # An explicit per-payload deadline_ms wins; otherwise each attempt
+        # tells the server how much of the end-to-end budget remains.
+        if remaining is not None and "deadline_ms" not in payload:
+            request["deadline_ms"] = remaining * 1e3
+        sock = self._connect(remaining)
+        if remaining is not None:
+            sock.settimeout(min(self.timeout, remaining))
+        try:
+            write_frame(sock, request)
+            response = read_frame(sock)
+        except NetworkFault:
+            self._drop_connection()
+            raise
+        if response is None:
+            # EOF where a response belongs: the server dropped us (or a
+            # drain raced the request) — a transport fault, retry elsewhere.
+            self._drop_connection()
+            raise NetworkFault("net.read", "connection closed before response")
+        if response.get("ok"):
+            if self.budget is not None:
+                self.budget.record_success()
+            return response.get("result", {})
+        raise error_from_dict(response.get("error", {}))
+
+    def _handle_failure(self, err, attempt: int, deadline) -> None:
+        """Count, budget and sleep one retryable failure — or re-raise it."""
+        if isinstance(err, Overloaded):
+            self.sheds_seen += 1
+        else:
+            self.network_faults += 1
+            self._drop_connection()
+        if attempt >= self.retry.attempts:
+            raise err
+        if self.budget is not None and not self.budget.try_spend():
+            # Budget dry: the fleet is already retrying as much as the
+            # server can absorb — fail fast instead of feeding the storm.
+            raise err
+        if isinstance(err, Overloaded) and err.retry_after is not None:
+            # The server's load-derived hint beats the blind schedule;
+            # jitter still applies so hinted clients spread out.
+            delay = self.retry.jittered(err.retry_after)
+        else:
+            delay = self.retry.backoff(attempt)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise err
+            delay = min(delay, remaining)
+        if delay > 0:
+            self.retry.sleep(delay)
+        self.retries += 1
+
+    # -- ops ---------------------------------------------------------------------
+
+    def ping(self, delay_ms: float | None = None, **kw) -> dict:
+        payload: dict = {"op": "ping"}
+        if delay_ms is not None:
+            payload["delay_ms"] = delay_ms
+        return self.call(payload, **kw)
+
+    def health(self, **kw) -> dict:
+        return self.call({"op": "health"}, **kw)
+
+    def ready(self, **kw) -> dict:
+        return self.call({"op": "ready"}, **kw)
+
+    def stats(self, **kw) -> dict:
+        return self.call({"op": "stats"}, **kw)
+
+    def query(
+        self,
+        user: str,
+        sql: str | None = None,
+        *,
+        strategy: str | None = None,
+        oracle: bool = False,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Run *user*'s preferential query; returns the result dictionary.
+
+        The result carries ``triples`` (row, score, confidence), ``columns``,
+        ``prefs`` (the preference names the snapshot served), ``digest`` and
+        — with ``oracle=True`` — ``oracle_digest``, the reference-strategy
+        digest of the same snapshot.
+        """
+        payload: dict = {"op": "query", "user": user}
+        if sql is not None:
+            payload["sql"] = sql
+        if strategy is not None:
+            payload["strategy"] = strategy
+        if oracle:
+            payload["oracle"] = True
+        result = self.call(payload, deadline_s=deadline_s)
+        if self.verify_digests and "digest" in result:
+            recomputed = triples_digest(
+                [(row, score, conf) for row, score, conf in result.get("triples", [])]
+            )
+            if recomputed != result["digest"]:
+                raise NetworkFault(
+                    "net.read",
+                    f"result digest mismatch: server {result['digest'][:12]}…, "
+                    f"client {recomputed[:12]}…",
+                )
+        return result
+
+    def add_preference(self, user: str, preference, **kw) -> dict:
+        pref = preference if isinstance(preference, dict) else preference_to_dict(preference)
+        return self.call({"op": "add_preference", "user": user, "pref": pref}, **kw)
+
+    def remove_preference(self, user: str, name: str, **kw) -> dict:
+        return self.call({"op": "remove_preference", "user": user, "name": name}, **kw)
+
+    def clear_preferences(self, user: str, **kw) -> dict:
+        return self.call({"op": "clear_preferences", "user": user}, **kw)
+
+    def insert(self, table: str, values, **kw) -> dict:
+        return self.call({"op": "insert", "table": table, "values": list(values)}, **kw)
+
+
+def connect(host: str, port: int, **kw) -> PreferenceClient:
+    """Convenience constructor mirroring :func:`socket.create_connection`."""
+    return PreferenceClient(host, port, **kw)

@@ -264,6 +264,28 @@ class PreferenceWAL:
                 sanitizer.wal_append_end(self, record.lsn, self.sync)
             return record
 
+    def sync_to_disk(self) -> None:
+        """Flush and fsync whatever is buffered (no-op when closed/poisoned).
+
+        ``sync=True`` logs are durable after every append already; this is
+        the graceful-drain hook for ``sync=False`` logs — the network front
+        end calls it before exit so every acknowledged append is on disk
+        even when per-record fsync was traded away.  A failure here poisons
+        the log exactly like a failed append: the pages may be gone.
+        """
+        with self._lock:
+            if self._handle is None or self._poisoned is not None:
+                return
+            try:
+                self._handle.flush()
+                self._fsync(self._handle)
+            except PowerCut:
+                self._poison("simulated power failure during drain sync")
+                raise
+            except OSError as err:
+                self._poison(str(err))
+                raise DurabilityError("fsync", self.path, str(err)) from err
+
     def _poison(self, reason: str) -> None:
         """Fail-stop: close the tainted handle and refuse all later appends."""
         self._poisoned = reason

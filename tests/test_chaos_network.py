@@ -1,0 +1,50 @@
+"""The network chaos suite at test scale: every phase green, digests exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.net.chaos import FAULT_KINDS, _fault_plan, run_network_chaos
+
+
+@pytest.mark.parametrize("seed", [42, 7])
+def test_network_chaos_suite_passes(seed):
+    report = run_network_chaos(
+        seed=seed, scale=0.0005, cells=8, kill_writes=4, overload_clients=4
+    )
+    assert report.ok, report.failures
+    assert report.errors == []
+    assert len(report.cells) == 8
+    # Faulted cells either match the server-side oracle exactly or fail
+    # with a typed error; nothing escapes untyped.
+    for cell in report.cells:
+        assert cell.outcome == "exact" or cell.outcome.startswith("typed-"), cell
+    # Some cells must have survived to an exact digest match despite faults.
+    assert sum(1 for c in report.cells if c.outcome == "exact") >= 1
+    # Every acked write survived the kill and recovery.
+    assert report.write_acks == 4
+    assert report.writes_recovered == 4
+    # Overload: the server stayed up, shed typed, and served someone.
+    assert report.overload_served >= 1
+    assert report.overload_shed >= 1
+    assert "network chaos" in report.describe()
+
+
+def test_chaos_covers_every_fault_kind():
+    report = run_network_chaos(
+        seed=3, scale=0.0005, cells=len(FAULT_KINDS), kill_writes=2,
+        overload_clients=4,
+    )
+    assert report.ok, report.failures
+    exercised = {cell.fault for cell in report.cells}
+    assert exercised == set(FAULT_KINDS)
+
+
+def test_fault_plans_map_to_net_sites():
+    for kind in FAULT_KINDS:
+        plan = _fault_plan(kind, seed=1)
+        if kind == "none":
+            assert plan is None
+        else:
+            assert plan is not None
+            assert all(spec.site.startswith("net.") for spec in plan.specs)

@@ -1,0 +1,162 @@
+"""Graceful drain against a real subprocess server under SIGTERM.
+
+The contract under test: an in-flight request completes and its response
+is flushed, new work is refused with a *typed* ``Overloaded`` while the
+drain runs, the WAL is fsync'd before exit even when the server was
+opened with ``sync=False``, and the process exits cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.preference import Preference
+from repro.engine.expressions import eq
+from repro.errors import Overloaded
+from repro.resilience import RetryPolicy
+from repro.serve.net.client import PreferenceClient
+from repro.serve.server import PreferenceServer
+
+SERVER_SCRIPT = """
+import asyncio
+import sys
+
+from repro.engine.database import Database
+from repro.engine.types import DataType
+from repro.serve.net.server import NetServer
+from repro.serve.server import PreferenceServer
+
+SQL = '''
+    SELECT name FROM ITEMS
+    PREFERRING {names}
+    TOP 3 BY score
+'''
+
+
+def initial():
+    db = Database()
+    db.create_table(
+        "ITEMS",
+        [("i_id", DataType.INT), ("name", DataType.TEXT), ("colour", DataType.TEXT)],
+        primary_key=["i_id"],
+    )
+    db.insert_many("ITEMS", [(1, "apple", "red"), (2, "pear", "green")])
+    return db
+
+
+async def main():
+    # sync=False: appends are acked without fsync, so the drain's final
+    # sync_to_disk() is what makes acked writes survive the exit.
+    server, _replay = PreferenceServer.open(
+        sys.argv[1], initial=initial(), sync=False
+    )
+    net = NetServer(
+        server, tenant_quota=None, test_ops=True, default_sql=SQL
+    )
+    await net.start()
+    print(net.port, flush=True)
+    await net.serve_until_stopped()
+
+
+asyncio.run(main())
+"""
+
+
+def _spawn_server(tmp_path):
+    script = tmp_path / "drain_server.py"
+    script.write_text(SERVER_SCRIPT)
+    data_dir = tmp_path / "data"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, str(script), str(data_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        port = int(line.strip())
+    except ValueError:
+        proc.kill()
+        raise RuntimeError(
+            f"server did not report a port: {line!r}\n{proc.stderr.read()}"
+        )
+    return proc, port, data_dir
+
+
+def test_sigterm_drains_gracefully(tmp_path):
+    proc, port, data_dir = _spawn_server(tmp_path)
+    slow_result: dict = {}
+
+    def hold_in_flight():
+        slow = PreferenceClient("127.0.0.1", port, deadline_s=30.0)
+        try:
+            slow_result["ping"] = slow.ping(delay_ms=1500)
+        except Exception as err:  # surfaced by the main thread's asserts
+            slow_result["error"] = err
+        finally:
+            slow.close()
+
+    client = PreferenceClient("127.0.0.1", port, deadline_s=10.0)
+    try:
+        # An acked write the drain must make durable (server runs sync=False).
+        ack = client.add_preference(
+            "u1", Preference("likes_green", "ITEMS", eq("colour", "green"), 0.9, 0.9)
+        )
+        assert ack["added"] is True
+        assert ack["lsn"] >= 1
+
+        holder = threading.Thread(target=hold_in_flight)
+        holder.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if client.stats()["tenants"].get("public", 0) >= 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("slow ping never became in-flight")
+
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.05)
+
+        # New work during the drain is refused *typed*, not dropped.
+        refused = PreferenceClient(
+            "127.0.0.1", port, deadline_s=5.0, retry=RetryPolicy(attempts=1)
+        )
+        try:
+            with pytest.raises(Overloaded) as excinfo:
+                refused.ping()
+            assert excinfo.value.reason == "shutting-down"
+        finally:
+            refused.close()
+
+        # The in-flight request still completes and its response is flushed.
+        holder.join(timeout=20.0)
+        assert not holder.is_alive()
+        ping = slow_result.get("ping")
+        assert ping is not None, slow_result.get("error")
+        assert ping["pong"] is True
+    finally:
+        client.close()
+        try:
+            proc.wait(timeout=20.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+
+    assert proc.returncode == 0, proc.stderr.read()
+
+    # The acked write survived: drain fsync'd the sync=False WAL before exit.
+    recovered, _replay = PreferenceServer.open(str(data_dir))
+    names = [p.name for p in recovered.store.preferences_of("public::u1")]
+    assert "likes_green" in names

@@ -205,6 +205,92 @@ def test_latency_stats_snapshot_and_span():
     assert "p50" in stats.describe()
 
 
+def test_latency_stats_empty_is_all_zeros():
+    stats = LatencyStats()
+    snap = stats.snapshot()
+    assert snap == {
+        "admitted": 0, "completed": 0, "failed": 0, "shed": 0,
+        "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "queue_p95_ms": 0.0,
+    }
+    assert stats.p50_ms == stats.p95_ms == stats.p99_ms == 0.0
+
+
+def test_latency_stats_single_sample_is_every_percentile():
+    stats = LatencyStats()
+    stats.observe(42.0, queue_ms=3.0, ok=True)
+    assert stats.p50_ms == 42.0
+    assert stats.p95_ms == 42.0
+    assert stats.p99_ms == 42.0
+    assert stats.queue_percentile_ms(0.99) == 3.0
+
+
+def test_latency_stats_ties_at_percentile_boundaries():
+    stats = LatencyStats()
+    # Heavy ties: the rank that p50/p95 land on must still be a value some
+    # request actually experienced, and ties must not skew the ordering.
+    for ms in (5.0, 5.0, 5.0, 5.0, 9.0):
+        stats.observe(ms, queue_ms=0.0, ok=True)
+    assert stats.p50_ms == 5.0
+    assert stats.p95_ms == 9.0  # nearest rank lands on the lone outlier
+    all_same = LatencyStats()
+    for _ in range(10):
+        all_same.observe(2.5, queue_ms=2.5, ok=True)
+    for fraction in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert all_same.percentile_ms(fraction) == 2.5
+
+
+def test_retry_after_hint_bounds_and_scaling():
+    stats = LatencyStats()
+    # No samples yet: the default service-time estimate stands in.
+    assert stats.retry_after_hint(backlog=0, workers=1) == pytest.approx(0.05)
+    # Tiny service times clamp to the 10ms floor...
+    stats.observe(0.001, queue_ms=0.0, ok=True)
+    assert stats.retry_after_hint(backlog=0, workers=8) == 0.01
+    # ...huge backlogs clamp to the 5s ceiling...
+    slow = LatencyStats()
+    slow.observe(2_000.0, queue_ms=0.0, ok=True)
+    assert slow.retry_after_hint(backlog=100, workers=1) == 5.0
+    # ...and in between the hint scales with backlog over workers.
+    mid = LatencyStats()
+    mid.observe(100.0, queue_ms=0.0, ok=True)
+    assert mid.retry_after_hint(backlog=3, workers=2) == pytest.approx(0.2)
+    assert mid.retry_after_hint(backlog=3, workers=4) == pytest.approx(0.1)
+
+
+def test_queue_full_shed_carries_a_retry_after_hint():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=1, queue_limit=0)
+    try:
+        running = executor.submit(blocker)
+        assert blocker.entered.wait(timeout=5)
+        with pytest.raises(Overloaded) as excinfo:
+            executor.submit(lambda: "no")
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.retry_after is not None
+        assert 0.01 <= excinfo.value.retry_after <= 5.0
+    finally:
+        blocker.release.set()
+        assert running.result(timeout=5) == "done"
+        executor.shutdown()
+
+
+def test_session_limit_shed_carries_a_retry_after_hint():
+    blocker = Blocker()
+    executor = ServeExecutor(workers=2, queue_limit=4, session_limit=1)
+    try:
+        hog = executor.submit(blocker, session="alice")
+        assert blocker.entered.wait(timeout=5)
+        with pytest.raises(Overloaded) as excinfo:
+            executor.submit(lambda: "no", session="alice")
+        assert excinfo.value.reason == "session-limit"
+        assert excinfo.value.retry_after is not None
+        assert 0.01 <= excinfo.value.retry_after <= 5.0
+    finally:
+        blocker.release.set()
+        assert hog.result(timeout=5) == "done"
+        executor.shutdown()
+
+
 def test_report_to_writes_serving_telemetry_to_sink():
     sink = InMemorySink()
     with ServeExecutor(workers=2, name="unit") as executor:
