@@ -1,0 +1,338 @@
+"""Digest-keyed result cache + incremental maintenance vs full recompute.
+
+Three phases over a generated IMDB database, all through the serving-layer
+:class:`~repro.cache.service.CachedQueryService` (the exact code path
+``repro serve`` answers queries with):
+
+* **zipfian mix** — a seeded zipf-distributed request schedule over a user
+  universe with preference churn, run step-by-step through a cache-on
+  service and the cache-off oracle *against the same live server state*:
+  every step's cached reply is asserted byte-identical to the oracle's
+  before its latency counts.  Reports both latency distributions plus the
+  measured hit rate — the honest picture of what the cache buys under a
+  realistic mix, with the conformance check inline rather than on faith.
+* **hot repeat** — one hot (user, query) pair repeated; after the first
+  miss every request is a pure cache hit.  This is the headline serving
+  win the CI gate checks (``GATE_MIN_HOT_SPEEDUP``).
+* **preference delta** — an attached
+  :class:`~repro.cache.maintenance.ScoreMaintainer` patches a materialized
+  per-user score relation through add/remove commit-feed events, timed
+  against the full-fold ``recompute`` oracle at the same profile size
+  (``GATE_MIN_DELTA_SPEEDUP``).  Each patch is verified equal to the
+  oracle before its timing counts.
+
+Writes ``results/BENCH_result_cache.json``.
+
+Run standalone:  python benchmarks/bench_result_cache.py [--quick] [--check]
+
+``--check`` is the CI cache-conformance gate: exit 1 on any identity
+mismatch, a hot-repeat speedup below ``GATE_MIN_HOT_SPEEDUP``, or a
+preference-delta speedup below ``GATE_MIN_DELTA_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench import bench_repeats, bench_scale, format_table
+from repro.cache import CachedQueryService, ResultCache, ScoreMaintainer
+from repro.core.preference import Preference
+from repro.engine.expressions import eq
+from repro.serve.executor import percentile
+from repro.serve.server import PreferenceServer
+from repro.workloads import generate_imdb
+
+#: CI gates.  The committed full run shows ~100x hot-repeat and ~4x delta;
+#: the gates sit far below so CI machine jitter cannot flake the job.
+GATE_MIN_HOT_SPEEDUP = 5.0
+GATE_MIN_DELTA_SPEEDUP = 2.0
+
+#: Zipfian mix shape (matches serve-load's traffic model).
+MIX_REQUESTS = 400
+MIX_USERS = 200
+MIX_CHURN = 0.15
+ZIPF_S = 1.2
+
+HOT_REPEATS = 60
+
+GENRES = ("Comedy", "Drama", "Action", "Thriller")
+
+
+def _genre_pref(name: str, genre: str, score: float = 0.8) -> Preference:
+    return Preference(name, "GENRES", eq("genre", genre), score, 0.9)
+
+
+def _schedule(requests: int, users: int, seed: int) -> list[int]:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(ZIPF_S, size=requests)
+    return [int((rank - 1) % users) for rank in ranks]
+
+
+def _pct(samples: list[float]) -> dict:
+    return {
+        "p50_ms": round(percentile(samples, 0.50), 4),
+        "p95_ms": round(percentile(samples, 0.95), 4),
+        "p99_ms": round(percentile(samples, 0.99), 4),
+        "total_ms": round(sum(samples), 3),
+    }
+
+
+def bench_zipf_mix(server: PreferenceServer, seed: int) -> dict:
+    """The churn-interleaved mix: cached vs oracle at identical states."""
+    import random
+
+    cached = CachedQueryService(server, ResultCache())
+    oracle = CachedQueryService(server, None)
+    rng = random.Random(seed)
+    schedule = _schedule(MIX_REQUESTS, MIX_USERS, seed)
+
+    cached_ms: list[float] = []
+    oracle_ms: list[float] = []
+    mismatches = 0
+    for rank in schedule:
+        user = f"user{rank}"
+        if not server.store.preferences_of(user):
+            server.add_preference(user, _genre_pref("base", "Drama"))
+        if rng.random() < MIX_CHURN:
+            genre = GENRES[rng.randrange(len(GENRES))]
+            if rng.random() < 0.6:
+                try:
+                    server.add_preference(
+                        user, _genre_pref(f"c_{genre.lower()}", genre, 0.7)
+                    )
+                except Exception:  # noqa: BLE001 - duplicate names are churn noise
+                    pass
+            else:
+                server.remove_preference(user, f"c_{genre.lower()}")
+        started = time.perf_counter()
+        hot = cached.query(user)
+        cached_ms.append((time.perf_counter() - started) * 1e3)
+        started = time.perf_counter()
+        cold = oracle.query(user)
+        oracle_ms.append((time.perf_counter() - started) * 1e3)
+        if hot != cold:
+            mismatches += 1
+    stats = cached.stats_snapshot()
+    return {
+        "requests": len(schedule),
+        "users": MIX_USERS,
+        "churn": MIX_CHURN,
+        "zipf_s": ZIPF_S,
+        "cached": _pct(cached_ms),
+        "uncached": _pct(oracle_ms),
+        "hit_rate": stats["hit_rate"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "invalidations": stats["invalidations"],
+        "identity_mismatches": mismatches,
+        "mix_speedup": round(sum(oracle_ms) / max(sum(cached_ms), 1e-9), 2),
+    }
+
+
+def bench_hot_repeat(server: PreferenceServer) -> dict:
+    """One hot key repeated: the pure cache-hit serving win."""
+    user = "hot_user"
+    server.add_preference(user, _genre_pref("base", "Drama"))
+    cached = CachedQueryService(server, ResultCache())
+    oracle = CachedQueryService(server, None)
+
+    expected = oracle.query(user)
+    warm = cached.query(user)  # the one miss
+    mismatches = 0 if warm == expected else 1
+
+    cached_ms: list[float] = []
+    for _ in range(HOT_REPEATS):
+        started = time.perf_counter()
+        reply = cached.query(user)
+        cached_ms.append((time.perf_counter() - started) * 1e3)
+        if reply != expected:
+            mismatches += 1
+    oracle_ms: list[float] = []
+    for _ in range(HOT_REPEATS):
+        started = time.perf_counter()
+        oracle.query(user)
+        oracle_ms.append((time.perf_counter() - started) * 1e3)
+    return {
+        "repeats": HOT_REPEATS,
+        "cached": _pct(cached_ms),
+        "uncached": _pct(oracle_ms),
+        "identity_mismatches": mismatches,
+        "hot_speedup": round(sum(oracle_ms) / max(sum(cached_ms), 1e-9), 2),
+    }
+
+
+def bench_preference_delta(server: PreferenceServer, repeats: int) -> dict:
+    """Incremental score maintenance vs full recompute on pref add/remove."""
+    user = "delta_user"
+    # A profile big enough that a full P-preference fold visibly out-costs
+    # the single-preference patch the maintainer applies.
+    for index, genre in enumerate(GENRES * 4):
+        server.add_preference(
+            user,
+            _genre_pref(f"p{index}_{genre.lower()}", genre, 0.5 + (index % 8) * 0.05),
+        )
+    maintainer = ScoreMaintainer(server.db, server.store).attach(server)
+    maintainer.score_relation(user, "GENRES")  # materialize
+
+    incremental_ms: list[float] = []
+    full_ms: list[float] = []
+    mismatches = 0
+    cycles = max(3, repeats * 3)
+    for cycle in range(cycles):
+        churn = _genre_pref(f"churn{cycle}", GENRES[cycle % len(GENRES)], 0.65)
+        started = time.perf_counter()
+        server.add_preference(user, churn)  # commit feed patches in O(matches)
+        incremental_ms.append((time.perf_counter() - started) * 1e3)
+        if maintainer.score_relation(user, "GENRES") != maintainer.recompute(
+            user, "GENRES"
+        ):
+            mismatches += 1
+        started = time.perf_counter()
+        full = maintainer.recompute(user, "GENRES")  # the from-scratch fold
+        full_ms.append((time.perf_counter() - started) * 1e3)
+        started = time.perf_counter()
+        server.remove_preference(user, churn.name)  # patch only touched keys
+        incremental_ms.append((time.perf_counter() - started) * 1e3)
+        if maintainer.score_relation(user, "GENRES") != full and mismatches == 0:
+            # after removal the state must be back to the pre-add fold
+            if maintainer.score_relation(user, "GENRES") != maintainer.recompute(
+                user, "GENRES"
+            ):
+                mismatches += 1
+        started = time.perf_counter()
+        maintainer.recompute(user, "GENRES")
+        full_ms.append((time.perf_counter() - started) * 1e3)
+    rows = len(server.db.table("GENRES").rows)
+    return {
+        "table_rows": rows,
+        "profile_size": len(server.store.preferences_of(user)),
+        "cycles": cycles,
+        "incremental": _pct(incremental_ms),
+        "full_recompute": _pct(full_ms),
+        "identity_mismatches": mismatches,
+        "delta_speedup": round(sum(full_ms) / max(sum(incremental_ms), 1e-9), 2),
+    }
+
+
+def sweep(scale: float, repeats: int, seed: int = 42) -> dict:
+    data: dict = {
+        "benchmark": "result_cache",
+        "workload": (
+            f"zipf(s={ZIPF_S}) preferential serving mix with {MIX_CHURN:.0%} "
+            "churn + hot-repeat + incremental preference maintenance"
+        ),
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+    }
+    server = PreferenceServer(generate_imdb(scale=scale, seed=seed))
+    data["movies_rows"] = len(server.db.table("MOVIES").rows)
+    data["zipf_mix"] = bench_zipf_mix(server, seed)
+    data["hot_repeat"] = bench_hot_repeat(server)
+    data["preference_delta"] = bench_preference_delta(server, repeats)
+    return data
+
+
+def render(data: dict) -> str:
+    mix = data["zipf_mix"]
+    hot = data["hot_repeat"]
+    delta = data["preference_delta"]
+    table1 = format_table(
+        ["path", "p50 (ms)", "p95 (ms)", "p99 (ms)", "total (ms)"],
+        [
+            ["cache-on", mix["cached"]["p50_ms"], mix["cached"]["p95_ms"],
+             mix["cached"]["p99_ms"], mix["cached"]["total_ms"]],
+            ["cache-off", mix["uncached"]["p50_ms"], mix["uncached"]["p95_ms"],
+             mix["uncached"]["p99_ms"], mix["uncached"]["total_ms"]],
+        ],
+        title=(
+            f"Zipfian mix — {mix['requests']} requests, hit-rate "
+            f"{mix['hit_rate']:.2%}, speedup {mix['mix_speedup']}x"
+        ),
+    )
+    table2 = format_table(
+        ["phase", "cached/incremental (ms)", "uncached/full (ms)", "speedup"],
+        [
+            ["hot repeat", hot["cached"]["total_ms"], hot["uncached"]["total_ms"],
+             f"{hot['hot_speedup']}x"],
+            ["pref delta", delta["incremental"]["total_ms"],
+             delta["full_recompute"]["total_ms"], f"{delta['delta_speedup']}x"],
+        ],
+        title="Hot-repeat and preference-delta phases",
+    )
+    return table1 + "\n\n" + table2
+
+
+def check_gate(data: dict) -> list[str]:
+    """The CI cache-conformance assertions; returns failures (empty = pass)."""
+    failures = []
+    for phase in ("zipf_mix", "hot_repeat", "preference_delta"):
+        bad = data[phase]["identity_mismatches"]
+        if bad:
+            failures.append(f"{phase}: {bad} cache-on replies diverged from oracle")
+    hot = data["hot_repeat"]["hot_speedup"]
+    if hot < GATE_MIN_HOT_SPEEDUP:
+        failures.append(
+            f"hot-repeat speedup {hot}x < {GATE_MIN_HOT_SPEEDUP}x vs recompute"
+        )
+    delta = data["preference_delta"]["delta_speedup"]
+    if delta < GATE_MIN_DELTA_SPEEDUP:
+        failures.append(
+            f"preference-delta speedup {delta}x < {GATE_MIN_DELTA_SPEEDUP}x "
+            f"vs full recompute"
+        )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float)
+    parser.add_argument("--repeats", type=int)
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: tiny scale, 1 repeat"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail on identity mismatch, hot-repeat < {GATE_MIN_HOT_SPEEDUP}x, "
+        f"or pref-delta < {GATE_MIN_DELTA_SPEEDUP}x",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.001")
+        os.environ.setdefault("REPRO_BENCH_REPEATS", "1")
+    scale = args.scale if args.scale is not None else bench_scale()
+    repeats = args.repeats if args.repeats is not None else bench_repeats()
+
+    data = sweep(scale, repeats)
+    print(render(data))
+
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_result_cache.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+    print(f"\nmeasurements written to {path}")
+
+    if args.check:
+        failures = check_gate(data)
+        if failures:
+            for failure in failures:
+                print(f"CACHE GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"cache gate passed: byte-identical, hot ≥ {GATE_MIN_HOT_SPEEDUP}x, "
+            f"delta ≥ {GATE_MIN_DELTA_SPEEDUP}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,8 @@ documents each code with examples).  Codes are grouped by layer:
 * ``PV2xx`` — informational plan-quality notes emitted by optimizer rules;
 * ``PV3xx`` — partition/columnar plan-verifier invariants (split soundness);
 * ``RWxxx`` — rewrite-auditor invariant-preservation failures;
-* ``LNxxx`` — source-code lint findings (``LN3xx``: fork/ambient-state safety);
+* ``LNxxx`` — source-code lint findings (``LN3xx``: fork/ambient-state safety,
+  ``LN4xx``: serving-layer cache-coherence discipline);
 * ``SANxxx`` — concurrency-sanitizer findings (lock order, COW discipline,
   WAL durability protocol) from :mod:`~repro.analysis_static.sanitizer`.
 """
@@ -74,6 +75,7 @@ CATALOG: dict[str, tuple[Severity, str]] = {
     "LN303": (Severity.ERROR, "shared-memory segment created outside the columnar/shm registry"),
     "LN304": (Severity.ERROR, "ambient ContextVar state read in a worker without an explicit use_* override"),
     "LN305": (Severity.ERROR, "direct file I/O in a durability module bypasses the crash-torture VFS"),
+    "LN401": (Severity.ERROR, "serving-layer store/db mutation bypasses the single-writer commit feed; caches go stale"),
     # -- concurrency sanitizer -----------------------------------------------
     "SAN101": (Severity.ERROR, "lock-order cycle: inconsistent acquisition order can deadlock"),
     "SAN102": (Severity.ERROR, "re-entrant acquisition of a non-reentrant lock by the same thread"),

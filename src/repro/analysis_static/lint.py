@@ -63,6 +63,17 @@ Concurrency/process-safety rules (LN3xx), added with the sanitizer pass:
   freezes them at pool-creation time), so the read must be explicitly
   overridden in the worker.
 
+Serving-layer cache-coherence rules (LN4xx), added with the result cache:
+
+* **LN401** — a serving-layer module (under ``serve/`` or ``cache/``, other
+  than ``serve/server.py`` itself) mutates the shared ``PreferenceStore``
+  or ``Database`` directly (``<x>.store.add/add_all/remove/clear(...)``,
+  ``<x>.db.insert/insert_many/create_table/drop_table(...)``).  Every
+  committed mutation must flow through the :class:`PreferenceServer`
+  single-writer mutators, whose commit feed (``add_listener``) is what
+  invalidates the digest-keyed result cache and patches the maintained
+  score relations — a bypassing write leaves both silently stale.
+
 Suppression: append ``# noqa: LN103`` (or a comma-separated code list, or a
 bare ``# noqa``) to the reported line.
 """
@@ -113,6 +124,14 @@ _DURABILITY_MODULES = ("engine/persist.py", "serve/wal.py", "serve/server.py")
 
 #: ``os.<attr>`` calls LN305 flags inside durability modules.
 _DIRECT_OS_IO = frozenset({"fsync", "replace", "remove"})
+
+#: ``<x>.store.<method>(...)`` calls LN401 flags in serving-layer modules:
+#: PreferenceStore mutators that the PreferenceServer single-writer path
+#: wraps with WAL logging and commit-feed notification.
+_STORE_MUTATORS = frozenset({"add", "add_all", "remove", "clear"})
+
+#: ``<x>.db.<method>(...)`` calls LN401 flags in serving-layer modules.
+_DB_MUTATORS = frozenset({"insert", "insert_many", "create_table", "drop_table"})
 
 
 @dataclass(frozen=True)
@@ -225,6 +244,12 @@ class _FileChecker(ast.NodeVisitor):
         self.is_scorepair = normalized.endswith("core/scorepair.py")
         self.is_shm = normalized.endswith("columnar/shm.py")
         self.is_durability = normalized.endswith(_DURABILITY_MODULES)
+        # LN401 scope: the serving layer, minus the single-writer path itself
+        # (serve/server.py owns the mutex, the WAL and the commit feed — its
+        # store/db calls *are* the sanctioned write path).
+        self.is_serving = (
+            "/serve/" in normalized or "/cache/" in normalized
+        ) and not normalized.endswith("serve/server.py")
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -265,7 +290,38 @@ class _FileChecker(ast.NodeVisitor):
         self._check_fault_site_call(node)
         self._check_shared_memory(node)
         self._check_durability_io(node)
+        self._check_unhooked_mutation(node)
         self.generic_visit(node)
+
+    # -- LN401: serving-layer writes that bypass the commit feed -------------
+
+    def _check_unhooked_mutation(self, node: ast.Call) -> None:
+        if not self.is_serving:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = func.value
+        if isinstance(owner, ast.Attribute):
+            owner_name = owner.attr
+        elif isinstance(owner, ast.Name):
+            owner_name = owner.id
+        else:
+            return
+        if owner_name == "store" and func.attr in _STORE_MUTATORS:
+            what = "PreferenceStore"
+        elif owner_name == "db" and func.attr in _DB_MUTATORS:
+            what = "Database"
+        else:
+            return
+        self._report(
+            node,
+            "LN401",
+            f"{what} mutated via .{owner_name}.{func.attr}() outside the "
+            "server's single-writer path; route the write through the "
+            "PreferenceServer mutators so the commit feed invalidates the "
+            "result cache and patches maintained score relations",
+        )
 
     # -- LN305: direct I/O bypassing the VFS in durability modules -----------
 

@@ -1,0 +1,261 @@
+"""Incremental maintenance of materialized per-user score relations.
+
+The paper makes a query's scores a pure fold of the user's preference
+sequence over the data; Chomicki's *Database Querying under Changing
+Preferences* observes that under preference revision the fold need not be
+recomputed from scratch.  :class:`ScoreMaintainer` implements that for the
+serving layer: it keeps, per ``(user, table)``, the sparse score relation
+``{primary key → ⟨S, C⟩}`` that folding the user's preferences over the
+table produces, and consumes the :class:`~repro.serve.server.PreferenceServer`
+mutation feed (the same events the preference WAL logs) to patch it in
+place:
+
+* ``pref.add`` — the new preference is *last* in fold order, so the delta
+  is one :meth:`~repro.core.prefgroup.CompiledGroup.score_rows` pass of a
+  single-preference group over the table with the existing state as
+  ``base``: O(|R|) cheap dispatch probes, scoring work proportional to the
+  rows the preference actually matches, and bit-identical to a full
+  recompute (the fused fold replays sequential ``(preference, row)``
+  order exactly).
+* ``pref.remove`` — aggregates have no inverse, so the maintainer finds
+  the rows the removed preference matched (the same dispatch index, again
+  O(matches)) and re-folds *only those keys* with the remaining
+  preferences; untouched keys cannot have changed.
+* ``row.insert`` — the single new row is folded into every affected
+  user's state (``score_rows([row], base=state)``).
+* ``pref.clear`` — the user's materializations are dropped.
+
+Which preferences apply to which table is decided by condition–schema
+overlap analysis (:func:`applicable_preferences`): a preference
+participates in table T's score relation iff it names exactly T and every
+attribute its condition and scoring reference resolves in T's schema.
+Join-wide (multi-relation) preferences are outside the per-table
+materialization by construction.
+
+Scope: plain :class:`~repro.core.preference.Preference` profiles.  A user
+holding contextual preferences (whose activation depends on an external
+context the maintainer cannot know) is not maintainable — mutations drop
+that user's state and materialization raises typed
+:exc:`~repro.errors.PreferenceError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.aggregates import F_S, AggregateFunction
+from ..core.preference import Preference
+from ..core.prefgroup import PreferenceGroup
+from ..core.prelation import ScoreRelation
+from ..errors import PreferenceError, ReproError
+
+
+def applicable_preferences(preferences, table) -> list:
+    """The sub-sequence of *preferences* that table *table* can evaluate alone.
+
+    A preference applies iff it names exactly this relation and compiles
+    against the table's schema (every condition/scoring attribute
+    resolves).  Order is preserved — it is fold order.
+    """
+    out = []
+    for pref in preferences:
+        if pref.relations != (table.name,):
+            continue
+        try:
+            pref.condition.compile(table.schema)
+        except ReproError:
+            continue
+        if not set(pref.scoring.attributes()) <= set(table.schema.attribute_names):
+            continue
+        out.append(pref)
+    return out
+
+
+class ScoreMaintainer:
+    """Materialized per-user score relations, patched from the mutation feed.
+
+    Construct over a server's live ``(db, store)`` and :meth:`attach` it so
+    commit-order events reach :meth:`on_event` under the server mutex (the
+    same ordering discipline the WAL gets).  Reads
+    (:meth:`score_relation`) and the :meth:`recompute` oracle take the
+    maintainer's own lock; drive them from the writer thread or quiesced
+    states — the maintainer materializes from the *live* tables.
+    """
+
+    def __init__(self, db, store, aggregate: AggregateFunction = F_S):
+        self.db = db
+        self.store = store
+        self.aggregate = aggregate
+        self._lock = threading.Lock()
+        #: (user, TABLE) → {pk tuple → ScorePair}; sparse — default pairs absent.
+        self._states: dict[tuple, dict] = {}
+        #: user → [Preference, ...] mirror of the store bucket, in fold order.
+        #: Kept locally so ``pref.remove`` (which only carries a name, and
+        #: fires after the store already forgot the object) can find the
+        #: removed preference's condition to probe with.
+        self._profiles: dict[str, list] = {}
+
+    def attach(self, server) -> "ScoreMaintainer":
+        """Subscribe to *server*'s commit feed; returns self for chaining."""
+        server.add_listener(self.on_event)
+        return self
+
+    # -- reads -------------------------------------------------------------------
+
+    def score_relation(self, user: str, table_name: str) -> dict:
+        """The maintained ``{primary key → ScorePair}`` for (user, table).
+
+        Materializes with a full fold on first access; afterwards kept
+        incrementally current by :meth:`on_event`.  Returns a copy.
+        """
+        name = table_name.upper()
+        with self._lock:
+            state = self._states.get((user, name))
+            if state is None:
+                state = self._materialize(user, name)
+            return dict(state)
+
+    def recompute(self, user: str, table_name: str) -> dict:
+        """Full-recompute oracle: the same relation, folded from scratch.
+
+        Reads the store directly (not the mirror), so conformance tests can
+        assert maintained state == oracle with exact pair equality.
+        """
+        name = table_name.upper()
+        profile = [self._plain(p) for p in self.store.preferences_of(user)]
+        with self._lock:
+            return self._full_fold(profile, self.db.table(name))
+
+    def maintained(self) -> list[tuple]:
+        """The (user, table) pairs currently materialized."""
+        with self._lock:
+            return sorted(self._states)
+
+    # -- the mutation feed -------------------------------------------------------
+
+    def on_event(self, op: str, payload: dict) -> None:
+        """Consume one committed server mutation (see ``add_listener``)."""
+        with self._lock:
+            if op == "pref.add":
+                self._on_add(payload["user"], payload["preference"])
+            elif op == "pref.remove":
+                self._on_remove(payload["user"], payload["name"])
+            elif op == "pref.clear":
+                self._drop_user(payload["user"])
+            elif op == "row.insert":
+                self._on_insert(payload["table"])
+
+    # -- internals (all under self._lock) ----------------------------------------
+
+    @staticmethod
+    def _plain(stored) -> Preference:
+        if not isinstance(stored, Preference):
+            raise PreferenceError(
+                "incremental score maintenance covers plain preferences only; "
+                f"cannot maintain a {type(stored).__name__}"
+            )
+        return stored
+
+    def _materialize(self, user: str, name: str) -> dict:
+        profile = self._profiles.get(user)
+        if profile is None:
+            profile = [self._plain(p) for p in self.store.preferences_of(user)]
+            self._profiles[user] = profile
+        state = self._full_fold(profile, self.db.table(name))
+        self._states[(user, name)] = state
+        return state
+
+    def _full_fold(self, profile: list, table) -> dict:
+        applicable = applicable_preferences(profile, table)
+        if not applicable:
+            return {}
+        compiled = PreferenceGroup(applicable, self.aggregate).compile(table.schema)
+        return compiled.score_rows(table.rows, self._key_fn(table))
+
+    @staticmethod
+    def _key_fn(table):
+        pk = tuple(table.schema.primary_key)
+        if not pk:
+            raise PreferenceError(
+                f"table {table.name} has no primary key; the maintained score "
+                "relation needs a stable row identity"
+            )
+        return ScoreRelation(pk).key_extractor(table.schema)
+
+    def _drop_user(self, user: str) -> None:
+        self._profiles.pop(user, None)
+        for key in [k for k in self._states if k[0] == user]:
+            del self._states[key]
+
+    def _on_add(self, user: str, preference) -> None:
+        profile = self._profiles.get(user)
+        if profile is None:
+            return  # nothing materialized for this user yet
+        if not isinstance(preference, Preference):
+            self._drop_user(user)  # profile left the maintainable fragment
+            return
+        profile.append(preference)
+        for user_key, name in [k for k in self._states if k[0] == user]:
+            table = self.db.table(name)
+            delta = applicable_preferences([preference], table)
+            if not delta:
+                continue
+            compiled = PreferenceGroup(delta, self.aggregate).compile(table.schema)
+            # The added preference is last in fold order, so folding it over
+            # the existing state replays exactly the sequential
+            # (preference, row) order of a recompute: O(matches) scoring.
+            self._states[(user_key, name)] = compiled.score_rows(
+                table.rows, self._key_fn(table), base=self._states[(user_key, name)]
+            )
+
+    def _on_remove(self, user: str, name: str) -> None:
+        profile = self._profiles.get(user)
+        if profile is None:
+            return
+        lowered = name.lower()
+        removed = None
+        for index, pref in enumerate(profile):
+            if pref.name.lower() == lowered:
+                removed = profile.pop(index)
+                break
+        if removed is None:
+            return
+        for user_key, table_name in [k for k in self._states if k[0] == user]:
+            table = self.db.table(table_name)
+            if not applicable_preferences([removed], table):
+                continue
+            probe = PreferenceGroup([removed], self.aggregate).compile(table.schema)
+            key_fn = self._key_fn(table)
+            touched = [row for row in table.rows if probe.matches(row)]
+            if not touched:
+                continue
+            state = self._states[(user_key, table_name)]
+            remaining = applicable_preferences(profile, table)
+            # Re-fold only the touched keys with the remaining preferences:
+            # a fresh per-key fold is exactly what a full recompute would
+            # produce there, and keys the removed preference never matched
+            # cannot have changed.  (Primary keys are unique, so a touched
+            # key has no untouched rows contributing to it.)
+            patch: dict = {}
+            if remaining:
+                group = PreferenceGroup(remaining, self.aggregate)
+                patch = group.compile(table.schema).score_rows(touched, key_fn)
+            for row in touched:
+                state.pop(key_fn(row), None)
+            state.update(patch)
+
+    def _on_insert(self, table_name: str) -> None:
+        name = str(table_name).upper()
+        affected = [k for k in self._states if k[1] == name]
+        if not affected:
+            return
+        table = self.db.table(name)
+        row = table.rows[-1]  # the listener fires post-apply, in commit order
+        for user_key, _ in affected:
+            delta = applicable_preferences(self._profiles[user_key], table)
+            if not delta:
+                continue
+            compiled = PreferenceGroup(delta, self.aggregate).compile(table.schema)
+            self._states[(user_key, name)] = compiled.score_rows(
+                [row], self._key_fn(table), base=self._states[(user_key, name)]
+            )

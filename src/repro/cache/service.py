@@ -1,0 +1,203 @@
+"""The cache-aware serving query path, shared by NetServer and tests.
+
+:class:`CachedQueryService` is the single implementation of "answer a
+query for a (namespaced) user": take a consistent
+:class:`~repro.serve.server.ServerSnapshot`, compile, execute, render the
+wire reply — consulting a :class:`~repro.cache.result_cache.ResultCache`
+keyed by
+
+``(sha256 of the referenced tables' content digests,
+   canonical plan fingerprint (strategy/aggregate/order/oracle included),
+   user profile digest)``
+
+Every key component is a value digest, so the key *is* the correctness
+argument: the cached reply is a pure function of the key, and any change
+to data, plan or profile changes the key.  Restricting the data digest to
+the plan's read set (``plan.relations()``) is what keeps unrelated writes
+from evicting hot entries — a row landing in table A never perturbs keys
+of queries that only read table B, and one user's preference churn never
+touches another user's keys.
+
+Explicit invalidation (:meth:`CachedQueryService.on_mutation`, wired to
+the server's commit feed) reclaims the memory of entries whose keys just
+became unreachable and keeps hit-rate accounting honest.
+
+Queries with no stable value identity — materialized plan leaves,
+preferences without a canonical serialization — bypass the cache
+(``bypasses`` counter) and compute exactly as the cache-off path does.
+``cache=None`` disables caching entirely: byte-for-byte the same
+computation, minus the lookup; that is the conformance oracle mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import PreferenceError
+from ..plan.fingerprint import UncacheablePlan, plan_fingerprint
+from ..serve.codec import canonical_json
+from ..serve.server import table_digest
+
+#: The default preferential query template (IMDB-shaped databases): used
+#: when a query names no SQL — the PREFERRING list is the user's preference
+#: names as of the serving snapshot, which is what keeps the query and its
+#: oracle on one consistent (data, preferences) pair.
+DEFAULT_SQL = """
+    SELECT title, director, year FROM MOVIES
+      NATURAL JOIN GENRES
+      NATURAL JOIN DIRECTORS
+    WHERE year >= 1980
+    PREFERRING {names}
+    TOP 10 BY score
+"""
+
+
+class CachedQueryService:
+    """Builds query replies for users, through an optional result cache.
+
+    :param server: the owned :class:`~repro.serve.server.PreferenceServer`.
+    :param cache: a :class:`~repro.cache.result_cache.ResultCache`, or
+        ``None`` for the cache-off oracle path.  When given, the service
+        registers itself on the server's commit feed for targeted
+        invalidation.
+    :param default_sql: template used when a query names no SQL (must
+        accept a ``{names}`` placeholder).
+    :param default_strategy: strategy when the request names none.
+    """
+
+    def __init__(
+        self,
+        server,
+        cache=None,
+        *,
+        default_sql: str = DEFAULT_SQL,
+        default_strategy: str = "gbu",
+    ) -> None:
+        self.server = server
+        self.cache = cache
+        self.default_sql = default_sql
+        self.default_strategy = default_strategy
+        if cache is not None:
+            server.add_listener(self.on_mutation)
+
+    # -- the commit feed ---------------------------------------------------------
+
+    def on_mutation(self, op: str, payload: dict) -> None:
+        """Targeted invalidation from one committed server mutation.
+
+        Preference ops touch exactly one user's profile digest, so only
+        that user's entries die; a row insert touches exactly one table's
+        content digest, so only entries whose plans read that table die.
+        """
+        if self.cache is None:
+            return
+        if op in ("pref.add", "pref.remove", "pref.clear"):
+            self.cache.invalidate(user=payload["user"], reason=op)
+        elif op == "row.insert":
+            self.cache.invalidate(table=str(payload["table"]).upper(), reason=op)
+
+    # -- the query path ----------------------------------------------------------
+
+    def query(
+        self,
+        user: str,
+        *,
+        sql: str | None = None,
+        strategy: str | None = None,
+        want_oracle: bool = False,
+    ) -> dict:
+        """One wire-shaped query reply for *user*, cached when possible."""
+        # Late module-attribute access (not a bound name): the corruption
+        # tests monkeypatch protocol.triples_digest to prove the client
+        # refuses a server whose digest computation went wrong.
+        from ..serve.net import protocol
+
+        strategy = strategy or self.default_strategy
+        snapshot = self.server.snapshot()
+        names = sorted(p.name for p in snapshot.store.preferences_of(user))
+        text = sql
+        if text is None:
+            if not names:
+                empty: list = []
+                return {
+                    "triples": empty,
+                    "columns": [],
+                    "prefs": [],
+                    "digest": protocol.triples_digest(empty),
+                    "rows": 0,
+                }
+            text = self.default_sql.format(names=", ".join(names))
+        session = snapshot.session_for(user, strategy=strategy)
+        if self.cache is None:
+            return self._compute(session, snapshot, user, text, strategy, names, want_oracle)
+        keyed = self._key(session, snapshot, user, text, strategy, want_oracle)
+        if keyed is None:
+            self.cache.count_bypass()
+            return self._compute(session, snapshot, user, text, strategy, names, want_oracle)
+        key, compiled, relations = keyed
+        return self.cache.get_or_compute(
+            key,
+            lambda: self._compute(
+                session, snapshot, user, compiled, strategy, names, want_oracle
+            ),
+            user=user,
+            relations=relations,
+            lsn=snapshot.lsn,
+        )
+
+    def _key(self, session, snapshot, user, text, strategy, want_oracle):
+        """(cache key, compiled query, relations) — or None when uncacheable."""
+        compiled = session.compile(text)
+        try:
+            fingerprint = plan_fingerprint(
+                compiled.plan,
+                strategy=strategy,
+                aggregate=compiled.aggregate
+                or getattr(session.engine.aggregate, "name", None),
+                order_by=compiled.order_by,
+                extra={"oracle": bool(want_oracle)},
+            )
+            relations = sorted(compiled.plan.relations())
+            data = canonical_json(
+                {name: table_digest(snapshot.db.table(name)) for name in relations}
+            )
+            profile = snapshot.store.profile_digest(user)
+        except (UncacheablePlan, PreferenceError):
+            return None
+        data_digest = hashlib.sha256(data.encode("utf-8")).hexdigest()
+        return (data_digest, fingerprint, profile), compiled, relations
+
+    def _compute(self, session, snapshot, user, query, strategy, names, want_oracle):
+        """The cache-off computation: execute + render the wire reply.
+
+        *query* is SQL text or an already-compiled
+        :class:`~repro.query.model.PreferentialQuery` — byte-identical
+        results either way (compilation is deterministic).
+        """
+        from ..serve.net import protocol
+
+        result = session.execute(query, strategy=strategy)
+        presented = result.presented()
+        triples = protocol.wire_triples(result)
+        reply = {
+            "triples": triples,
+            "columns": list(presented.schema.attribute_names),
+            "prefs": names,
+            "digest": protocol.triples_digest(triples),
+            "rows": len(triples),
+        }
+        if want_oracle:
+            # The conformance oracle, on the *same snapshot*: the wire
+            # result must digest-equal a reference-strategy evaluation
+            # of the identical (data, preferences) instant.
+            oracle = snapshot.session_for(user, strategy="reference").execute(
+                query, strategy="reference"
+            )
+            reply["oracle_digest"] = protocol.triples_digest(
+                protocol.wire_triples(oracle)
+            )
+        return reply
+
+    def stats_snapshot(self) -> "dict | None":
+        """The cache's counter block, or None when caching is off."""
+        return self.cache.stats_snapshot() if self.cache is not None else None

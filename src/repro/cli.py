@@ -296,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE",
         help="append per-connection serve.net spans to FILE as JSONL",
     )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the digest-keyed result cache (cache-off oracle mode)",
+    )
+    serve.add_argument(
+        "--cache-mb", type=int, default=64, metavar="MB",
+        help="result-cache memory budget in MiB (default 64)",
+    )
 
     serve_load = commands.add_parser(
         "serve-load",
@@ -315,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_load.add_argument("--workers", type=int, default=4)
     serve_load.add_argument("--queue-limit", type=int, default=16)
     serve_load.add_argument("--tenant-quota", type=int, default=16)
+    serve_load.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the digest-keyed result cache for this run",
+    )
     serve_load.add_argument(
         "--out", metavar="FILE",
         help="write the JSON report to FILE (e.g. results/BENCH_serve_load.json)",
@@ -792,6 +804,8 @@ def _serve(args) -> int:
         queue_limit=args.queue_limit,
         tenant_quota=args.tenant_quota,
         trace_sink=sink,
+        cache=not args.no_cache,
+        cache_bytes=args.cache_mb * 1024 * 1024,
     )
 
     async def main() -> None:
@@ -819,6 +833,7 @@ def _serve_load(args) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         tenant_quota=args.tenant_quota,
+        cache=not args.no_cache,
     )
     print(describe(report))
     if args.out:

@@ -8,6 +8,7 @@ from .analysis import (
     widen_projections,
 )
 from .builder import PlanBuilder, natural_join_condition, scan
+from .fingerprint import UncacheablePlan, fingerprint_payload, plan_fingerprint
 from .nodes import (
     Difference,
     Intersect,
@@ -47,4 +48,7 @@ __all__ = [
     "preference_attributes",
     "preferred_relations",
     "required_carry_attributes",
+    "plan_fingerprint",
+    "fingerprint_payload",
+    "UncacheablePlan",
 ]

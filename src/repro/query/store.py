@@ -9,6 +9,7 @@ context-dependent) preferences and hands out ready-made sessions.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping
 
 from ..core.aggregates import F_S, AggregateFunction
@@ -39,6 +40,9 @@ class PreferenceStore:
         #: Monotonic mutation counter, copied into snapshots.
         self.version = 0
         self._frozen = False
+        #: Per-user profile-digest memo; entries are dropped by every
+        #: mutation touching that user, so a cached digest is always current.
+        self._profile_digests: dict[str, str] = {}
 
     # -- snapshots --------------------------------------------------------------
 
@@ -63,6 +67,7 @@ class PreferenceStore:
             }
             clone.version = self.version
             clone._frozen = True
+            clone._profile_digests = dict(self._profile_digests)
             return clone
 
     def _ensure_mutable(self) -> None:
@@ -79,6 +84,7 @@ class PreferenceStore:
             self._ensure_mutable()
             self._add_locked(user, preference)
             self.version += 1
+            self._profile_digests.pop(user, None)
 
     def _add_locked(
         self, user: str, preference: "Preference | ContextualPreference"
@@ -116,6 +122,7 @@ class PreferenceStore:
             if staged:
                 self._by_user[user] = staged
             self.version += 1
+            self._profile_digests.pop(user, None)
 
     def remove(self, user: str, name: str) -> bool:
         """Drop one stored preference; False when the user didn't have it."""
@@ -124,6 +131,7 @@ class PreferenceStore:
             removed = self._by_user.get(user, {}).pop(name.lower(), None)
             if removed is not None:
                 self.version += 1
+                self._profile_digests.pop(user, None)
             return removed is not None
 
     def clear(self, user: str) -> int:
@@ -133,11 +141,45 @@ class PreferenceStore:
             dropped = len(self._by_user.pop(user, {}))
             if dropped:
                 self.version += 1
+                self._profile_digests.pop(user, None)
             return dropped
 
     def preferences_of(self, user: str) -> list[object]:
         with self._lock.read_locked():
             return list(self._by_user.get(user, {}).values())
+
+    def profile_digest(self, user: str) -> str:
+        """sha256 over the user's canonically serialized preferences.
+
+        Order-insensitive (serializations are sorted before hashing): two
+        profiles digest equal iff they hold the same preference *set*.  The
+        digest is memoized per user and the memo entry is dropped by
+        :meth:`add`/:meth:`add_all`/:meth:`remove`/:meth:`clear`, so cache
+        keys and invalidation never re-serialize an unchanged profile.
+        An unknown user digests as the empty profile.
+
+        Raises :exc:`~repro.errors.PreferenceError` when a stored preference
+        has no canonical serialization (``CallableScore``, predicate
+        contexts) — such profiles have no stable identity to cache under.
+        """
+        # Imported here, not at module top: the serve package initializer is
+        # deliberately import-light and this module loads before it.
+        from ..serve.codec import canonical_json, preference_to_dict
+
+        with self._lock.read_locked():
+            cached = self._profile_digests.get(user)
+            if cached is not None:
+                return cached
+            stored = list(self._by_user.get(user, {}).values())
+            body = canonical_json(
+                sorted((preference_to_dict(s) for s in stored), key=canonical_json)
+            )
+            digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+            # Benign to race with another reader: both compute the same
+            # value, and writers (which would change it) are excluded for
+            # as long as we hold the shared side.
+            self._profile_digests[user] = digest
+            return digest
 
     def users(self) -> list[str]:
         with self._lock.read_locked():

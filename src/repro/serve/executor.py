@@ -311,16 +311,20 @@ class ServeExecutor:
             return  # cancelled while queued: nothing ran, nothing to record
         started = time.perf_counter()
         queue_ms = (started - job.enqueued) * 1e3
+        result, error = None, None
         try:
             result = job.context.run(job.fn, *job.args, **job.kwargs)
         except BaseException as err:  # noqa: BLE001 - relayed through the future
-            job.future.set_exception(err)
-            ok = False
-        else:
-            job.future.set_result(result)
-            ok = True
+            error = err
+        # Record the observation *before* publishing the result: the waiter
+        # wakes the instant set_result runs, and a fast client could read a
+        # stats snapshot that does not yet count its own completed request.
         total_ms = (time.perf_counter() - started) * 1e3 + queue_ms
-        self.stats.observe(total_ms, queue_ms, ok)
+        self.stats.observe(total_ms, queue_ms, error is None)
+        if error is None:
+            job.future.set_result(result)
+        else:
+            job.future.set_exception(error)
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -63,6 +63,8 @@ def run_serve_load(
     queue_limit: int = 16,
     tenant_quota: int | None = 16,
     deadline_s: float = 15.0,
+    cache: bool = True,
+    cache_bytes: int = 64 * 1024 * 1024,
 ) -> dict:
     """Run the closed-loop zipfian load and return the report dictionary."""
     from ...core.preference import Preference
@@ -76,6 +78,8 @@ def run_serve_load(
         workers=workers,
         queue_limit=queue_limit,
         tenant_quota=tenant_quota,
+        cache=cache,
+        cache_bytes=cache_bytes,
     )
     handle = serve_in_thread(net)
 
@@ -166,6 +170,7 @@ def run_serve_load(
         thread.join()
     elapsed_s = time.perf_counter() - started
     stats = net.executor.stats.snapshot()
+    cache_stats = net.service.stats_snapshot()
     handle.stop()
 
     total = sum(outcomes.values())
@@ -198,12 +203,23 @@ def run_serve_load(
         "client_p95_ms": round(percentile(latencies_ms, 0.95), 3),
         "client_p99_ms": round(percentile(latencies_ms, 0.99), 3),
         "server": stats,
+        "cache": cache_stats,
         "per_tenant": dict(sorted(per_tenant.items())),
     }
     return report
 
 
 def describe(report: dict) -> str:
+    cache = report.get("cache")
+    if cache:
+        cache_line = (
+            f"\n  cache hit-rate={cache['hit_rate']:.2%} "
+            f"(hits={cache['hits']} misses={cache['misses']} "
+            f"invalidations={cache['invalidations']} "
+            f"entries={cache['entries']}, {cache['bytes']} bytes)"
+        )
+    else:
+        cache_line = "\n  cache disabled"
     return (
         f"serve-load: {report['requests']} requests / {report['clients']} clients "
         f"over {report['users']} zipf users in {report['elapsed_s']}s "
@@ -217,7 +233,7 @@ def describe(report: dict) -> str:
         f"  churn={report['churn_ops']} ops, "
         f"{report['distinct_users_touched']} distinct users touched, "
         f"retries spent={report['retry_budget']['spent']} "
-        f"denied={report['retry_budget']['denied']}"
+        f"denied={report['retry_budget']['denied']}" + cache_line
     )
 
 

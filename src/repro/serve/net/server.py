@@ -46,13 +46,14 @@ import signal
 import threading
 import time
 
+from ...cache.result_cache import ResultCache
+from ...cache.service import DEFAULT_SQL, CachedQueryService
 from ...errors import NetworkFault, Overloaded, QueryTimeout, ReproError, TransientFault
 from ...obs.tracer import Span
 from ...resilience.faults import NULL_FAULTS
 from ...resilience.guard import QueryGuard, use_guard
 from ..executor import ServeExecutor
-from .protocol import MAX_FRAME, _HEADER, decode_body, encode_frame, error_to_dict, \
-    triples_digest, wire_triples
+from .protocol import MAX_FRAME, _HEADER, decode_body, encode_frame, error_to_dict
 
 _RUNNING = "running"
 _DRAINING = "draining"
@@ -66,18 +67,10 @@ DATA_OPS = frozenset(
 #: must keep working exactly when the data plane is refusing.
 CONTROL_OPS = frozenset({"ping", "health", "ready", "stats"})
 
-#: The default preferential query template (IMDB-shaped databases): used
-#: when a ``query`` request names no ``sql`` — the PREFERRING list is the
-#: user's preference names as of the serving snapshot, which is what keeps
-#: the query and its oracle on one consistent (data, preferences) pair.
-DEFAULT_SQL = """
-    SELECT title, director, year FROM MOVIES
-      NATURAL JOIN GENRES
-      NATURAL JOIN DIRECTORS
-    WHERE year >= 1980
-    PREFERRING {names}
-    TOP 10 BY score
-"""
+# DEFAULT_SQL (the preferential query template used when a ``query``
+# request names no ``sql``) now lives beside the query path it feeds, in
+# :mod:`repro.cache.service`; re-exported here for compatibility.
+__all__ = ["NetServer", "NetServerHandle", "serve_in_thread", "namespaced", "DEFAULT_SQL"]
 
 
 def namespaced(tenant: str, user: str) -> str:
@@ -115,6 +108,14 @@ class NetServer:
         from *workers*/*queue_limit*/*session_limit* when not given).
     :param tenant_quota: default per-tenant in-flight cap (``None``: no
         tenant metering); *quotas* overrides it per tenant name.
+    :param cache: result caching for the query path.  ``True`` (default)
+        builds a :class:`~repro.cache.result_cache.ResultCache` bounded by
+        *cache_bytes*; ``False``/``None`` serves every query uncached; an
+        explicit :class:`ResultCache` instance is used as given.  Replies
+        are byte-identical either way (the key is a pure content digest);
+        the cache only changes who computes them.
+    :param cache_bytes: LRU memory budget when the server builds its own
+        cache.
     :param fault_factory: chaos hook — called with the connection index,
         returns the :class:`~repro.resilience.FaultPlan` governing that
         connection's ``net.*`` sites (``None``: no injection).
@@ -139,6 +140,8 @@ class NetServer:
         quotas: dict[str, int] | None = None,
         default_strategy: str = "gbu",
         default_sql: str = DEFAULT_SQL,
+        cache: "ResultCache | bool | None" = True,
+        cache_bytes: int = 64 * 1024 * 1024,
         fault_factory=None,
         trace_sink=None,
         test_ops: bool = False,
@@ -156,6 +159,19 @@ class NetServer:
         self.quotas = dict(quotas or {})
         self.default_strategy = default_strategy
         self.default_sql = default_sql
+        if cache is True:
+            cache = ResultCache(max_bytes=cache_bytes)
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        #: The single implementation of the query path (cache-aware); the
+        #: conformance tests drive the same object without sockets.
+        self.service = CachedQueryService(
+            server,
+            cache,
+            default_sql=default_sql,
+            default_strategy=default_strategy,
+        )
         self.fault_factory = fault_factory
         self.trace_sink = trace_sink
         self.test_ops = test_ops
@@ -486,40 +502,12 @@ class NetServer:
         want_oracle = bool(request.get("oracle"))
 
         def run_query() -> dict:
-            snapshot = self.server.snapshot()
-            names = sorted(p.name for p in snapshot.store.preferences_of(key))
-            text = sql
-            if text is None:
-                if not names:
-                    empty: list = []
-                    return {
-                        "triples": empty,
-                        "columns": [],
-                        "prefs": [],
-                        "digest": triples_digest(empty),
-                        "rows": 0,
-                    }
-                text = self.default_sql.format(names=", ".join(names))
-            session = snapshot.session_for(key, strategy=strategy)
-            result = session.execute(text, strategy=strategy)
-            presented = result.presented()
-            triples = wire_triples(result)
-            reply = {
-                "triples": triples,
-                "columns": list(presented.schema.attribute_names),
-                "prefs": names,
-                "digest": triples_digest(triples),
-                "rows": len(triples),
-            }
-            if want_oracle:
-                # The conformance oracle, on the *same snapshot*: the wire
-                # result must digest-equal a reference-strategy evaluation
-                # of the identical (data, preferences) instant.
-                oracle = snapshot.session_for(key, strategy="reference").execute(
-                    text, strategy="reference"
-                )
-                reply["oracle_digest"] = triples_digest(wire_triples(oracle))
-            return reply
+            # The shared cache-aware path (repro.cache.service): snapshot,
+            # compile, digest-keyed lookup with single-flight, compute on
+            # miss — byte-identical to the cache-off computation.
+            return self.service.query(
+                key, sql=sql, strategy=strategy, want_oracle=want_oracle
+            )
 
         return run_query
 
@@ -586,6 +574,7 @@ class NetServer:
         snapshot = self.executor.stats.snapshot()
         snapshot["tenants"] = tenants
         snapshot["draining"] = self.draining
+        snapshot["cache"] = self.service.stats_snapshot()
         return snapshot
 
 

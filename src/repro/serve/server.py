@@ -133,38 +133,85 @@ class ServerSnapshot:
         return self.store.session_for(user, strategy=strategy, **kwargs)
 
     def digest(self) -> str:
-        """sha256 of the snapshot's full logical state (see :func:`state_digest`)."""
-        return state_digest(self.db, self.store)
+        """sha256 of the snapshot's full logical state (see :func:`state_digest`).
+
+        The snapshot is immutable, so the digest is computed once and cached
+        on the instance — repeat calls on the serve path are O(1).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = state_digest(self.db, self.store)
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+def table_digest(table) -> str:
+    """sha256 of one table's logical content (schema + row multiset).
+
+    Rows are sorted canonically, so insertion order does not matter.  On a
+    **frozen** table the digest is memoized on the instance: a frozen table
+    can never change again (the copy-on-write discipline forks a fresh
+    object before any post-snapshot write), so every later snapshot sharing
+    the object reuses the digest instead of re-canonicalizing the rows.
+    """
+    cached = getattr(table, "_content_digest", None)
+    if cached is not None:
+        return cached
+    payload = canonical_json(
+        {
+            "columns": [[c.name, c.dtype.value] for c in table.schema.columns],
+            "primary_key": list(table.schema.primary_key),
+            "rows": sorted((list(row) for row in table.rows), key=canonical_json),
+        }
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    if table.frozen:
+        table._content_digest = digest
+    return digest
+
+
+def table_digests(db: Database) -> dict[str, str]:
+    """Per-table content digests of *db*, memoized on ``db.version``.
+
+    Every database mutation bumps ``db.version``, so the memo is exactly as
+    fresh as the data; unchanged tables additionally reuse their per-table
+    memo (see :func:`table_digest`), making re-digestion after a write
+    linear in the *touched* tables only.
+    """
+    memo = getattr(db, "_digest_memo", None)
+    if memo is not None and memo[0] == db.version:
+        return memo[1]
+    digests = {
+        table.name: table_digest(table)
+        for table in sorted(db.catalog.tables(), key=lambda t: t.name)
+    }
+    db._digest_memo = (db.version, digests)
+    return digests
 
 
 def state_digest(db: Database, store: PreferenceStore) -> str:
     """One sha256 over the complete logical state of (*db*, *store*).
 
-    Built from canonical JSON of every table's schema and rows plus every
-    user's serialized preferences, so two states digest equal iff they are
-    logically identical.  Used by the recovery fixtures to compare a
+    Built by composing every table's content digest (:func:`table_digest`)
+    with every user's profile digest
+    (:meth:`~repro.query.store.PreferenceStore.profile_digest`) — both
+    order-insensitive and memoized — so two states digest equal iff they
+    are logically identical, and repeat digestion is no longer linear in
+    database size.  Used by the recovery fixtures to compare a
     crash-recovered server against an oracle that replayed the same WAL
     prefix in memory.
     """
-    tables = {}
-    for table in sorted(db.catalog.tables(), key=lambda t: t.name):
-        tables[table.name] = {
-            "columns": [[c.name, c.dtype.value] for c in table.schema.columns],
-            "primary_key": list(table.schema.primary_key),
-            "rows": sorted((list(row) for row in table.rows), key=canonical_json),
-        }
     # A user whose last preference was removed is logically indistinguishable
     # from an unknown user, and recovery does not recreate empty entries —
     # the digest must not hinge on that bookkeeping.
     prefs = {
-        user: sorted(
-            (preference_to_dict(stored) for stored in store.preferences_of(user)),
-            key=canonical_json,
-        )
+        user: store.profile_digest(user)
         for user in store.users()
         if store.preferences_of(user)
     }
-    payload = canonical_json({"tables": tables, "preferences": prefs})
+    payload = canonical_json(
+        {"v": 2, "tables": table_digests(db), "preferences": prefs}
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -202,6 +249,27 @@ class PreferenceServer:
         # so a snapshot can never pair a database from one instant with
         # preferences from another.
         self._mutex = Lock()
+        #: Commit hooks: ``listener(op, payload)`` called after each mutation
+        #: is applied and logged, still under the mutex — in commit order.
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(op, payload)`` to observe committed mutations.
+
+        Called under the server mutex immediately after the mutation is
+        applied in memory and appended to the WAL, so listeners observe
+        mutations in exactly commit (= WAL) order.  The payload carries live
+        objects (``pref.add`` passes the preference itself, not its
+        serialization); listeners must be fast and must not call back into
+        the server's write path.  This is the change feed the cache layer's
+        invalidation and the incremental score maintainer
+        (:mod:`repro.cache`) hang off.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, op: str, payload: dict) -> None:
+        for listener in self._listeners:
+            listener(op, payload)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -301,6 +369,7 @@ class PreferenceServer:
             self._check_healthy()
             self.store.add(user, preference)
             self._log("pref.add", payload)
+            self._notify("pref.add", {"user": user, "preference": preference})
 
     def remove_preference(self, user: str, name: str) -> bool:
         with self._mutex:
@@ -308,6 +377,7 @@ class PreferenceServer:
             removed = self.store.remove(user, name)
             if removed:
                 self._log("pref.remove", {"user": user, "name": name})
+                self._notify("pref.remove", {"user": user, "name": name})
             return removed
 
     def clear_preferences(self, user: str) -> int:
@@ -316,6 +386,7 @@ class PreferenceServer:
             dropped = self.store.clear(user)
             if dropped:
                 self._log("pref.clear", {"user": user})
+                self._notify("pref.clear", {"user": user, "dropped": dropped})
             return dropped
 
     def insert(self, table: str, values) -> None:
@@ -324,6 +395,7 @@ class PreferenceServer:
             self._check_healthy()
             self.db.insert(table, values)
             self._log("row.insert", {"table": table, "values": list(values)})
+            self._notify("row.insert", {"table": table, "values": list(values)})
 
     def _check_healthy(self) -> None:
         if self._poisoned is not None:

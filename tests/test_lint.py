@@ -492,3 +492,66 @@ class TestPlanCoverageScoping:
         concrete, _ = _plan_class_coverage()
         assert "_TestOnlyNode" not in concrete
         assert not any(name.startswith("_TestOnly") for name in concrete)
+
+
+class TestLN401ServingLayerWrites:
+    def test_store_mutation_in_net_server_is_ln401(self):
+        found = lint_source(
+            "src/repro/serve/net/server.py",
+            "def handle(self, user, pref):\n"
+            "    self.server.store.add(user, pref)\n",
+        )
+        assert codes(found) == ["LN401"]
+
+    def test_db_insert_in_cache_module_is_ln401(self):
+        found = lint_source(
+            "src/repro/cache/maintenance.py",
+            "def apply(self, table, values):\n"
+            "    self.db.insert(table, values)\n",
+        )
+        assert codes(found) == ["LN401"]
+
+    def test_bare_store_name_is_flagged_too(self):
+        found = lint_source(
+            "src/repro/serve/net/load.py",
+            "def seed(store, user):\n"
+            "    store.clear(user)\n",
+        )
+        assert codes(found) == ["LN401"]
+
+    def test_single_writer_path_is_exempt(self):
+        # serve/server.py owns the mutex, the WAL and the commit feed; its
+        # store/db calls are the sanctioned write path.
+        found = lint_source(
+            "src/repro/serve/server.py",
+            "def add_preference(self, user, pref):\n"
+            "    self.store.add(user, pref)\n"
+            "    self.db.insert('T', (1,))\n",
+        )
+        assert found == []
+
+    def test_reads_and_server_mutators_are_fine(self):
+        found = lint_source(
+            "src/repro/serve/net/server.py",
+            "def query(self, user):\n"
+            "    prefs = snapshot.store.preferences_of(user)\n"
+            "    self.server.add_preference(user, prefs[0])\n"
+            "    rows = snapshot.db.table('T').rows\n",
+        )
+        assert found == []
+
+    def test_outside_the_serving_layer_is_out_of_scope(self):
+        found = lint_source(
+            "src/repro/engine/database.py",
+            "def reseed(self):\n"
+            "    self.db.insert('T', (1,))\n"
+            "    self.store.clear('u')\n",
+        )
+        assert found == []
+
+    def test_noqa_suppresses_a_sanctioned_write(self):
+        found = lint_source(
+            "src/repro/cache/service.py",
+            "store.add(user, pref)  # noqa: LN401 - test fixture seeding\n",
+        )
+        assert found == []

@@ -203,10 +203,12 @@ def test_digest_mismatch_is_refused(monkeypatch):
     )
     # Corrupt the server-side digest computation: the client's recomputation
     # over the received triples must now disagree and refuse the result.
-    import repro.serve.net.server as netserver
+    # (The query path reads protocol.triples_digest late, per call; the
+    # client holds its own bound reference and stays honest.)
+    import repro.serve.net.protocol as protocol
 
     monkeypatch.setattr(
-        netserver, "triples_digest", lambda triples: "0" * 64
+        protocol, "triples_digest", lambda triples: "0" * 64
     )
     client = PreferenceClient(
         "127.0.0.1", handle.port, deadline_s=5.0, retry=RetryPolicy(attempts=1)
